@@ -1,0 +1,15 @@
+// Warms the shared case-table cache so the other benches start fast.
+// Named to sort first in `for b in build/bench/*; do $b; done`.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace mpa;
+  bench::banner("cache", "Build the shared synthetic-OSP case table",
+                "(infrastructure; no paper artifact)");
+  const CaseTable table = bench::load_case_table();
+  std::cout << "case table ready: " << table.size() << " cases, "
+            << table.network_ids().size() << " networks\n";
+  return 0;
+}

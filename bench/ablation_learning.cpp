@@ -1,0 +1,59 @@
+// Ablation: learning design choices. Reproduces the paper's footnote 2
+// (random forests — plain, balanced, weighted — don't beat boosting +
+// oversampling on minority classes) and the SVM-vs-majority remark, and
+// adds a boosting-iterations sweep.
+#include <iostream>
+
+#include "common.hpp"
+#include "mpa/modeling.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mpa;
+  bench::banner("Ablation", "Learning design choices (5-class, 5-fold CV)",
+                "footnote 2: balanced/weighted random forests do not improve "
+                "minority-class recall beyond DT+AB+OS; SVM performs worse than "
+                "the majority baseline (2-class)");
+  const CaseTable table = bench::load_case_table();
+  const auto cfg = bench::config_from_env();
+
+  std::cout << "\n-- 5-class: forests vs boosting+oversampling --\n";
+  {
+    Rng rng(cfg.seed + 11);
+    TextTable t({"model", "accuracy", "mean recall (good/moderate/poor)"});
+    for (ModelKind kind :
+         {ModelKind::kDtBoostOversample, ModelKind::kForestPlain, ModelKind::kForestBalanced,
+          ModelKind::kForestWeighted}) {
+      const EvalResult r = evaluate_model_cv(table, 5, kind, rng);
+      const double mid = (r.recall[1] + r.recall[2] + r.recall[3]) / 3;
+      t.row().add(std::string(to_string(kind))).add(r.accuracy * 100, 1).add(mid, 3);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n-- 2-class: SVM vs majority --\n";
+  {
+    Rng rng(cfg.seed + 12);
+    TextTable t({"model", "accuracy"});
+    for (ModelKind kind : {ModelKind::kSvm, ModelKind::kMajority, ModelKind::kDecisionTree}) {
+      const EvalResult r = evaluate_model_cv(table, 2, kind, rng);
+      t.row().add(std::string(to_string(kind))).add(r.accuracy * 100, 1);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n-- boosting iterations sweep (5-class, DT+AB+OS) --\n";
+  {
+    TextTable t({"iterations", "accuracy"});
+    for (int iters : {1, 5, 15, 30}) {
+      Rng rng(cfg.seed + 13);
+      ModelingOptions opts;
+      opts.boost.iterations = iters;
+      const EvalResult r =
+          evaluate_model_cv(table, 5, ModelKind::kDtBoostOversample, rng, opts);
+      t.row().add(iters).add(r.accuracy * 100, 1);
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "common.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "metrics/inference.hpp"
+
+namespace mpa::bench {
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atoi(v);
+}
+
+}  // namespace
+
+BenchConfig config_from_env() {
+  BenchConfig cfg;
+  cfg.networks = env_int("MPA_BENCH_NETWORKS", cfg.networks);
+  cfg.months = env_int("MPA_BENCH_MONTHS", cfg.months);
+  cfg.seed = static_cast<std::uint64_t>(env_int("MPA_BENCH_SEED", static_cast<int>(cfg.seed)));
+  if (const char* dir = std::getenv("MPA_BENCH_CACHE_DIR")) cfg.cache_dir = dir;
+  return cfg;
+}
+
+CaseTable load_case_table(const BenchConfig& cfg) {
+  const std::string path = cfg.cache_dir + "/mpa_case_table_" + std::to_string(cfg.networks) +
+                           "x" + std::to_string(cfg.months) + "_s" + std::to_string(cfg.seed) +
+                           ".csv";
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      try {
+        CaseTable table = CaseTable::from_csv(buf.str());
+        if (!table.empty()) {
+          std::cerr << "[bench] loaded cached case table: " << path << " (" << table.size()
+                    << " cases)\n";
+          return table;
+        }
+      } catch (const DataError&) {
+        std::cerr << "[bench] cache corrupt, regenerating: " << path << "\n";
+      }
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::cerr << "[bench] generating synthetic OSP (" << cfg.networks << " networks x "
+            << cfg.months << " months, seed " << cfg.seed << ")...\n";
+  const OspDataset data = generate_raw(cfg);
+  InferenceOptions iopts;
+  iopts.num_months = cfg.months;
+  CaseTable table = infer_case_table(data.inventory, data.snapshots, data.tickets, iopts);
+  const auto t1 = std::chrono::steady_clock::now();
+  std::cerr << "[bench] built case table in " << std::chrono::duration<double>(t1 - t0).count()
+            << "s (" << table.size() << " cases)\n";
+  std::ofstream out(path);
+  if (out) {
+    out << table.to_csv();
+    std::cerr << "[bench] cached to " << path << "\n";
+  }
+  return table;
+}
+
+OspDataset generate_raw(const BenchConfig& cfg) {
+  OspOptions opts;
+  opts.num_networks = cfg.networks;
+  opts.num_months = cfg.months;
+  opts.seed = cfg.seed;
+  return generate_osp(opts);
+}
+
+void banner(const std::string& experiment, const std::string& description,
+            const std::string& paper_expectation) {
+  std::cout << "\n================================================================\n"
+            << experiment << " — " << description << "\n"
+            << "Paper expectation: " << paper_expectation << "\n"
+            << "================================================================\n";
+}
+
+}  // namespace mpa::bench

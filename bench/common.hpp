@@ -1,0 +1,43 @@
+// Shared plumbing for the reproduction benches: one synthetic OSP at
+// paper scale (850 networks x 17 months by default), with the inferred
+// case table cached as CSV so the ~20 bench binaries don't each pay the
+// generation + inference cost.
+//
+// Environment overrides:
+//   MPA_BENCH_NETWORKS  number of networks (default 850)
+//   MPA_BENCH_MONTHS    number of months   (default 17)
+//   MPA_BENCH_SEED      generator seed     (default 42)
+//   MPA_BENCH_CACHE_DIR cache directory    (default /tmp)
+#pragma once
+
+#include <string>
+
+#include "metrics/case_table.hpp"
+#include "simulation/osp_generator.hpp"
+
+namespace mpa::bench {
+
+struct BenchConfig {
+  int networks = 850;
+  int months = 17;
+  std::uint64_t seed = 42;
+  std::string cache_dir = "/tmp";
+};
+
+/// Read the configuration, applying environment overrides.
+BenchConfig config_from_env();
+
+/// The inferred case table for the configured OSP; loads from the CSV
+/// cache when present, otherwise generates + infers + caches.
+CaseTable load_case_table(const BenchConfig& cfg = config_from_env());
+
+/// Generate the raw dataset (no cache; only the benches that need raw
+/// snapshots/tickets call this).
+OspDataset generate_raw(const BenchConfig& cfg = config_from_env());
+
+/// Print the standard bench banner: which paper artifact this
+/// reproduces and what shape to expect.
+void banner(const std::string& experiment, const std::string& description,
+            const std::string& paper_expectation);
+
+}  // namespace mpa::bench

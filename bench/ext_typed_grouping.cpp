@@ -1,0 +1,56 @@
+// Extension: type-aware change-event grouping (§2.2 future work).
+// Compares plain delta-window grouping against typed grouping on the
+// same change stream: typed grouping separates interleaved maintenance
+// activities, yielding more, smaller, purer events.
+#include <iostream>
+#include <map>
+
+#include "common.hpp"
+#include "metrics/change_analysis.hpp"
+#include "stats/descriptive.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mpa;
+  bench::banner("Extension", "Plain vs type-aware event grouping (delta = 5 min)",
+                "typed grouping yields more but smaller events; single-type "
+                "purity rises (interleaved activities no longer merge)");
+  bench::BenchConfig cfg = bench::config_from_env();
+  cfg.networks = std::min(cfg.networks, 200);
+  const OspDataset data = bench::generate_raw(cfg);
+  const auto changes = extract_changes(data.inventory, data.snapshots);
+
+  std::map<std::pair<std::string, int>, std::vector<const ChangeRecord*>> buckets;
+  for (const auto& c : changes) buckets[{c.network_id, month_of(c.time)}].push_back(&c);
+
+  auto summarize = [&](bool typed) {
+    std::vector<double> counts, sizes, purity;
+    for (const auto& [key, recs] : buckets) {
+      const auto events = typed ? group_events_typed(recs, 5) : group_events(recs, 5);
+      counts.push_back(static_cast<double>(events.size()));
+      for (const auto& ev : events) {
+        sizes.push_back(static_cast<double>(ev.changes.size()));
+        std::set<std::string> types;
+        for (const auto* c : ev.changes)
+          for (const auto& sc : c->stanza_changes) types.insert(sc.agnostic_type);
+        purity.push_back(types.size() == 1 ? 1.0 : 0.0);
+      }
+    }
+    struct Out {
+      double median_events, median_size, single_type_frac;
+    };
+    return Out{median(counts), median(sizes), mean(purity)};
+  };
+
+  const auto plain = summarize(false);
+  const auto typed = summarize(true);
+  TextTable t({"grouping", "median events/net-month", "median changes/event",
+               "single-type events"});
+  t.row().add("plain delta-window").add(plain.median_events, 1).add(plain.median_size, 1)
+      .add(format_double(plain.single_type_frac * 100, 1) + "%");
+  t.row().add("type-aware").add(typed.median_events, 1).add(typed.median_size, 1)
+      .add(format_double(typed.single_type_frac * 100, 1) + "%");
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 3: impact of the change-grouping threshold delta on the number
+// of change events — box stats of per-network per-month event counts
+// for delta in {NA, 1, 2, 5, 10, 15, 30} minutes.
+#include <iostream>
+#include <map>
+
+#include "common.hpp"
+#include "metrics/change_analysis.hpp"
+#include "stats/descriptive.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mpa;
+  bench::banner("Figure 3", "Change-event counts vs grouping window delta",
+                "event counts drop steeply from NA (no grouping) to delta=5 min, "
+                "then flatten — most related changes complete within ~5 minutes");
+
+  // Raw snapshots are required; use a moderate slice of the OSP.
+  bench::BenchConfig cfg = bench::config_from_env();
+  cfg.networks = std::min(cfg.networks, 200);
+  const OspDataset data = bench::generate_raw(cfg);
+  const auto changes = extract_changes(data.inventory, data.snapshots);
+
+  // Partition the change stream per (network, month).
+  std::map<std::pair<std::string, int>, std::vector<const ChangeRecord*>> buckets;
+  for (const auto& c : changes) buckets[{c.network_id, month_of(c.time)}].push_back(&c);
+
+  TextTable t({"delta (min)", "p25 events", "median", "p75", "lo whisker", "hi whisker"});
+  for (Timestamp delta : {Timestamp{0}, Timestamp{1}, Timestamp{2}, Timestamp{5}, Timestamp{10},
+                          Timestamp{15}, Timestamp{30}}) {
+    std::vector<double> counts;
+    counts.reserve(buckets.size());
+    for (const auto& [key, recs] : buckets)
+      counts.push_back(static_cast<double>(group_events(recs, delta).size()));
+    if (counts.empty()) continue;
+    const BoxStats b = box_stats(counts);
+    t.row().add(delta == 0 ? std::string("NA") : std::to_string(delta));
+    t.add(b.q25, 1).add(b.q50, 1).add(b.q75, 1).add(b.lo_whisker, 1).add(b.hi_whisker, 1);
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 4: tickets vs individual management practices — a linear, a
+// monotonic, and a non-monotonic relationship (plus roles).
+//   (a) No. of L2 protocols   (b) No. of models
+//   (c) Frac. events w/ interface change   (d) No. of roles
+#include <iostream>
+
+#include "common.hpp"
+#include "stats/binning.hpp"
+#include "stats/descriptive.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void print_relationship(const mpa::CaseTable& table, mpa::Practice p, int bins) {
+  using namespace mpa;
+  const auto col = table.column(p);
+  const auto tickets = table.tickets();
+  const Binner binner = Binner::fit(col, bins);
+  std::vector<std::vector<double>> by_bin(static_cast<std::size_t>(binner.num_bins()));
+  for (std::size_t i = 0; i < col.size(); ++i)
+    by_bin[static_cast<std::size_t>(binner.bin(col[i]))].push_back(tickets[i]);
+
+  std::cout << "\n-- " << practice_name(p) << " --\n";
+  TextTable t({"bin (lower bound)", "cases", "p25 tickets", "median", "mean", "p75"});
+  for (int b = 0; b < binner.num_bins(); ++b) {
+    const auto& v = by_bin[static_cast<std::size_t>(b)];
+    if (v.empty()) continue;
+    const BoxStats s = box_stats(v);
+    t.row()
+        .add(format_double(binner.bin_lower(b), 2))
+        .add(v.size())
+        .add(s.q25, 2)
+        .add(s.q50, 2)
+        .add(s.mean, 2)
+        .add(s.q75, 2);
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace mpa;
+  bench::banner("Figure 4", "Tickets vs management practices (bin means)",
+                "L2 protocols ~linear; No. of models monotonic; frac. interface "
+                "change NON-monotonic (peak mid-range); roles increasing");
+  const CaseTable table = bench::load_case_table();
+  print_relationship(table, Practice::kNumL2Protocols, 6);
+  print_relationship(table, Practice::kNumModels, 6);
+  print_relationship(table, Practice::kFracEventsInterface, 6);
+  print_relationship(table, Practice::kNumRoles, 5);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 5: relationship between number of models and number of roles —
+// the canonical example of two practices that are related to network
+// health *and to each other* (confounding).
+#include <iostream>
+
+#include "common.hpp"
+#include "stats/descriptive.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mpa;
+  bench::banner("Figure 5", "No. of models vs no. of roles (confounding)",
+                "model count rises with role count; Pearson correlation clearly "
+                "positive — evaluating either practice must account for the other");
+  const CaseTable table = bench::load_case_table();
+  const auto roles = table.column(Practice::kNumRoles);
+  const auto models = table.column(Practice::kNumModels);
+
+  std::vector<std::vector<double>> by_roles(8);
+  for (std::size_t i = 0; i < roles.size(); ++i) {
+    const auto r = static_cast<std::size_t>(roles[i]);
+    if (r < by_roles.size()) by_roles[r].push_back(models[i]);
+  }
+  TextTable t({"# roles", "cases", "p25 models", "median", "mean", "p75"});
+  for (std::size_t r = 1; r < by_roles.size(); ++r) {
+    if (by_roles[r].empty()) continue;
+    const BoxStats s = box_stats(by_roles[r]);
+    t.row().add(r).add(by_roles[r].size()).add(s.q25, 2).add(s.q50, 2).add(s.mean, 2).add(s.q75, 2);
+  }
+  t.print(std::cout);
+  std::cout << "Pearson(roles, models) = " << format_double(pearson(roles, models), 3) << "\n";
+  return 0;
+}

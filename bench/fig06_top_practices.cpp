@@ -1,0 +1,46 @@
+// Figure 6: tickets vs the two practices with the strongest statistical
+// dependence — number of devices and number of change events.
+#include <iostream>
+
+#include "common.hpp"
+#include "stats/binning.hpp"
+#include "stats/descriptive.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void print_block(const mpa::CaseTable& table, mpa::Practice p) {
+  using namespace mpa;
+  const auto col = table.column(p);
+  const auto tickets = table.tickets();
+  const Binner binner = Binner::fit(col, 8);
+  std::vector<std::vector<double>> by_bin(static_cast<std::size_t>(binner.num_bins()));
+  for (std::size_t i = 0; i < col.size(); ++i)
+    by_bin[static_cast<std::size_t>(binner.bin(col[i]))].push_back(tickets[i]);
+  std::cout << "\n-- " << practice_name(p) << " --\n";
+  TextTable t({"bin lower", "cases", "median tickets", "mean tickets"});
+  for (int b = 0; b < binner.num_bins(); ++b) {
+    const auto& v = by_bin[static_cast<std::size_t>(b)];
+    if (v.empty()) continue;
+    t.row()
+        .add(format_double(binner.bin_lower(b), 1))
+        .add(v.size())
+        .add(median(v), 2)
+        .add(mean(v), 2);
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace mpa;
+  bench::banner("Figure 6", "Tickets vs the top-2 MI practices",
+                "strong monotone increase of tickets with both no. of devices "
+                "and no. of change events");
+  const CaseTable table = bench::load_case_table();
+  print_block(table, Practice::kNumDevices);
+  print_block(table, Practice::kNumChangeEvents);
+  return 0;
+}

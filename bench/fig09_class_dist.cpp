@@ -1,0 +1,47 @@
+// Figure 9: health class distribution for the 2-class and 5-class
+// labelings — the skew that motivates oversampling and boosting.
+#include <iostream>
+
+#include "common.hpp"
+#include "learn/dataset.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mpa;
+  bench::banner("Figure 9", "Health class distribution",
+                "2-class: ~65% healthy / 35% unhealthy; 5-class: ~73% excellent, "
+                "small middle classes (poor ~2.3%), modest very-poor tail");
+  const CaseTable table = bench::load_case_table();
+  const auto tickets = table.tickets();
+  const double n = static_cast<double>(tickets.size());
+
+  std::cout << "\n-- 2 classes --\n";
+  {
+    std::array<int, 2> counts{};
+    for (double v : tickets) counts[static_cast<std::size_t>(health_class_2(v))]++;
+    TextTable t({"class", "cases", "share"});
+    const auto names = health_class_names(2);
+    for (int c = 0; c < 2; ++c)
+      t.row().add(names[static_cast<std::size_t>(c)]).add(counts[static_cast<std::size_t>(c)])
+          .add(format_double(counts[static_cast<std::size_t>(c)] / n * 100, 1) + "%");
+    t.print(std::cout);
+  }
+
+  std::cout << "\n-- 5 classes --\n";
+  {
+    std::array<int, 5> counts{};
+    for (double v : tickets) counts[static_cast<std::size_t>(health_class_5(v))]++;
+    TextTable t({"class", "tickets", "cases", "share"});
+    const auto names = health_class_names(5);
+    const char* ranges[] = {"<=2", "3-5", "6-8", "9-11", ">=12"};
+    for (int c = 0; c < 5; ++c)
+      t.row()
+          .add(names[static_cast<std::size_t>(c)])
+          .add(ranges[c])
+          .add(counts[static_cast<std::size_t>(c)])
+          .add(format_double(counts[static_cast<std::size_t>(c)] / n * 100, 1) + "%");
+    t.print(std::cout);
+  }
+  return 0;
+}

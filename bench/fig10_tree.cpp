@@ -1,0 +1,50 @@
+// Figure 10: the learned decision trees (top levels) for the 5-class
+// and 2-class models. The root should be the highest-MI practice; the
+// second level shows that a practice's importance depends on others.
+#include <iostream>
+
+#include "common.hpp"
+#include <algorithm>
+
+#include "mpa/mpa.hpp"
+
+int main() {
+  using namespace mpa;
+  bench::banner("Figure 10", "Decision tree structure (top 3 levels)",
+                "root = highest-MI practice (no. of devices / change events); "
+                "second-level splits differ per branch — which practice matters "
+                "depends on the values of the others");
+  const CaseTable table = bench::load_case_table();
+
+  std::vector<std::string> feature_names;
+  for (Practice p : all_practices()) feature_names.emplace_back(practice_name(p));
+
+  // §6.2: the paths from root to leaves are the operator-facing
+  // artifact — print the shortest rules that land in the worst class.
+  auto print_rules = [&](const DecisionTree& tree, int classes) {
+    const auto class_names = health_class_names(classes);
+    const int worst = classes - 1;
+    const auto rules = tree.paths_to(worst);
+    std::cout << "shortest paths to '" << class_names[static_cast<std::size_t>(worst)]
+              << "' (" << rules.size() << " total):\n";
+    for (std::size_t i = 0; i < std::min<std::size_t>(rules.size(), 5); ++i)
+      std::cout << "  " << DecisionTree::format_rule(rules[i], feature_names, class_names)
+                << "\n";
+  };
+
+  for (int classes : {5, 2}) {
+    std::cout << "\n-- " << classes << "-class tree --\n";
+    const DecisionTree tree = fit_final_tree(table, classes);
+    const auto class_names = health_class_names(classes);
+    std::cout << tree.describe(feature_names, class_names, 3);
+    std::cout << "(nodes: " << tree.node_count() << ", leaves: " << tree.leaf_count()
+              << ", depth: " << tree.depth() << ")\n";
+    std::cout << "root practice: "
+              << (tree.root_feature() >= 0
+                      ? feature_names[static_cast<std::size_t>(tree.root_feature())]
+                      : "<leaf>")
+              << "\n";
+    print_rules(tree, classes);
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 11: characterization of design practices across the OSP's
+// networks — CDF quantiles of heterogeneity entropy, protocol counts,
+// VLAN counts, referential complexity, and routing-instance counts.
+#include <iostream>
+
+#include "common.hpp"
+#include "stats/descriptive.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+// Per-network values: take month 0 (design practices barely move).
+std::vector<double> network_column(const mpa::CaseTable& table, mpa::Practice p) {
+  return table.month(0).column(p);
+}
+
+void cdf_row(mpa::TextTable& t, const std::string& label, const std::vector<double>& v) {
+  t.row().add(label);
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) t.add(mpa::percentile(v, p), 2);
+}
+
+}  // namespace
+
+int main() {
+  using namespace mpa;
+  bench::banner("Figure 11", "Design-practice characterization (CDF quantiles)",
+                "(a) median entropy < 0.3, ~10% of networks > 0.67; (b) protocol "
+                "counts spread 1..8; (c) VLANs long-tailed (some >100); (d) "
+                "complexity spans 1-2 orders of magnitude; (e) BGP common with a "
+                "heavy instance-count tail, OSPF rarer with 1-2 instances");
+  const CaseTable table = bench::load_case_table();
+
+  TextTable t({"metric (per network)", "p10", "p25", "median", "p75", "p90", "p99"});
+  cdf_row(t, "hardware entropy", network_column(table, Practice::kHardwareEntropy));
+  cdf_row(t, "firmware entropy", network_column(table, Practice::kFirmwareEntropy));
+  cdf_row(t, "# L2 protocols", network_column(table, Practice::kNumL2Protocols));
+  cdf_row(t, "# L3 protocols", network_column(table, Practice::kNumL3Protocols));
+  cdf_row(t, "# protocols (both)", network_column(table, Practice::kNumProtocols));
+  cdf_row(t, "# VLANs", network_column(table, Practice::kNumVlans));
+  cdf_row(t, "intra-device complexity", network_column(table, Practice::kIntraDeviceComplexity));
+  cdf_row(t, "inter-device complexity", network_column(table, Practice::kInterDeviceComplexity));
+  cdf_row(t, "# BGP instances", network_column(table, Practice::kNumBgpInstances));
+  cdf_row(t, "# OSPF instances", network_column(table, Practice::kNumOspfInstances));
+  t.print(std::cout);
+
+  // Headline fractions from Appendix A.1.
+  const auto hw = network_column(table, Practice::kHardwareEntropy);
+  int hetero = 0;
+  for (double v : hw)
+    if (v > 0.67) ++hetero;
+  std::cout << "networks with hardware entropy > 0.67: "
+            << format_double(hetero * 100.0 / static_cast<double>(hw.size()), 1)
+            << "% (paper: ~10%)\n";
+  const auto bgp = network_column(table, Practice::kNumBgpInstances);
+  int uses_bgp = 0;
+  for (double v : bgp)
+    if (v >= 1) ++uses_bgp;
+  std::cout << "networks using BGP: "
+            << format_double(uses_bgp * 100.0 / static_cast<double>(bgp.size()), 1)
+            << "% (paper: 86%)\n";
+  return 0;
+}

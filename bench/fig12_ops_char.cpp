@@ -1,0 +1,76 @@
+// Figure 12: characterization of operational practices — change volume
+// vs network size, fraction of devices changed, per-type change
+// fractions, automation extent, and change-event counts.
+#include <iostream>
+#include <map>
+
+#include "common.hpp"
+#include "stats/descriptive.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mpa;
+  bench::banner("Figure 12", "Operational-practice characterization",
+                "(a) changes/month correlates with size (Pearson ~0.64); (b) most "
+                "months touch <50% of devices; (c) interface changes dominate; "
+                "(d) automation spans ~10-70%, >=50% automated in ~40% of "
+                "networks; (e) events O(10) for most networks, heavy tail");
+  const CaseTable table = bench::load_case_table();
+
+  // (a) avg changes/month vs device count, per network.
+  std::map<std::string, std::pair<double, double>> per_net;  // id -> (devices, sum changes)
+  std::map<std::string, int> months_of;
+  for (const auto& c : table.cases()) {
+    per_net[c.network_id].first = c[Practice::kNumDevices];
+    per_net[c.network_id].second += c[Practice::kNumConfigChanges];
+    months_of[c.network_id]++;
+  }
+  std::vector<double> sizes, changes_pm;
+  for (const auto& [id, v] : per_net) {
+    sizes.push_back(v.first);
+    changes_pm.push_back(v.second / months_of[id]);
+  }
+  std::cout << "\n(a) Pearson(avg changes/month, #devices) = "
+            << format_double(pearson(changes_pm, sizes), 3) << " (paper: 0.64)\n";
+
+  // (b) fraction of devices changed per month (network average).
+  const auto frac_changed = table.column(Practice::kFracDevicesChanged);
+  std::cout << "(b) frac. devices changed per month: median "
+            << format_double(median(frac_changed), 2) << ", p90 "
+            << format_double(percentile(frac_changed, 90), 2) << "\n";
+
+  // (c) per-type change-event fractions.
+  std::cout << "\n(c) fraction of events touching each type (network-month quantiles):\n";
+  TextTable t({"type", "p25", "median", "p75", "p95"});
+  for (const auto& [label, p] :
+       std::vector<std::pair<std::string, Practice>>{{"interface", Practice::kFracEventsInterface},
+                                                     {"pool", Practice::kFracEventsPool},
+                                                     {"acl", Practice::kFracEventsAcl},
+                                                     {"router", Practice::kFracEventsRouter},
+                                                     {"vlan", Practice::kFracEventsVlan}}) {
+    const auto col = table.column(p);
+    t.row().add(label).add(percentile(col, 25), 2).add(median(col), 2).add(percentile(col, 75), 2)
+        .add(percentile(col, 95), 2);
+  }
+  t.print(std::cout);
+
+  // (d) automation extent.
+  const auto autom = table.column(Practice::kFracChangesAutomated);
+  int over_half = 0;
+  for (double v : autom)
+    if (v >= 0.5) ++over_half;
+  std::cout << "\n(d) frac. changes automated: p10 " << format_double(percentile(autom, 10), 2)
+            << ", median " << format_double(median(autom), 2) << ", p90 "
+            << format_double(percentile(autom, 90), 2) << "; months with >=50% automated: "
+            << format_double(over_half * 100.0 / static_cast<double>(autom.size()), 1)
+            << "% (paper: ~41% of networks)\n";
+
+  // (e) change events per month.
+  const auto events = table.column(Practice::kNumChangeEvents);
+  std::cout << "(e) change events/month: p10 " << format_double(percentile(events, 10), 1)
+            << ", median " << format_double(median(events), 1) << ", p90 "
+            << format_double(percentile(events, 90), 1)
+            << " (paper: 10th vs 90th percentile network = 3 vs 34)\n";
+  return 0;
+}

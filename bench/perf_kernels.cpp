@@ -1,0 +1,96 @@
+// Microbenchmarks of the library's computational kernels
+// (google-benchmark): config parse/render/diff, MI, logistic fit,
+// matching, and tree learning.
+#include <benchmark/benchmark.h>
+
+#include "config/dialect.hpp"
+#include "config/diff.hpp"
+#include "learn/decision_tree.hpp"
+#include "stats/info.hpp"
+#include "stats/matching.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mpa;
+
+DeviceConfig make_config(int stanzas) {
+  DeviceConfig c("dev");
+  for (int i = 0; i < stanzas; ++i) {
+    Stanza s;
+    s.type = i % 3 == 0 ? "interface" : (i % 3 == 1 ? "vlan" : "ip access-list");
+    s.name = "obj-" + std::to_string(i);
+    s.set("ip address", "10.0." + std::to_string(i % 250) + ".1/24");
+    s.set("description", "stanza " + std::to_string(i));
+    c.add(s);
+  }
+  return c;
+}
+
+void BM_RenderIos(benchmark::State& state) {
+  const DeviceConfig c = make_config(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(render(c, Dialect::kIosLike));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RenderIos)->Arg(16)->Arg(128);
+
+void BM_ParseIos(benchmark::State& state) {
+  const std::string text = render(make_config(static_cast<int>(state.range(0))), Dialect::kIosLike);
+  for (auto _ : state) benchmark::DoNotOptimize(parse(text, Dialect::kIosLike, "dev"));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParseIos)->Arg(16)->Arg(128);
+
+void BM_Diff(benchmark::State& state) {
+  const DeviceConfig a = make_config(static_cast<int>(state.range(0)));
+  DeviceConfig b = a;
+  b.find("interface", "obj-0")->replace("description", "changed");
+  for (auto _ : state) benchmark::DoNotOptimize(diff(a, b));
+}
+BENCHMARK(BM_Diff)->Arg(16)->Arg(128);
+
+void BM_MutualInformation(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<int> x, y;
+  for (int i = 0; i < state.range(0); ++i) {
+    x.push_back(static_cast<int>(rng.uniform_int(0, 9)));
+    y.push_back(static_cast<int>(rng.uniform_int(0, 9)));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(mutual_information(x, y));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MutualInformation)->Arg(1000)->Arg(10000);
+
+void BM_PropensityMatch(benchmark::State& state) {
+  Rng rng(2);
+  Matrix treated, untreated;
+  for (int i = 0; i < state.range(0); ++i) {
+    const double z = rng.uniform(0, 1);
+    std::vector<double> row{z, z * 2 + rng.normal(0, 0.3), rng.uniform(0, 1)};
+    (rng.bernoulli(0.2 + 0.6 * z) ? treated : untreated).push_back(std::move(row));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(propensity_match(treated, untreated));
+}
+BENCHMARK(BM_PropensityMatch)->Arg(500)->Arg(4000);
+
+void BM_DecisionTreeFit(benchmark::State& state) {
+  Rng rng(3);
+  Dataset d;
+  d.num_classes = 2;
+  d.feature_bins = 5;
+  for (int j = 0; j < 30; ++j) d.feature_names.push_back("f" + std::to_string(j));
+  for (int i = 0; i < state.range(0); ++i) {
+    std::vector<int> x;
+    for (int j = 0; j < 30; ++j) x.push_back(static_cast<int>(rng.uniform_int(0, 4)));
+    d.y.push_back(x[0] >= 3 || x[5] == 0 ? 1 : 0);
+    d.x.push_back(std::move(x));
+    d.w.push_back(1);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(DecisionTree::fit(d));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecisionTreeFit)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

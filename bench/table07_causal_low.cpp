@@ -1,0 +1,51 @@
+// Table 7: causal analysis results for the first and second bin for the
+// top-10 statistically dependent management practices.
+#include <iostream>
+
+#include "common.hpp"
+#include "mpa/mpa.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mpa;
+  bench::banner("Table 7", "Causal p-values at the 1:2 comparison, top-10 MI practices",
+                "~8 of 10 practices causal (p << 0.001) including change events, "
+                "devices, change types, VLANs, ACL-change fraction; intra-device "
+                "complexity NOT causal (dependence via confounders only)");
+  const CaseTable table = bench::load_case_table();
+  const DependenceAnalysis dep(table);
+
+  TextTable t({"treatment practice", "pairs", "+/0/-", "p-value (1:2)", "balanced",
+               "causal @0.001"});
+  // The paper's two designated non-causal rows plus the ranked top 10.
+  auto practices = dep.top_practices(10);
+  bool has_complexity = false, has_mbox = false;
+  for (const auto& pm : practices) {
+    if (pm.practice == Practice::kIntraDeviceComplexity) has_complexity = true;
+    if (pm.practice == Practice::kFracEventsMbox) has_mbox = true;
+  }
+  if (!has_complexity)
+    practices.push_back(PracticeMi{Practice::kIntraDeviceComplexity, 0});
+  if (!has_mbox) practices.push_back(PracticeMi{Practice::kFracEventsMbox, 0});
+
+  for (const auto& pm : practices) {
+    const CausalResult res = causal_analysis(table, pm.practice);
+    const ComparisonResult* low = res.low_bins();
+    t.row().add(std::string(practice_name(pm.practice)));
+    if (low == nullptr || low->untreated_bin != 0) {
+      t.add("-").add("-").add("no 1:2 comparison").add("-").add("-");
+      continue;
+    }
+    t.add(low->pairs)
+        .add(std::to_string(low->outcome.n_pos) + "/" + std::to_string(low->outcome.n_zero) +
+             "/" + std::to_string(low->outcome.n_neg))
+        .add(format_sci(low->outcome.p_value))
+        .add(low->balanced ? "yes" : "NO")
+        .add(low->causal ? "YES" : "no");
+  }
+  t.print(std::cout);
+  std::cout << "(practices beyond rank 10 appended: the paper's designated\n"
+               " non-causal contrast rows — intra-device complexity, mbox fraction)\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Causal study: does a management practice *cause* tickets, or merely
+// correlate? Walks the full matched-design QED for one treatment
+// practice with all diagnostics an analyst would want to see (§5.2).
+#include <iostream>
+
+#include "mpa/mpa.hpp"
+#include "simulation/osp_generator.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mpa;
+
+  OspOptions gen_opts;
+  gen_opts.num_networks = 300;
+  gen_opts.num_months = 17;
+  gen_opts.seed = 11;
+  std::cout << "generating a 300-network synthetic OSP (a real deployment would\n"
+               "load its inventory, snapshot archive, and ticket log instead)...\n";
+  const OspDataset data = generate_osp(gen_opts);
+  const CaseTable table = infer_case_table(data.inventory, data.snapshots, data.tickets);
+
+  const Practice treatment = Practice::kNumChangeTypes;
+  std::cout << "\ntreatment practice: " << practice_name(treatment) << "\n"
+            << "confounders: every other inferred practice (" << analysis_practices().size() - 1
+            << " metrics)\n";
+
+  const CausalResult res = causal_analysis(table, treatment);
+
+  TextTable t({"comparison", "untreated", "treated", "pairs", "worst |sdm|", "balanced",
+               "+/0/-", "p-value", "verdict"});
+  for (const auto& cmp : res.comparisons) {
+    std::string verdict = "no causal evidence";
+    if (!cmp.balanced) {
+      verdict = "imbalanced (unusable)";
+    } else if (cmp.causal) {
+      verdict = cmp.outcome.n_pos > cmp.outcome.n_neg ? "CAUSES more tickets"
+                                                      : "CAUSES fewer tickets";
+    }
+    t.row()
+        .add(cmp.label())
+        .add(cmp.untreated_cases)
+        .add(cmp.treated_cases)
+        .add(cmp.pairs)
+        .add(cmp.worst_abs_std_diff, 3)
+        .add(cmp.balanced ? "yes" : "no")
+        .add(std::to_string(cmp.outcome.n_pos) + "/" + std::to_string(cmp.outcome.n_zero) + "/" +
+             std::to_string(cmp.outcome.n_neg))
+        .add(format_sci(cmp.outcome.p_value))
+        .add(verdict);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading the table: each row compares neighbouring bins of the\n"
+               "treatment practice. 'pairs' are treated cases matched to untreated\n"
+               "cases with near-identical propensity scores; the sign test then asks\n"
+               "whether treated cases systematically file more tickets. Causality is\n"
+               "only claimed when the matching balanced all confounders AND the\n"
+               "p-value clears the 0.001 threshold — and even then, quasi-experiments\n"
+               "mean 'highly likely', never 'guaranteed' (§5.2.4).\n";
+  return 0;
+}

@@ -1,0 +1,196 @@
+#include "config/dialect.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace mpa {
+namespace {
+
+// Multi-word constructs must be listed longest-first so the parser
+// greedily matches "ip access-list" before a hypothetical "ip".
+constexpr std::array<std::string_view, 6> kIosMultiwordTypes = {
+    "ip access-list", "ip dhcp-relay", "router bgp", "router ospf", "qos policy",
+    "port-channel",  // single token but hyphenated; harmless to list
+};
+
+constexpr std::array<std::string_view, 5> kIosMultiwordKeys = {
+    "switchport access vlan", "switchport mode", "ip access-group", "ip address",
+    "spanning-tree vlan",
+};
+
+std::string_view match_prefix(std::string_view line,
+                              std::string_view candidate) {
+  // Returns candidate if `line` starts with it followed by end/space.
+  if (line.size() >= candidate.size() && line.substr(0, candidate.size()) == candidate &&
+      (line.size() == candidate.size() || line[candidate.size()] == ' ')) {
+    return candidate;
+  }
+  return {};
+}
+
+// Split one option line into (key, value) for the IOS-like dialect.
+Option parse_ios_option(std::string_view line) {
+  for (std::string_view key : kIosMultiwordKeys) {
+    if (!match_prefix(line, key).empty()) {
+      std::string_view rest = line.substr(key.size());
+      return Option{std::string(key), std::string(trim(rest))};
+    }
+  }
+  const std::size_t sp = line.find(' ');
+  if (sp == std::string_view::npos) return Option{std::string(line), ""};
+  return Option{std::string(line.substr(0, sp)), std::string(trim(line.substr(sp + 1)))};
+}
+
+// Split a stanza header into (type, name) for the IOS-like dialect.
+Stanza parse_ios_header(std::string_view line) {
+  Stanza s;
+  for (std::string_view t : kIosMultiwordTypes) {
+    if (!match_prefix(line, t).empty()) {
+      s.type = std::string(t);
+      s.name = std::string(trim(line.substr(t.size())));
+      return s;
+    }
+  }
+  const std::size_t sp = line.find(' ');
+  if (sp == std::string_view::npos) {
+    s.type = std::string(line);
+  } else {
+    s.type = std::string(line.substr(0, sp));
+    s.name = std::string(trim(line.substr(sp + 1)));
+  }
+  return s;
+}
+
+std::string render_ios(const DeviceConfig& c) {
+  std::ostringstream os;
+  os << "! device " << c.device_id() << "\n";
+  for (const auto& s : c.stanzas()) {
+    os << s.type;
+    if (!s.name.empty()) os << ' ' << s.name;
+    os << '\n';
+    for (const auto& o : s.options) {
+      os << "  " << o.key;
+      if (!o.value.empty()) os << ' ' << o.value;
+      os << '\n';
+    }
+    os << "!\n";
+  }
+  return os.str();
+}
+
+DeviceConfig parse_ios(std::string_view text, std::string device_id) {
+  DeviceConfig c(std::move(device_id));
+  Stanza cur;
+  bool in_stanza = false;
+  for (const auto& raw : split(text, '\n')) {
+    std::string_view line = trim(raw);
+    if (line.empty()) continue;
+    if (line[0] == '!') {
+      if (in_stanza) {
+        c.stanzas().push_back(std::move(cur));
+        cur = Stanza{};
+        in_stanza = false;
+      }
+      continue;  // comment or terminator
+    }
+    if (indent_of(raw) == 0) {
+      if (in_stanza) c.stanzas().push_back(std::move(cur));
+      cur = parse_ios_header(line);
+      in_stanza = true;
+    } else {
+      require_data(in_stanza, "IOS parse: option line outside a stanza: " + std::string(line));
+      cur.options.push_back(parse_ios_option(line));
+    }
+  }
+  if (in_stanza) c.stanzas().push_back(std::move(cur));
+  return c;
+}
+
+std::string render_junos(const DeviceConfig& c) {
+  std::ostringstream os;
+  os << "/* device " << c.device_id() << " */\n";
+  for (const auto& s : c.stanzas()) {
+    os << s.type;
+    if (!s.name.empty()) os << ' ' << s.name;
+    os << " {\n";
+    for (const auto& o : s.options) {
+      os << "    " << o.key;
+      if (!o.value.empty()) os << ' ' << o.value;
+      os << ";\n";
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+DeviceConfig parse_junos(std::string_view text, std::string device_id) {
+  DeviceConfig c(std::move(device_id));
+  Stanza cur;
+  bool in_stanza = false;
+  for (const auto& raw : split(text, '\n')) {
+    std::string_view line = trim(raw);
+    if (line.empty() || starts_with(line, "/*")) continue;
+    if (line == "}") {
+      require_data(in_stanza, "JunOS parse: unbalanced '}'");
+      c.stanzas().push_back(std::move(cur));
+      cur = Stanza{};
+      in_stanza = false;
+      continue;
+    }
+    if (line.back() == '{') {
+      require_data(!in_stanza, "JunOS parse: nested block in " + cur.type);
+      std::string_view header = trim(line.substr(0, line.size() - 1));
+      const std::size_t sp = header.find(' ');
+      cur = Stanza{};
+      if (sp == std::string_view::npos) {
+        cur.type = std::string(header);
+      } else {
+        cur.type = std::string(header.substr(0, sp));
+        cur.name = std::string(trim(header.substr(sp + 1)));
+      }
+      in_stanza = true;
+      continue;
+    }
+    require_data(in_stanza, "JunOS parse: statement outside block: " + std::string(line));
+    require_data(line.back() == ';', "JunOS parse: missing ';' on: " + std::string(line));
+    std::string_view stmt = trim(line.substr(0, line.size() - 1));
+    const std::size_t sp = stmt.find(' ');
+    if (sp == std::string_view::npos) {
+      cur.options.push_back(Option{std::string(stmt), ""});
+    } else {
+      cur.options.push_back(
+          Option{std::string(stmt.substr(0, sp)), std::string(trim(stmt.substr(sp + 1)))});
+    }
+  }
+  require_data(!in_stanza, "JunOS parse: unterminated block " + cur.type);
+  return c;
+}
+
+}  // namespace
+
+Dialect dialect_of(Vendor v) {
+  switch (v) {
+    case Vendor::kJunegrass:
+    case Vendor::kBrocatel:
+      return Dialect::kJunosLike;
+    case Vendor::kCirrus:
+    case Vendor::kAristos:
+    case Vendor::kEffen:
+    case Vendor::kPaloverde:
+      return Dialect::kIosLike;
+  }
+  return Dialect::kIosLike;
+}
+
+std::string render(const DeviceConfig& config, Dialect d) {
+  return d == Dialect::kIosLike ? render_ios(config) : render_junos(config);
+}
+
+DeviceConfig parse(std::string_view text, Dialect d, std::string device_id) {
+  return d == Dialect::kIosLike ? parse_ios(text, std::move(device_id))
+                                : parse_junos(text, std::move(device_id));
+}
+
+}  // namespace mpa

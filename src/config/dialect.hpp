@@ -1,0 +1,43 @@
+// Vendor config dialects: rendering a DeviceConfig to vendor-flavoured
+// text and parsing it back.
+//
+// The paper's pipeline extends Batfish to parse "the configuration
+// languages of various device vendors (e.g., Cisco IOS)". We model two
+// dialect families that cover the same inference problems:
+//
+//  * IOS-like   — flat stanzas, "!"-terminated, indented option lines,
+//                 multi-word native types ("ip access-list", "router bgp")
+//                 and a few multi-word option keys.
+//  * JunOS-like — braced blocks, ";"-terminated options, hyphenated
+//                 single-token types and keys.
+//
+// The two families deliberately typify the same logical change
+// differently (e.g. VLAN membership lives under `interface` on IOS-like
+// devices but under `vlans` on JunOS-like ones), reproducing the
+// vendor-typification limitation discussed in §2.2.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "config/stanza.hpp"
+#include "model/inventory.hpp"
+
+namespace mpa {
+
+enum class Dialect : std::uint8_t { kIosLike, kJunosLike };
+
+/// Which dialect a vendor's devices speak.
+Dialect dialect_of(Vendor v);
+
+/// Render a config to dialect text. Round-trips through parse() for
+/// configs whose option keys come from the dialect's known-key set
+/// (everything the simulator generates does).
+std::string render(const DeviceConfig& config, Dialect d);
+
+/// Parse dialect text into a DeviceConfig. Unknown stanza types and
+/// option keys are preserved verbatim (first token = key). Throws
+/// DataError on structurally malformed text (e.g. unbalanced braces).
+DeviceConfig parse(std::string_view text, Dialect d, std::string device_id);
+
+}  // namespace mpa

@@ -1,0 +1,41 @@
+// Stanza-level configuration diffing (§2.2, operational practices).
+//
+// "We infer operational practices by comparing two successive
+// configuration snapshots from the same device. If at least one stanza
+// differs, we count this as a configuration change. ... When part (or
+// all) of a stanza is added, removed, or updated, we say a change of
+// type T occurred, where T is the stanza type."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/stanza.hpp"
+
+namespace mpa {
+
+enum class ChangeKind : std::uint8_t { kAdded, kRemoved, kUpdated };
+
+std::string_view to_string(ChangeKind k);
+
+/// One stanza-level difference between two snapshots of a device.
+struct StanzaChange {
+  std::string native_type;    ///< Vendor-native stanza type.
+  std::string agnostic_type;  ///< normalize_type(native_type).
+  std::string name;           ///< Stanza name.
+  ChangeKind kind = ChangeKind::kUpdated;
+  /// Number of option lines added+removed+modified (0 for pure
+  /// adds/removes of empty stanzas; >=1 otherwise).
+  int options_touched = 0;
+};
+
+/// Compute the stanza-level diff between `before` and `after`.
+/// Matching is by (native type, name); option-level comparison treats
+/// options as an ordered multiset keyed by `key`.
+std::vector<StanzaChange> diff(const DeviceConfig& before, const DeviceConfig& after);
+
+/// True if the two configs differ in at least one stanza — i.e. this
+/// snapshot pair counts as "a configuration change" (O1).
+bool is_change(const DeviceConfig& before, const DeviceConfig& after);
+
+}  // namespace mpa

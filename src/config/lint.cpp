@@ -1,0 +1,142 @@
+#include "config/lint.hpp"
+
+#include <map>
+#include <set>
+
+#include "config/addr.hpp"
+#include "config/types.hpp"
+#include "util/strings.hpp"
+
+namespace mpa {
+namespace {
+
+std::set<std::string> names_of(const DeviceConfig& dev, std::string_view agnostic) {
+  std::set<std::string> out;
+  for (const auto& s : dev.stanzas())
+    if (normalize_type(s.type) == agnostic) out.insert(s.name);
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(LintKind k) {
+  switch (k) {
+    case LintKind::kDanglingAclRef: return "dangling-acl-ref";
+    case LintKind::kDanglingVlanRef: return "dangling-vlan-ref";
+    case LintKind::kDanglingPoolRef: return "dangling-pool-ref";
+    case LintKind::kDanglingLagMember: return "dangling-lag-member";
+    case LintKind::kEmptyAcl: return "empty-acl";
+    case LintKind::kDuplicateAddress: return "duplicate-address";
+    case LintKind::kOneSidedBgpSession: return "one-sided-bgp-session";
+  }
+  return "unknown";
+}
+
+std::vector<LintIssue> lint_device(const DeviceConfig& config) {
+  std::vector<LintIssue> issues;
+  const auto acls = names_of(config, "acl");
+  const auto vlans = names_of(config, "vlan");
+  const auto ifaces = names_of(config, "interface");
+  const auto pools = names_of(config, "pool");
+
+  auto report = [&](LintKind kind, std::string detail) {
+    issues.push_back(LintIssue{kind, config.device_id(), std::move(detail)});
+  };
+
+  for (const auto& s : config.stanzas()) {
+    const std::string agnostic = normalize_type(s.type);
+    if (agnostic == "interface") {
+      for (const auto& o : s.options) {
+        if (o.key == "ip access-group" || o.key == "filter") {
+          const auto tokens = split_ws(o.value);
+          if (!tokens.empty() && !acls.count(tokens[0]))
+            report(LintKind::kDanglingAclRef, s.name + " -> acl '" + tokens[0] + "'");
+        }
+        if (o.key == "switchport access vlan" && !vlans.count(o.value))
+          report(LintKind::kDanglingVlanRef, s.name + " -> vlan '" + o.value + "'");
+      }
+    } else if (agnostic == "vlan") {
+      for (const auto& name : s.get_all("interface"))
+        if (!ifaces.count(name))
+          report(LintKind::kDanglingVlanRef, "vlan " + s.name + " -> interface '" + name + "'");
+    } else if (agnostic == "virtual-server") {
+      for (const auto& name : s.get_all("pool"))
+        if (!pools.count(name))
+          report(LintKind::kDanglingPoolRef, s.name + " -> pool '" + name + "'");
+    } else if (agnostic == "link-aggregation") {
+      for (const auto& name : s.get_all("member"))
+        if (!ifaces.count(name))
+          report(LintKind::kDanglingLagMember, s.name + " -> interface '" + name + "'");
+    } else if (agnostic == "acl") {
+      bool has_term = false;
+      for (const auto& o : s.options)
+        if (o.key == "permit" || o.key == "deny") has_term = true;
+      if (!has_term) report(LintKind::kEmptyAcl, "acl '" + s.name + "' has no terms");
+    }
+  }
+  return issues;
+}
+
+std::vector<LintIssue> lint_network(const std::vector<DeviceConfig>& network) {
+  std::vector<LintIssue> issues;
+  for (const auto& dev : network) {
+    auto local = lint_device(dev);
+    issues.insert(issues.end(), local.begin(), local.end());
+  }
+
+  // Duplicate addresses across the network.
+  std::map<std::uint32_t, std::string> owners;  // ip -> "device/iface"
+  std::set<std::uint32_t> all_addrs;
+  for (const auto& dev : network) {
+    for (const auto& s : dev.stanzas()) {
+      if (normalize_type(s.type) != "interface") continue;
+      for (const auto& o : s.options) {
+        if (o.key != "ip address" && o.key != "ip-address") continue;
+        const auto p = parse_prefix(o.value);
+        if (!p) continue;
+        all_addrs.insert(p->addr);
+        const std::string here = dev.device_id() + "/" + s.name;
+        const auto [it, inserted] = owners.emplace(p->addr, here);
+        if (!inserted) {
+          issues.push_back(LintIssue{LintKind::kDuplicateAddress, dev.device_id(),
+                                     format_ipv4(p->addr) + " also on " + it->second});
+        }
+      }
+    }
+  }
+
+  // One-sided BGP sessions: a neighbor statement pointing at an address
+  // that exists in the network but whose owner has no BGP process.
+  std::set<std::string> bgp_devices;
+  for (const auto& dev : network)
+    for (const auto& s : dev.stanzas())
+      if (constructs_of(s.type) == std::vector<std::string>{"bgp"}) bgp_devices.insert(dev.device_id());
+  std::map<std::uint32_t, std::string> addr_device;
+  for (const auto& dev : network)
+    for (const auto& s : dev.stanzas()) {
+      if (normalize_type(s.type) != "interface") continue;
+      for (const auto& o : s.options)
+        if (o.key == "ip address" || o.key == "ip-address")
+          if (const auto p = parse_prefix(o.value)) addr_device[p->addr] = dev.device_id();
+    }
+  for (const auto& dev : network) {
+    for (const auto& s : dev.stanzas()) {
+      if (constructs_of(s.type) != std::vector<std::string>{"bgp"}) continue;
+      for (const auto& v : s.get_all("neighbor")) {
+        const auto tokens = split_ws(v);
+        if (tokens.empty()) continue;
+        const auto ip = parse_ipv4(tokens[0]);
+        if (!ip) continue;
+        const auto it = addr_device.find(*ip);
+        if (it != addr_device.end() && !bgp_devices.count(it->second)) {
+          issues.push_back(LintIssue{LintKind::kOneSidedBgpSession, dev.device_id(),
+                                     "neighbor " + tokens[0] + " (" + it->second +
+                                         " runs no BGP process)"});
+        }
+      }
+    }
+  }
+  return issues;
+}
+
+}  // namespace mpa

@@ -1,0 +1,44 @@
+// Configuration consistency lint.
+//
+// The reference extractor (refs.hpp) counts references that *resolve*;
+// this module reports the ones that don't — dangling ACL attachments,
+// VLAN memberships without definitions, virtual servers naming missing
+// pools — plus cross-device problems (duplicate addresses, one-sided
+// BGP sessions). These are exactly the inconsistencies the paper's
+// motivation calls error-prone manual management likely to introduce,
+// and the kind of signal an organization would want next to MPA's
+// practice metrics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/stanza.hpp"
+
+namespace mpa {
+
+enum class LintKind : std::uint8_t {
+  kDanglingAclRef,       ///< Interface attaches an ACL that is not defined.
+  kDanglingVlanRef,      ///< VLAN membership without a vlan definition.
+  kDanglingPoolRef,      ///< Virtual server names a missing pool.
+  kDanglingLagMember,    ///< Port-channel member interface missing.
+  kEmptyAcl,             ///< ACL defined with no permit/deny terms.
+  kDuplicateAddress,     ///< Same IP configured on two interfaces.
+  kOneSidedBgpSession,   ///< Neighbor statement with no reciprocating peer.
+};
+
+std::string_view to_string(LintKind k);
+
+struct LintIssue {
+  LintKind kind{};
+  std::string device_id;
+  std::string detail;  ///< Human-readable specifics.
+};
+
+/// Intra-device checks on one configuration.
+std::vector<LintIssue> lint_device(const DeviceConfig& config);
+
+/// All intra-device checks plus cross-device checks over one network.
+std::vector<LintIssue> lint_network(const std::vector<DeviceConfig>& network);
+
+}  // namespace mpa

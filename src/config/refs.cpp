@@ -1,0 +1,141 @@
+#include "config/refs.hpp"
+
+#include <set>
+
+#include "config/addr.hpp"
+#include "config/types.hpp"
+#include "util/strings.hpp"
+
+namespace mpa {
+namespace {
+
+// All interface addresses configured on a device (both dialects).
+std::vector<Ipv4Prefix> interface_addresses(const DeviceConfig& dev) {
+  std::vector<Ipv4Prefix> out;
+  for (const auto& s : dev.stanzas()) {
+    if (normalize_type(s.type) != "interface") continue;
+    for (const auto& o : s.options) {
+      if (o.key == "ip address" || o.key == "ip-address") {
+        if (const auto p = parse_prefix(o.value)) out.push_back(*p);
+      }
+    }
+  }
+  return out;
+}
+
+// Names of a device's stanzas of one agnostic type.
+std::set<std::string> names_of(const DeviceConfig& dev, std::string_view agnostic) {
+  std::set<std::string> out;
+  for (const auto& s : dev.stanzas())
+    if (normalize_type(s.type) == agnostic) out.insert(s.name);
+  return out;
+}
+
+// The "network <prefix> [area N]" statements of a routing stanza.
+std::vector<Ipv4Prefix> network_statements(const Stanza& s) {
+  std::vector<Ipv4Prefix> out;
+  for (const auto& o : s.options) {
+    if (o.key != "network") continue;
+    const auto tokens = split_ws(o.value);
+    if (!tokens.empty()) {
+      if (const auto p = parse_prefix(tokens[0])) out.push_back(*p);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int count_intra_refs(const DeviceConfig& dev) {
+  const auto acls = names_of(dev, "acl");
+  const auto vlans = names_of(dev, "vlan");
+  const auto ifaces = names_of(dev, "interface");
+  const auto pools = names_of(dev, "pool");
+  const auto addrs = interface_addresses(dev);
+
+  int refs = 0;
+  for (const auto& s : dev.stanzas()) {
+    const std::string agnostic = normalize_type(s.type);
+    if (agnostic == "interface") {
+      for (const auto& o : s.options) {
+        // ACL attachment: IOS "ip access-group NAME", JunOS "filter NAME".
+        if (o.key == "ip access-group" || o.key == "filter") {
+          const auto tokens = split_ws(o.value);
+          if (!tokens.empty() && acls.count(tokens[0])) ++refs;
+        }
+        // VLAN membership on IOS-like devices.
+        if (o.key == "switchport access vlan" && vlans.count(o.value)) ++refs;
+      }
+    } else if (agnostic == "vlan") {
+      // VLAN membership on JunOS-like devices: "interface IFNAME".
+      for (const auto& name : s.get_all("interface"))
+        if (ifaces.count(name)) ++refs;
+    } else if (agnostic == "virtual-server") {
+      for (const auto& name : s.get_all("pool"))
+        if (pools.count(name)) ++refs;
+    } else if (agnostic == "link-aggregation") {
+      for (const auto& name : s.get_all("member"))
+        if (ifaces.count(name)) ++refs;
+    } else if (agnostic == "router") {
+      // A "network" statement covering a local interface subnet is an
+      // intra-device reference from the control plane to that interface.
+      for (const auto& p : network_statements(s))
+        for (const auto& a : addrs)
+          if (p.contains(a.addr)) ++refs;
+    }
+  }
+  return refs;
+}
+
+int count_inter_refs(const DeviceConfig& dev, const std::vector<DeviceConfig>& peers) {
+  // Gather peer-side facts once.
+  std::set<std::uint32_t> peer_addrs;
+  std::set<std::string> peer_vlans;
+  std::set<Ipv4Prefix> peer_subnets;
+  for (const auto& p : peers) {
+    if (p.device_id() == dev.device_id()) continue;
+    for (const auto& a : interface_addresses(p)) {
+      peer_addrs.insert(a.addr);
+      peer_subnets.insert(a.subnet());
+    }
+    for (const auto& v : names_of(p, "vlan")) peer_vlans.insert(v);
+  }
+
+  int refs = 0;
+  for (const auto& s : dev.stanzas()) {
+    const std::string agnostic = normalize_type(s.type);
+    if (agnostic == "router") {
+      // BGP neighbor statements naming a peer device's address.
+      for (const auto& v : s.get_all("neighbor")) {
+        const auto tokens = split_ws(v);
+        if (tokens.empty()) continue;
+        if (const auto ip = parse_ipv4(tokens[0]); ip && peer_addrs.count(*ip)) ++refs;
+      }
+      // OSPF/BGP network statements covering a subnet shared with a peer.
+      for (const auto& p : network_statements(s))
+        if (peer_subnets.count(p.subnet())) ++refs;
+    } else if (agnostic == "vlan") {
+      // A VLAN spanning devices: defined here and on at least one peer.
+      if (peer_vlans.count(s.name)) ++refs;
+    }
+  }
+  return refs;
+}
+
+RefCounts count_references(const DeviceConfig& dev, const std::vector<DeviceConfig>& network) {
+  return RefCounts{count_intra_refs(dev), count_inter_refs(dev, network)};
+}
+
+NetworkComplexity referential_complexity(const std::vector<DeviceConfig>& network) {
+  if (network.empty()) return {};
+  double intra = 0, inter = 0;
+  for (const auto& dev : network) {
+    const RefCounts rc = count_references(dev, network);
+    intra += rc.intra;
+    inter += rc.inter;
+  }
+  const double n = static_cast<double>(network.size());
+  return NetworkComplexity{intra / n, inter / n};
+}
+
+}  // namespace mpa

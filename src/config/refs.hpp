@@ -1,0 +1,50 @@
+// Configuration reference extraction (Table 1, D6).
+//
+// Following Benson et al.'s referential-complexity metrics, we count:
+//
+//  * intra-device references — options in one stanza that name another
+//    stanza on the same device (an interface attaching an ACL, an
+//    interface's VLAN membership, a virtual server naming a pool, a
+//    routing process covering an interface's subnet, ...);
+//  * inter-device references — options on one device that name entities
+//    defined on other devices of the same network (BGP neighbor
+//    addresses, VLANs spanning devices, OSPF networks shared with peers).
+//
+// "These metrics capture the configuration complexity imposed in
+// aggregate by all aspects of a network's design."
+#pragma once
+
+#include <vector>
+
+#include "config/stanza.hpp"
+
+namespace mpa {
+
+/// Reference counts for a single device (in the context of a network).
+struct RefCounts {
+  int intra = 0;
+  int inter = 0;
+};
+
+/// Count the intra-device references inside one device config.
+int count_intra_refs(const DeviceConfig& dev);
+
+/// Count references from `dev` to entities configured on the other
+/// devices of its network (`peers` excludes `dev` itself; including it
+/// is harmless — self is skipped by device id).
+int count_inter_refs(const DeviceConfig& dev, const std::vector<DeviceConfig>& peers);
+
+/// Per-device counts in network context.
+RefCounts count_references(const DeviceConfig& dev, const std::vector<DeviceConfig>& network);
+
+/// Mean intra/inter reference counts over a network's devices —
+/// the D6 metrics ("we enumerate the *average* number of inter- and
+/// intra-device configuration references in a network").
+struct NetworkComplexity {
+  double mean_intra = 0;
+  double mean_inter = 0;
+};
+
+NetworkComplexity referential_complexity(const std::vector<DeviceConfig>& network);
+
+}  // namespace mpa

@@ -1,0 +1,54 @@
+// Routing-instance extraction (Table 1, D5), after Benson et al.
+//
+// "We extract routing instances from device configurations, where each
+// instance is a collection of routing processes of the same type (e.g.,
+// OSPF processes) on different devices that are in the transitive
+// closure of the 'adjacent-to' relationship."
+//
+// Adjacency rules per protocol:
+//  * BGP  — process A is adjacent to process B if A names one of B's
+//           device interface addresses in a `neighbor` statement (or
+//           vice versa);
+//  * OSPF — adjacent if their `network` statements cover a common
+//           subnet;
+//  * MSTP — spanning-tree processes sharing a region name.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/stanza.hpp"
+
+namespace mpa {
+
+/// One routing process: a protocol stanza on one device.
+struct RoutingProcess {
+  std::string device_id;
+  std::string protocol;  ///< "bgp", "ospf", or "mstp".
+  std::string key;       ///< AS number / process id / region name.
+};
+
+/// One routing instance: the transitive closure of adjacent processes.
+struct RoutingInstance {
+  std::string protocol;
+  std::vector<std::string> member_devices;  ///< One entry per process.
+
+  std::size_t size() const { return member_devices.size(); }
+};
+
+/// Extract all routing processes configured in a network.
+std::vector<RoutingProcess> extract_processes(const std::vector<DeviceConfig>& network);
+
+/// Group processes into instances via union-find over adjacency.
+std::vector<RoutingInstance> extract_routing_instances(const std::vector<DeviceConfig>& network);
+
+/// Count and mean size of a protocol's instances (D5 metrics).
+struct InstanceStats {
+  int count = 0;
+  double mean_size = 0;
+};
+
+InstanceStats instance_stats(const std::vector<RoutingInstance>& instances,
+                             std::string_view protocol);
+
+}  // namespace mpa

@@ -1,0 +1,42 @@
+// Vendor-agnostic stanza-type normalization (§2.2).
+//
+// "Type names differ between vendors: e.g., an ACL is defined in Cisco
+// IOS using an ip access-list stanza, while a firewall filter stanza is
+// used in Juniper JunOS. We address this by manually identifying stanza
+// types on different vendors that serve the same purpose, and we
+// convert these to a vendor-agnostic type identifier."
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpa {
+
+/// Map a vendor-native stanza type to the vendor-agnostic identifier
+/// ("interface", "vlan", "acl", "router", "pool", "user", ...). Unknown
+/// types map to themselves, so new constructs degrade gracefully.
+std::string normalize_type(std::string_view native_type);
+
+/// True if the agnostic type is a middlebox-specific construct
+/// (load-balancer pools and virtual servers, firewall ACL terms live on
+/// firewalls too but are not middlebox-exclusive).
+bool is_middlebox_type(std::string_view agnostic_type);
+
+/// Data/control-plane construct classification used for the D4/D5
+/// protocol-count metrics. L2 constructs: vlan, spanning-tree,
+/// link-aggregation, udld, dhcp-relay. L3 constructs: bgp, ospf.
+enum class PlaneLayer : std::uint8_t { kL2, kL3, kNeither };
+
+/// Which plane layer a *protocol construct* belongs to, keyed by the
+/// construct identifier returned by constructs_in(). "bgp"/"ospf" are
+/// L3; "vlan"/"spanning-tree"/"link-aggregation"/"udld"/"dhcp-relay"
+/// are L2; everything else is kNeither.
+PlaneLayer layer_of(std::string_view construct);
+
+/// The protocol constructs instantiated by a stanza of the given native
+/// type (e.g. "router bgp" -> {"bgp"}, "vlan" -> {"vlan"}). Constructs
+/// are the unit of Figure 11(b)'s protocol counts.
+std::vector<std::string> constructs_of(std::string_view native_type);
+
+}  // namespace mpa

@@ -1,0 +1,220 @@
+#include "io/dataset_io.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace mpa {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  require_data(static_cast<bool>(in), "load_dataset: cannot open " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  require_data(static_cast<bool>(out), "save_dataset: cannot open " + path.string());
+  out << content;
+  require_data(static_cast<bool>(out), "save_dataset: write failed for " + path.string());
+}
+
+// CSV field escaping: our ids/names never contain commas, but symptom
+// strings could; forbid rather than quote (keeps the format trivial).
+void check_field(const std::string& s, const char* what) {
+  require_data(s.find(',') == std::string::npos && s.find('\n') == std::string::npos,
+               std::string("dataset field contains ',' or newline: ") + what + ": " + s);
+}
+
+std::int64_t parse_int(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(s, &pos);
+    require_data(pos == s.size(), std::string("trailing junk in ") + what + ": " + s);
+    return v;
+  } catch (const DataError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw DataError(std::string("bad integer for ") + what + ": " + s);
+  }
+}
+
+}  // namespace
+
+Vendor vendor_from_string(std::string_view s) {
+  for (int v = 0; v < kNumVendors; ++v)
+    if (to_string(static_cast<Vendor>(v)) == s) return static_cast<Vendor>(v);
+  throw DataError("unknown vendor: " + std::string(s));
+}
+
+Role role_from_string(std::string_view s) {
+  for (int r = 0; r < kNumRoles; ++r)
+    if (to_string(static_cast<Role>(r)) == s) return static_cast<Role>(r);
+  throw DataError("unknown role: " + std::string(s));
+}
+
+TicketOrigin origin_from_string(std::string_view s) {
+  for (auto o : {TicketOrigin::kMonitoringAlarm, TicketOrigin::kUserReport,
+                 TicketOrigin::kMaintenance}) {
+    if (to_string(o) == s) return o;
+  }
+  throw DataError("unknown ticket origin: " + std::string(s));
+}
+
+void save_dataset(const DiskDataset& data, const std::string& dir) {
+  fs::create_directories(dir);
+  const fs::path base(dir);
+
+  // networks.csv
+  {
+    std::ostringstream os;
+    os << "network_id,workloads\n";
+    for (const auto& net : data.inventory.networks()) {
+      check_field(net.network_id, "network_id");
+      std::vector<std::string> wl;
+      for (const auto& w : net.workloads) {
+        check_field(w.name, "workload");
+        wl.push_back(w.name);
+      }
+      os << net.network_id << ',' << join(wl, ";") << '\n';
+    }
+    write_file(base / "networks.csv", os.str());
+  }
+
+  // devices.csv
+  {
+    std::ostringstream os;
+    os << "device_id,network_id,vendor,model,role,firmware\n";
+    for (const auto& d : data.inventory.devices()) {
+      check_field(d.device_id, "device_id");
+      check_field(d.model, "model");
+      check_field(d.firmware, "firmware");
+      os << d.device_id << ',' << d.network_id << ',' << to_string(d.vendor) << ',' << d.model
+         << ',' << to_string(d.role) << ',' << d.firmware << '\n';
+    }
+    write_file(base / "devices.csv", os.str());
+  }
+
+  // tickets.csv
+  {
+    std::ostringstream os;
+    os << "ticket_id,network_id,created,resolved,origin,symptom,devices\n";
+    for (const auto& t : data.tickets.all()) {
+      check_field(t.ticket_id, "ticket_id");
+      check_field(t.symptom, "symptom");
+      os << t.ticket_id << ',' << t.network_id << ',' << t.created << ',' << t.resolved << ','
+         << to_string(t.origin) << ',' << t.symptom << ',' << join(t.devices, ";") << '\n';
+    }
+    write_file(base / "tickets.csv", os.str());
+  }
+
+  // snapshots.log — length-prefixed records so config text needs no
+  // escaping.
+  {
+    std::ostringstream os;
+    for (const auto& device_id : data.snapshots.devices()) {
+      for (const auto& snap : data.snapshots.for_device(device_id)) {
+        os << "@snapshot " << snap.device_id << ' ' << snap.time << ' ' << snap.login << ' '
+           << snap.text.size() << '\n'
+           << snap.text;
+      }
+    }
+    write_file(base / "snapshots.log", os.str());
+  }
+}
+
+DiskDataset load_dataset(const std::string& dir) {
+  const fs::path base(dir);
+  DiskDataset data;
+
+  // networks.csv
+  {
+    const auto lines = split(read_file(base / "networks.csv"), '\n');
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      if (trim(lines[i]).empty()) continue;
+      const auto cells = split(lines[i], ',');
+      require_data(cells.size() == 2, "networks.csv: bad row: " + lines[i]);
+      NetworkRecord net;
+      net.network_id = cells[0];
+      if (!cells[1].empty()) {
+        for (const auto& name : split(cells[1], ';')) {
+          Workload w;
+          w.name = name;
+          net.workloads.push_back(std::move(w));
+        }
+      }
+      data.inventory.add_network(std::move(net));
+    }
+  }
+
+  // devices.csv
+  {
+    const auto lines = split(read_file(base / "devices.csv"), '\n');
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      if (trim(lines[i]).empty()) continue;
+      const auto cells = split(lines[i], ',');
+      require_data(cells.size() == 6, "devices.csv: bad row: " + lines[i]);
+      DeviceRecord d;
+      d.device_id = cells[0];
+      d.network_id = cells[1];
+      d.vendor = vendor_from_string(cells[2]);
+      d.model = cells[3];
+      d.role = role_from_string(cells[4]);
+      d.firmware = cells[5];
+      data.inventory.add_device(std::move(d));
+    }
+  }
+
+  // tickets.csv
+  {
+    const auto lines = split(read_file(base / "tickets.csv"), '\n');
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      if (trim(lines[i]).empty()) continue;
+      const auto cells = split(lines[i], ',');
+      require_data(cells.size() == 7, "tickets.csv: bad row: " + lines[i]);
+      Ticket t;
+      t.ticket_id = cells[0];
+      t.network_id = cells[1];
+      t.created = parse_int(cells[2], "ticket created");
+      t.resolved = parse_int(cells[3], "ticket resolved");
+      t.origin = origin_from_string(cells[4]);
+      t.symptom = cells[5];
+      if (!cells[6].empty()) t.devices = split(cells[6], ';');
+      data.tickets.add(std::move(t));
+    }
+  }
+
+  // snapshots.log
+  {
+    const std::string log = read_file(base / "snapshots.log");
+    std::size_t pos = 0;
+    while (pos < log.size()) {
+      const std::size_t eol = log.find('\n', pos);
+      require_data(eol != std::string::npos, "snapshots.log: truncated header");
+      const std::string header = log.substr(pos, eol - pos);
+      const auto tokens = split_ws(header);
+      require_data(tokens.size() == 5 && tokens[0] == "@snapshot",
+                   "snapshots.log: bad header: " + header);
+      const auto length = static_cast<std::size_t>(parse_int(tokens[4], "snapshot length"));
+      require_data(eol + 1 + length <= log.size(), "snapshots.log: truncated body");
+      ConfigSnapshot snap;
+      snap.device_id = tokens[1];
+      snap.time = parse_int(tokens[2], "snapshot time");
+      snap.login = tokens[3];
+      snap.text = log.substr(eol + 1, length);
+      data.snapshots.add(std::move(snap));
+      pos = eol + 1 + length;
+    }
+  }
+  return data;
+}
+
+}  // namespace mpa

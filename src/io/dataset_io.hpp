@@ -1,0 +1,47 @@
+// On-disk dataset format, so organizations can run MPA on their own
+// data ("Our tool is publicly available, so organizations can analyze
+// their own management practices", §1).
+//
+// A dataset directory contains:
+//
+//   networks.csv    network_id,workloads            (workloads ';'-separated)
+//   devices.csv     device_id,network_id,vendor,model,role,firmware
+//   tickets.csv     ticket_id,network_id,created,resolved,origin,symptom,devices
+//   snapshots.log   one record per snapshot:
+//                     @snapshot <device_id> <time> <login> <byte-count>
+//                     <byte-count bytes of raw config text>
+//
+// Timestamps are minutes from the start of the observation window
+// (telemetry/time.hpp). Vendors/roles/origins use the to_string names.
+#pragma once
+
+#include <string>
+
+#include "model/inventory.hpp"
+#include "telemetry/snapshots.hpp"
+#include "telemetry/tickets.hpp"
+
+namespace mpa {
+
+/// A loaded (or to-be-saved) on-disk dataset.
+struct DiskDataset {
+  Inventory inventory;
+  SnapshotStore snapshots;
+  TicketLog tickets;
+};
+
+/// Write all three data sources into `dir` (created if absent).
+/// Throws DataError on I/O failure.
+void save_dataset(const DiskDataset& data, const std::string& dir);
+
+/// Load a dataset directory written by save_dataset (or assembled by
+/// hand / by an exporter from RANCID + an inventory system). Throws
+/// DataError on malformed content.
+DiskDataset load_dataset(const std::string& dir);
+
+/// Parse helpers exposed for tests.
+Vendor vendor_from_string(std::string_view s);
+Role role_from_string(std::string_view s);
+TicketOrigin origin_from_string(std::string_view s);
+
+}  // namespace mpa

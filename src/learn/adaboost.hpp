@@ -1,0 +1,46 @@
+// AdaBoost for the skewed health-prediction problem (§6.1).
+//
+// "Over many iterations (we use 15) AdaBoost increases (decreases) the
+// weight of examples that were classified incorrectly (correctly) by
+// the learner; the final learner (i.e., decision tree) is built from
+// the last iteration's weighted examples."
+//
+// Two variants are provided:
+//  * AdaBoostClassifier — the standard SAMME ensemble (weighted vote);
+//  * fit_reweighted_tree — the paper's variant: run the SAMME weight
+//    updates and keep only the single tree trained on the final
+//    weights (operators get one interpretable tree).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "learn/decision_tree.hpp"
+
+namespace mpa {
+
+struct BoostOptions {
+  int iterations = 15;
+  TreeOptions tree = {};
+};
+
+/// SAMME multi-class AdaBoost over decision-tree weak learners.
+class AdaBoostClassifier {
+ public:
+  static AdaBoostClassifier fit(const Dataset& data, const BoostOptions& opts = {});
+
+  int predict(std::span<const int> x) const;
+
+  std::size_t rounds() const { return trees_.size(); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+  std::vector<double> alphas_;
+  int num_classes_ = 2;
+};
+
+/// The paper's single-tree variant: SAMME reweighting for
+/// `opts.iterations` rounds, then one tree fitted on the final weights.
+DecisionTree fit_reweighted_tree(const Dataset& data, const BoostOptions& opts = {});
+
+}  // namespace mpa

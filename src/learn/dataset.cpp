@@ -1,0 +1,98 @@
+#include "learn/dataset.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mpa {
+
+int health_class_2(double tickets) { return tickets <= 1 ? 0 : 1; }
+
+int health_class_5(double tickets) {
+  if (tickets <= 2) return 0;   // excellent
+  if (tickets <= 5) return 1;   // good
+  if (tickets <= 8) return 2;   // moderate
+  if (tickets <= 11) return 3;  // poor
+  return 4;                     // very poor
+}
+
+std::vector<std::string> health_class_names(int num_classes) {
+  if (num_classes == 2) return {"healthy", "unhealthy"};
+  require(num_classes == 5, "health_class_names: num_classes must be 2 or 5");
+  return {"excellent", "good", "moderate", "poor", "very poor"};
+}
+
+double Dataset::total_weight() const {
+  double t = 0;
+  for (double wi : w) t += wi;
+  return t;
+}
+
+std::vector<double> Dataset::class_weights() const {
+  std::vector<double> out(static_cast<std::size_t>(num_classes), 0.0);
+  for (std::size_t i = 0; i < y.size(); ++i) out[static_cast<std::size_t>(y[i])] += w[i];
+  return out;
+}
+
+int Dataset::majority_class() const {
+  const auto cw = class_weights();
+  return static_cast<int>(std::max_element(cw.begin(), cw.end()) - cw.begin());
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out;
+  out.feature_names = feature_names;
+  out.num_classes = num_classes;
+  out.feature_bins = feature_bins;
+  out.x.reserve(indices.size());
+  out.y.reserve(indices.size());
+  out.w.reserve(indices.size());
+  for (std::size_t i : indices) {
+    require(i < x.size(), "Dataset::subset: index out of range");
+    out.x.push_back(x[i]);
+    out.y.push_back(y[i]);
+    out.w.push_back(w[i]);
+  }
+  return out;
+}
+
+FeatureSpace FeatureSpace::fit(const CaseTable& table) {
+  FeatureSpace space;
+  space.binners.reserve(kNumPractices);
+  for (Practice p : all_practices()) {
+    const auto col = table.column(p);
+    space.binners.push_back(Binner::fit(col, kFeatureBins));
+  }
+  return space;
+}
+
+std::vector<int> FeatureSpace::bin_case(const Case& c) const {
+  std::vector<int> out(kNumPractices);
+  for (int j = 0; j < kNumPractices; ++j)
+    out[static_cast<std::size_t>(j)] =
+        binners[static_cast<std::size_t>(j)].bin(c[static_cast<Practice>(j)]);
+  return out;
+}
+
+Dataset make_dataset(const CaseTable& table, int num_classes, const FeatureSpace* space) {
+  require(num_classes == 2 || num_classes == 5, "make_dataset: num_classes must be 2 or 5");
+  FeatureSpace local;
+  if (space == nullptr) {
+    local = FeatureSpace::fit(table);
+    space = &local;
+  }
+  Dataset d;
+  d.num_classes = num_classes;
+  d.feature_bins = kFeatureBins;
+  for (Practice p : all_practices()) d.feature_names.emplace_back(practice_name(p));
+  d.x.reserve(table.size());
+  d.y.reserve(table.size());
+  d.w.assign(table.size(), 1.0);
+  for (const auto& c : table.cases()) {
+    d.x.push_back(space->bin_case(c));
+    d.y.push_back(num_classes == 2 ? health_class_2(c.tickets) : health_class_5(c.tickets));
+  }
+  return d;
+}
+
+}  // namespace mpa

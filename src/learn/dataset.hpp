@@ -1,0 +1,69 @@
+// Learning datasets for the health-prediction models (§6.1).
+//
+// "Prior to learning, we bin data as described in Section 5.1.1.
+// However, we use only 5 bins for each management practice. For network
+// health, we use either 2 bins or 5 bins; two bins differentiate
+// coarsely between healthy (<=1 tickets) and unhealthy networks, while
+// five bins capture excellent, good, moderate, poor, and very poor
+// (<=2, 3-5, 6-8, 9-11, and >=12 tickets, respectively)."
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "metrics/case_table.hpp"
+#include "stats/binning.hpp"
+
+namespace mpa {
+
+/// Number of bins per practice feature in learned models.
+inline constexpr int kFeatureBins = 5;
+
+/// 2-class health label: 0 = healthy (<=1 ticket), 1 = unhealthy.
+int health_class_2(double tickets);
+/// 5-class health label: 0..4 = excellent..very poor.
+int health_class_5(double tickets);
+
+/// Display names for the label space ("healthy"/"unhealthy" or
+/// "excellent".."very poor").
+std::vector<std::string> health_class_names(int num_classes);
+
+/// A discretized learning dataset: binned features + class labels +
+/// per-sample weights.
+struct Dataset {
+  std::vector<std::vector<int>> x;  ///< n rows x d binned features.
+  std::vector<int> y;               ///< n labels in [0, num_classes).
+  std::vector<double> w;            ///< n weights (all 1.0 unless reweighted).
+  std::vector<std::string> feature_names;
+  int num_classes = 2;
+  int feature_bins = kFeatureBins;  ///< Bin count shared by all features.
+
+  std::size_t size() const { return x.size(); }
+  std::size_t num_features() const { return feature_names.size(); }
+  double total_weight() const;
+  /// Per-class summed weight.
+  std::vector<double> class_weights() const;
+  /// Majority class by weight.
+  int majority_class() const;
+  /// Subset by row indices.
+  Dataset subset(std::span<const std::size_t> indices) const;
+};
+
+/// Feature binners fitted on a case table (one per practice), so a
+/// model trained on months t-M..t-1 can discretize month t consistently.
+struct FeatureSpace {
+  std::vector<Binner> binners;  ///< One per practice, kFeatureBins bins.
+
+  static FeatureSpace fit(const CaseTable& table);
+  /// Discretize one case's practice vector.
+  std::vector<int> bin_case(const Case& c) const;
+};
+
+/// Build a dataset from a case table. `num_classes` must be 2 or 5.
+/// When `space` is provided it is used as-is (online prediction);
+/// otherwise a fresh FeatureSpace is fitted on `table`.
+Dataset make_dataset(const CaseTable& table, int num_classes,
+                     const FeatureSpace* space = nullptr);
+
+}  // namespace mpa

@@ -1,0 +1,261 @@
+#include "learn/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mpa {
+namespace {
+
+double entropy_from_weights(std::span<const double> class_w, double total) {
+  if (total <= 0) return 0;
+  double h = 0;
+  for (double w : class_w) {
+    if (w <= 0) continue;
+    const double p = w / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+DecisionTree DecisionTree::fit(const Dataset& data, const TreeOptions& opts) {
+  require(!data.x.empty(), "DecisionTree::fit: empty dataset");
+  require(data.x.size() == data.y.size() && data.x.size() == data.w.size(),
+          "DecisionTree::fit: inconsistent dataset");
+  DecisionTree tree;
+  std::vector<std::size_t> rows(data.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  std::vector<bool> used(data.num_features(), false);
+  tree.root_ = tree.build(data, rows, used, data.total_weight(), opts, 0);
+  return tree;
+}
+
+int DecisionTree::build(const Dataset& data, std::vector<std::size_t>& rows,
+                        std::vector<bool>& used, double total_weight, const TreeOptions& opts,
+                        int depth) {
+  // Class distribution at this node.
+  std::vector<double> class_w(static_cast<std::size_t>(data.num_classes), 0.0);
+  double node_weight = 0;
+  for (std::size_t i : rows) {
+    class_w[static_cast<std::size_t>(data.y[i])] += data.w[i];
+    node_weight += data.w[i];
+  }
+  const int majority =
+      static_cast<int>(std::max_element(class_w.begin(), class_w.end()) - class_w.begin());
+
+  Node node;
+  node.label = majority;
+
+  const bool pure = class_w[static_cast<std::size_t>(majority)] >= node_weight - 1e-12;
+  const bool too_small = node_weight < opts.min_weight_frac * total_weight;
+  const bool too_deep = opts.max_depth > 0 && depth >= opts.max_depth;
+  bool any_feature_left = false;
+  for (bool u : used)
+    if (!u) {
+      any_feature_left = true;
+      break;
+    }
+
+  if (!pure && !too_small && !too_deep && any_feature_left && rows.size() >= 2) {
+    // Pick the best split by (gain ratio | information gain).
+    const double parent_h = entropy_from_weights(class_w, node_weight);
+    int best_feature = -1;
+    double best_score = 1e-12;  // require strictly positive gain
+    const int bins = data.feature_bins;
+    std::vector<double> bin_w(static_cast<std::size_t>(bins));
+    std::vector<std::vector<double>> bin_class_w(
+        static_cast<std::size_t>(bins),
+        std::vector<double>(static_cast<std::size_t>(data.num_classes)));
+
+    for (std::size_t f = 0; f < data.num_features(); ++f) {
+      if (used[f]) continue;
+      for (auto& v : bin_w) v = 0;
+      for (auto& vec : bin_class_w) std::fill(vec.begin(), vec.end(), 0.0);
+      for (std::size_t i : rows) {
+        const auto b = static_cast<std::size_t>(data.x[i][f]);
+        bin_w[b] += data.w[i];
+        bin_class_w[b][static_cast<std::size_t>(data.y[i])] += data.w[i];
+      }
+      double cond_h = 0, split_info = 0;
+      int populated = 0;
+      for (int b = 0; b < bins; ++b) {
+        const double wb = bin_w[static_cast<std::size_t>(b)];
+        if (wb <= 0) continue;
+        ++populated;
+        const double p = wb / node_weight;
+        cond_h += p * entropy_from_weights(bin_class_w[static_cast<std::size_t>(b)], wb);
+        split_info -= p * std::log2(p);
+      }
+      if (populated < 2) continue;  // feature is constant here
+      const double gain = parent_h - cond_h;
+      const double score = opts.use_gain_ratio ? (split_info > 1e-9 ? gain / split_info : 0) : gain;
+      if (score > best_score) {
+        best_score = score;
+        best_feature = static_cast<int>(f);
+      }
+    }
+
+    if (best_feature >= 0) {
+      node.feature = best_feature;
+      const int node_index = static_cast<int>(nodes_.size());
+      nodes_.push_back(node);  // placeholder; children filled below
+
+      // Partition rows by bin value of the chosen feature.
+      std::vector<std::vector<std::size_t>> parts(static_cast<std::size_t>(data.feature_bins));
+      for (std::size_t i : rows)
+        parts[static_cast<std::size_t>(data.x[i][static_cast<std::size_t>(best_feature)])]
+            .push_back(i);
+
+      used[static_cast<std::size_t>(best_feature)] = true;
+      std::vector<int> children(static_cast<std::size_t>(data.feature_bins), -1);
+      for (int b = 0; b < data.feature_bins; ++b) {
+        auto& part = parts[static_cast<std::size_t>(b)];
+        if (part.empty()) {
+          // Empty branch: leaf with the parent's majority class.
+          Node leaf;
+          leaf.label = majority;
+          children[static_cast<std::size_t>(b)] = static_cast<int>(nodes_.size());
+          nodes_.push_back(leaf);
+        } else {
+          children[static_cast<std::size_t>(b)] =
+              build(data, part, used, total_weight, opts, depth + 1);
+        }
+      }
+      used[static_cast<std::size_t>(best_feature)] = false;
+      nodes_[static_cast<std::size_t>(node_index)].children = std::move(children);
+      return node_index;
+    }
+  }
+
+  // Leaf.
+  nodes_.push_back(node);
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int DecisionTree::predict(std::span<const int> x) const {
+  require(root_ >= 0, "DecisionTree::predict: tree not fitted");
+  const Node* n = &nodes_[static_cast<std::size_t>(root_)];
+  while (n->feature >= 0) {
+    const auto f = static_cast<std::size_t>(n->feature);
+    require(f < x.size(), "DecisionTree::predict: feature vector too short");
+    auto b = static_cast<std::size_t>(x[f]);
+    if (b >= n->children.size()) b = n->children.size() - 1;  // clamp stray bins
+    n = &nodes_[static_cast<std::size_t>(n->children[b])];
+  }
+  return n->label;
+}
+
+std::size_t DecisionTree::leaf_count() const {
+  std::size_t c = 0;
+  for (const auto& n : nodes_)
+    if (n.feature < 0) ++c;
+  return c;
+}
+
+int DecisionTree::depth() const {
+  if (root_ < 0) return 0;
+  // Iterative DFS carrying depth.
+  int max_depth = 0;
+  std::vector<std::pair<int, int>> stack{{root_, 0}};
+  while (!stack.empty()) {
+    const auto [idx, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const Node& n = nodes_[static_cast<std::size_t>(idx)];
+    for (int c : n.children) stack.emplace_back(c, d + 1);
+  }
+  return max_depth;
+}
+
+int DecisionTree::root_feature() const {
+  return root_ < 0 ? -1 : nodes_[static_cast<std::size_t>(root_)].feature;
+}
+
+std::vector<DecisionTree::Rule> DecisionTree::paths_to(int label) const {
+  std::vector<Rule> out;
+  if (root_ < 0) return out;
+  struct Frame {
+    int idx;
+    std::vector<std::pair<int, int>> conditions;
+  };
+  std::vector<Frame> stack{{root_, {}}};
+  while (!stack.empty()) {
+    Frame fr = std::move(stack.back());
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<std::size_t>(fr.idx)];
+    if (n.feature < 0) {
+      if (n.label == label) out.push_back(Rule{std::move(fr.conditions), n.label});
+      continue;
+    }
+    for (std::size_t b = 0; b < n.children.size(); ++b) {
+      Frame child{n.children[b], fr.conditions};
+      child.conditions.emplace_back(n.feature, static_cast<int>(b));
+      stack.push_back(std::move(child));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Rule& a, const Rule& b) {
+    return a.conditions.size() < b.conditions.size();
+  });
+  return out;
+}
+
+std::string DecisionTree::format_rule(const Rule& rule,
+                                      std::span<const std::string> feature_names,
+                                      std::span<const std::string> class_names) {
+  static const char* kBinNames[] = {"very low", "low", "medium", "high", "very high"};
+  std::string out;
+  for (std::size_t i = 0; i < rule.conditions.size(); ++i) {
+    if (i) out += " AND ";
+    const auto [feature, bin] = rule.conditions[i];
+    out += feature_names[static_cast<std::size_t>(feature)];
+    out += '=';
+    out += bin < 5 ? kBinNames[bin] : std::to_string(bin).c_str();
+  }
+  out += " -> ";
+  out += class_names[static_cast<std::size_t>(rule.label)];
+  return out;
+}
+
+std::string DecisionTree::describe(std::span<const std::string> feature_names,
+                                   std::span<const std::string> class_names,
+                                   int max_depth) const {
+  std::ostringstream os;
+  if (root_ < 0) return "<empty tree>\n";
+  // DFS with explicit stack of (node, depth, branch label).
+  struct Frame {
+    int idx;
+    int depth;
+    std::string branch;
+  };
+  std::vector<Frame> stack{{root_, 0, ""}};
+  while (!stack.empty()) {
+    const Frame fr = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<std::size_t>(fr.idx)];
+    os << std::string(static_cast<std::size_t>(fr.depth) * 2, ' ');
+    if (!fr.branch.empty()) os << "[" << fr.branch << "] ";
+    if (n.feature < 0) {
+      os << "-> " << class_names[static_cast<std::size_t>(n.label)] << '\n';
+      continue;
+    }
+    os << feature_names[static_cast<std::size_t>(n.feature)];
+    if (fr.depth + 1 > max_depth) {
+      os << " ...\n";
+      continue;
+    }
+    os << '\n';
+    static const char* kBinNames[] = {"very low", "low", "medium", "high", "very high"};
+    for (std::size_t b = n.children.size(); b-- > 0;) {
+      const std::string label =
+          n.children.size() == 5 ? kBinNames[b] : ("bin " + std::to_string(b));
+      stack.push_back(Frame{n.children[b], fr.depth + 1, label});
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mpa

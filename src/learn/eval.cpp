@@ -1,0 +1,95 @@
+#include "learn/eval.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace mpa {
+namespace {
+
+EvalResult from_confusion(std::vector<std::vector<int>> confusion) {
+  EvalResult r;
+  const std::size_t k = confusion.size();
+  r.precision.assign(k, 0.0);
+  r.recall.assign(k, 0.0);
+  long correct = 0, total = 0;
+  for (std::size_t a = 0; a < k; ++a)
+    for (std::size_t p = 0; p < k; ++p) {
+      total += confusion[a][p];
+      if (a == p) correct += confusion[a][p];
+    }
+  r.accuracy = total == 0 ? 0 : static_cast<double>(correct) / static_cast<double>(total);
+  for (std::size_t c = 0; c < k; ++c) {
+    long pred_c = 0, actual_c = 0;
+    for (std::size_t a = 0; a < k; ++a) pred_c += confusion[a][c];
+    for (std::size_t p = 0; p < k; ++p) actual_c += confusion[c][p];
+    if (pred_c > 0)
+      r.precision[c] = static_cast<double>(confusion[c][c]) / static_cast<double>(pred_c);
+    if (actual_c > 0)
+      r.recall[c] = static_cast<double>(confusion[c][c]) / static_cast<double>(actual_c);
+  }
+  r.confusion = std::move(confusion);
+  return r;
+}
+
+}  // namespace
+
+std::string EvalResult::to_string(std::span<const std::string> class_names) const {
+  std::ostringstream os;
+  os << "accuracy " << format_double(accuracy * 100, 1) << "%\n";
+  for (std::size_t c = 0; c < precision.size(); ++c) {
+    os << "  " << class_names[c] << ": precision " << format_double(precision[c], 2)
+       << ", recall " << format_double(recall[c], 2) << '\n';
+  }
+  return os.str();
+}
+
+EvalResult evaluate(const Dataset& test, const Predictor& model) {
+  require(!test.x.empty(), "evaluate: empty test set");
+  std::vector<std::vector<int>> confusion(
+      static_cast<std::size_t>(test.num_classes),
+      std::vector<int>(static_cast<std::size_t>(test.num_classes), 0));
+  for (std::size_t i = 0; i < test.size(); ++i)
+    confusion[static_cast<std::size_t>(test.y[i])]
+             [static_cast<std::size_t>(model(test.x[i]))]++;
+  return from_confusion(std::move(confusion));
+}
+
+EvalResult cross_validate(const Dataset& data, int k, const Trainer& trainer, Rng& rng,
+                          const std::function<Dataset(const Dataset&)>& transform_train) {
+  require(k >= 2, "cross_validate: need k >= 2");
+  require(data.size() >= static_cast<std::size_t>(k), "cross_validate: too few samples");
+
+  // Stratified fold assignment: shuffle within each class, deal
+  // round-robin so each fold mirrors the class skew.
+  std::vector<int> fold_of(data.size(), 0);
+  std::vector<std::vector<std::size_t>> by_class(static_cast<std::size_t>(data.num_classes));
+  for (std::size_t i = 0; i < data.size(); ++i)
+    by_class[static_cast<std::size_t>(data.y[i])].push_back(i);
+  int next = 0;
+  for (auto& rows : by_class) {
+    rng.shuffle(rows);
+    for (std::size_t i : rows) fold_of[i] = next++ % k;
+  }
+
+  std::vector<std::vector<int>> confusion(
+      static_cast<std::size_t>(data.num_classes),
+      std::vector<int>(static_cast<std::size_t>(data.num_classes), 0));
+  for (int f = 0; f < k; ++f) {
+    std::vector<std::size_t> train_idx, test_idx;
+    for (std::size_t i = 0; i < data.size(); ++i)
+      (fold_of[i] == f ? test_idx : train_idx).push_back(i);
+    if (test_idx.empty() || train_idx.empty()) continue;
+    Dataset train = data.subset(train_idx);
+    if (transform_train) train = transform_train(train);
+    const Dataset test = data.subset(test_idx);
+    const Predictor model = trainer(train);
+    for (std::size_t i = 0; i < test.size(); ++i)
+      confusion[static_cast<std::size_t>(test.y[i])]
+               [static_cast<std::size_t>(model(test.x[i]))]++;
+  }
+  return from_confusion(std::move(confusion));
+}
+
+}  // namespace mpa

@@ -1,0 +1,43 @@
+// Model evaluation: accuracy, per-class precision/recall, confusion
+// matrices, and stratified k-fold cross-validation (§6.1, "Model
+// Validation": 5-fold cross validation).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "learn/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace mpa {
+
+/// A fitted model as a prediction function over binned features.
+using Predictor = std::function<int(std::span<const int>)>;
+
+/// A training procedure: dataset -> predictor. Trainers that need
+/// randomness should capture their own forked Rng.
+using Trainer = std::function<Predictor(const Dataset&)>;
+
+struct EvalResult {
+  double accuracy = 0;
+  std::vector<double> precision;  ///< Per class; 0 when nothing predicted as c.
+  std::vector<double> recall;     ///< Per class; 0 when class absent.
+  std::vector<std::vector<int>> confusion;  ///< [actual][predicted].
+
+  std::string to_string(std::span<const std::string> class_names) const;
+};
+
+/// Evaluate a predictor on a labelled dataset.
+EvalResult evaluate(const Dataset& test, const Predictor& model);
+
+/// Stratified k-fold cross-validation: per-class shuffled round-robin
+/// fold assignment; trains k times and aggregates one pooled confusion
+/// matrix. `transform_train` (optional) is applied to each training
+/// fold only — this is where oversampling belongs, so duplicated
+/// minority samples never leak into a test fold.
+EvalResult cross_validate(const Dataset& data, int k, const Trainer& trainer, Rng& rng,
+                          const std::function<Dataset(const Dataset&)>& transform_train = {});
+
+}  // namespace mpa

@@ -1,0 +1,33 @@
+#include "learn/sampling.hpp"
+
+#include "util/error.hpp"
+
+namespace mpa {
+
+Dataset oversample(const Dataset& data, const std::map<int, int>& multiplicity) {
+  for (const auto& [cls, mult] : multiplicity)
+    require(mult >= 1, "oversample: multiplicity must be >= 1");
+  Dataset out;
+  out.feature_names = data.feature_names;
+  out.num_classes = data.num_classes;
+  out.feature_bins = data.feature_bins;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto it = multiplicity.find(data.y[i]);
+    const int copies = it == multiplicity.end() ? 1 : it->second;
+    for (int c = 0; c < copies; ++c) {
+      out.x.push_back(data.x[i]);
+      out.y.push_back(data.y[i]);
+      out.w.push_back(data.w[i]);
+    }
+  }
+  return out;
+}
+
+std::map<int, int> paper_oversampling_recipe(int num_classes) {
+  if (num_classes == 2) return {{1, 2}};  // unhealthy x2
+  require(num_classes == 5, "paper_oversampling_recipe: num_classes must be 2 or 5");
+  // good x3, moderate x3, poor x2.
+  return {{1, 3}, {2, 3}, {3, 2}};
+}
+
+}  // namespace mpa

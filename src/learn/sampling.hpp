@@ -1,0 +1,24 @@
+// Minority-class oversampling (§6.1).
+//
+// "Oversampling directly addresses skew as it repeats the minority
+// class examples during training. When building a 2-class model we
+// replicate samples from the unhealthy class twice, and when building a
+// 5-class model we replicate samples from the poor class twice and the
+// moderate and good classes thrice."
+#pragma once
+
+#include <map>
+
+#include "learn/dataset.hpp"
+
+namespace mpa {
+
+/// Replicate each class's samples so class c appears `multiplicity[c]`
+/// times in the output (1 = unchanged; classes absent from the map are
+/// unchanged). Multiplicities must be >= 1.
+Dataset oversample(const Dataset& data, const std::map<int, int>& multiplicity);
+
+/// The paper's replication recipe for 2- and 5-class models.
+std::map<int, int> paper_oversampling_recipe(int num_classes);
+
+}  // namespace mpa

@@ -1,0 +1,104 @@
+#include "metrics/design_metrics.hpp"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "config/refs.hpp"
+#include "config/routing.hpp"
+#include "config/types.hpp"
+#include "stats/info.hpp"
+
+namespace mpa {
+namespace {
+
+// Entropy over (key, role) cells, normalized by log2(N).
+template <typename KeyFn>
+double normalized_pair_entropy(const std::vector<const DeviceRecord*>& devices, KeyFn key_of) {
+  const std::size_t n = devices.size();
+  if (n <= 1) return 0;
+  std::map<std::pair<std::string, Role>, double> cells;
+  for (const auto* d : devices) cells[{key_of(*d), d->role}] += 1.0;
+  std::vector<double> counts;
+  counts.reserve(cells.size());
+  for (const auto& [cell, c] : cells) counts.push_back(c);
+  const double h = entropy_of_counts(counts);
+  return h / std::log2(static_cast<double>(n));
+}
+
+}  // namespace
+
+double hardware_entropy(const std::vector<const DeviceRecord*>& devices) {
+  return normalized_pair_entropy(devices, [](const DeviceRecord& d) { return d.model; });
+}
+
+double firmware_entropy(const std::vector<const DeviceRecord*>& devices) {
+  return normalized_pair_entropy(devices, [](const DeviceRecord& d) { return d.firmware; });
+}
+
+ProtocolUsage count_protocols(const std::vector<DeviceConfig>& configs) {
+  std::set<std::string> l2, l3;
+  for (const auto& cfg : configs) {
+    for (const auto& s : cfg.stanzas()) {
+      for (const auto& construct : constructs_of(s.type)) {
+        switch (layer_of(construct)) {
+          case PlaneLayer::kL2: l2.insert(construct); break;
+          case PlaneLayer::kL3: l3.insert(construct); break;
+          case PlaneLayer::kNeither: break;
+        }
+      }
+    }
+  }
+  return ProtocolUsage{static_cast<int>(l2.size()), static_cast<int>(l3.size())};
+}
+
+int count_vlans(const std::vector<DeviceConfig>& configs) {
+  std::set<std::string> vlans;
+  for (const auto& cfg : configs)
+    for (const auto& s : cfg.stanzas())
+      if (normalize_type(s.type) == "vlan") vlans.insert(s.name);
+  return static_cast<int>(vlans.size());
+}
+
+void compute_design_metrics(const NetworkRecord& net,
+                            const std::vector<const DeviceRecord*>& devices,
+                            const std::vector<DeviceConfig>& configs, Case& out) {
+  out[Practice::kNumWorkloads] = static_cast<double>(net.workloads.size());
+  out[Practice::kNumDevices] = static_cast<double>(devices.size());
+
+  std::set<Vendor> vendors;
+  std::set<std::string> models, firmwares;
+  std::set<Role> roles;
+  for (const auto* d : devices) {
+    vendors.insert(d->vendor);
+    models.insert(d->model);
+    firmwares.insert(d->firmware);
+    roles.insert(d->role);
+  }
+  out[Practice::kNumVendors] = static_cast<double>(vendors.size());
+  out[Practice::kNumModels] = static_cast<double>(models.size());
+  out[Practice::kNumRoles] = static_cast<double>(roles.size());
+  out[Practice::kNumFirmwareVersions] = static_cast<double>(firmwares.size());
+  out[Practice::kHardwareEntropy] = hardware_entropy(devices);
+  out[Practice::kFirmwareEntropy] = firmware_entropy(devices);
+
+  const ProtocolUsage protos = count_protocols(configs);
+  out[Practice::kNumL2Protocols] = protos.l2;
+  out[Practice::kNumL3Protocols] = protos.l3;
+  out[Practice::kNumProtocols] = protos.total();
+  out[Practice::kNumVlans] = count_vlans(configs);
+
+  const auto instances = extract_routing_instances(configs);
+  const InstanceStats bgp = instance_stats(instances, "bgp");
+  const InstanceStats ospf = instance_stats(instances, "ospf");
+  out[Practice::kNumBgpInstances] = bgp.count;
+  out[Practice::kNumOspfInstances] = ospf.count;
+  out[Practice::kAvgBgpInstanceSize] = bgp.mean_size;
+  out[Practice::kAvgOspfInstanceSize] = ospf.mean_size;
+
+  const NetworkComplexity cx = referential_complexity(configs);
+  out[Practice::kIntraDeviceComplexity] = cx.mean_intra;
+  out[Practice::kInterDeviceComplexity] = cx.mean_inter;
+}
+
+}  // namespace mpa

@@ -1,0 +1,100 @@
+#include "metrics/inference.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "config/dialect.hpp"
+#include "metrics/design_metrics.hpp"
+
+namespace mpa {
+namespace {
+
+/// Parsed snapshot timeline of one device.
+struct DeviceTimeline {
+  std::vector<Timestamp> times;
+  std::vector<DeviceConfig> configs;
+
+  /// Index of the last snapshot strictly before `t`, or -1.
+  int state_before(Timestamp t) const {
+    const auto it = std::lower_bound(times.begin(), times.end(), t);
+    return static_cast<int>(it - times.begin()) - 1;
+  }
+};
+
+}  // namespace
+
+CaseTable infer_case_table(const Inventory& inventory, const SnapshotStore& snapshots,
+                           const TicketLog& tickets, const InferenceOptions& opts) {
+  CaseTable table;
+
+  for (const auto& net : inventory.networks()) {
+    const auto devices = inventory.devices_in(net.network_id);
+
+    std::map<std::string, Role> device_roles;
+    for (const auto* d : devices) device_roles[d->device_id] = d->role;
+
+    // Parse every device's snapshot archive once; derive both the
+    // monthly config states and the change stream from it.
+    std::map<std::string, DeviceTimeline> timelines;
+    std::vector<ChangeRecord> changes;
+    for (const auto* d : devices) {
+      const auto& snaps = snapshots.for_device(d->device_id);
+      if (snaps.empty()) continue;
+      const Dialect dialect = dialect_of(d->vendor);
+      DeviceTimeline tl;
+      tl.times.reserve(snaps.size());
+      tl.configs.reserve(snaps.size());
+      for (const auto& s : snaps) {
+        tl.times.push_back(s.time);
+        tl.configs.push_back(parse(s.text, dialect, d->device_id));
+      }
+      for (std::size_t i = 1; i < tl.configs.size(); ++i) {
+        auto stanza_changes = diff(tl.configs[i - 1], tl.configs[i]);
+        if (stanza_changes.empty()) continue;
+        ChangeRecord cr;
+        cr.device_id = d->device_id;
+        cr.network_id = net.network_id;
+        cr.time = snaps[i].time;
+        cr.login = snaps[i].login;
+        cr.automated = opts.automation(snaps[i].login);
+        cr.stanza_changes = std::move(stanza_changes);
+        changes.push_back(std::move(cr));
+      }
+      timelines.emplace(d->device_id, std::move(tl));
+    }
+    std::sort(changes.begin(), changes.end(), [](const ChangeRecord& a, const ChangeRecord& b) {
+      return a.time != b.time ? a.time < b.time : a.device_id < b.device_id;
+    });
+
+    for (int m = 0; m < opts.num_months; ++m) {
+      const Timestamp m_start = month_start(m);
+      const Timestamp m_end = month_start(m + 1);
+
+      Case row;
+      row.network_id = net.network_id;
+      row.month = m;
+
+      // Design metrics from the configuration state at month end.
+      std::vector<DeviceConfig> state;
+      state.reserve(timelines.size());
+      for (const auto& [dev_id, tl] : timelines) {
+        const int idx = tl.state_before(m_end);
+        if (idx >= 0) state.push_back(tl.configs[static_cast<std::size_t>(idx)]);
+      }
+      compute_design_metrics(net, devices, state, row);
+
+      // Operational metrics from this month's changes.
+      std::vector<const ChangeRecord*> month_changes;
+      for (const auto& c : changes)
+        if (c.time >= m_start && c.time < m_end) month_changes.push_back(&c);
+      const auto events = group_events(month_changes, opts.event_window);
+      compute_operational_metrics(month_changes, events, devices.size(), device_roles, row);
+
+      row.tickets = tickets.count_health_tickets(net.network_id, m);
+      table.add(std::move(row));
+    }
+  }
+  return table;
+}
+
+}  // namespace mpa

@@ -1,0 +1,34 @@
+// End-to-end practice inference: raw data sources -> case table (§2).
+//
+// This is the entry point an organization points at its own inventory,
+// snapshot archive and ticket log. Design metrics are computed from the
+// configuration state at the end of each month; operational metrics
+// from the changes within the month; health from that month's
+// non-maintenance ticket count.
+#pragma once
+
+#include "metrics/case_table.hpp"
+#include "metrics/change_analysis.hpp"
+#include "model/inventory.hpp"
+#include "telemetry/snapshots.hpp"
+#include "telemetry/tickets.hpp"
+
+namespace mpa {
+
+struct InferenceOptions {
+  /// Change-event grouping window delta, in minutes (paper: 5; <= 0
+  /// disables grouping).
+  Timestamp event_window = 5;
+  /// Number of observation months (paper: 17).
+  int num_months = 17;
+  /// Login classifier for change modality (O2).
+  AutomationClassifier automation = default_automation_classifier;
+};
+
+/// Build the (network, month) case table from the three data sources.
+/// Networks with no archived snapshots still produce rows (their
+/// config-derived metrics are zero — incomplete logging is expected).
+CaseTable infer_case_table(const Inventory& inventory, const SnapshotStore& snapshots,
+                           const TicketLog& tickets, const InferenceOptions& opts = {});
+
+}  // namespace mpa

@@ -1,0 +1,71 @@
+#include "model/inventory.hpp"
+
+#include <algorithm>
+
+namespace mpa {
+
+std::string_view to_string(Role r) {
+  switch (r) {
+    case Role::kRouter: return "router";
+    case Role::kSwitch: return "switch";
+    case Role::kFirewall: return "firewall";
+    case Role::kLoadBalancer: return "load-balancer";
+    case Role::kAdc: return "adc";
+  }
+  return "unknown";
+}
+
+bool is_middlebox(Role r) {
+  return r == Role::kFirewall || r == Role::kLoadBalancer || r == Role::kAdc;
+}
+
+std::string_view to_string(Vendor v) {
+  switch (v) {
+    case Vendor::kCirrus: return "cirrus";
+    case Vendor::kJunegrass: return "junegrass";
+    case Vendor::kAristos: return "aristos";
+    case Vendor::kEffen: return "effen";
+    case Vendor::kPaloverde: return "paloverde";
+    case Vendor::kBrocatel: return "brocatel";
+  }
+  return "unknown";
+}
+
+void Inventory::add_network(NetworkRecord net) {
+  require(find_network(net.network_id) == nullptr,
+          "Inventory::add_network: duplicate network id " + net.network_id);
+  networks_.push_back(std::move(net));
+}
+
+void Inventory::add_device(DeviceRecord dev) {
+  auto* net = const_cast<NetworkRecord*>(find_network(dev.network_id));
+  require(net != nullptr, "Inventory::add_device: unknown network " + dev.network_id);
+  require(find_device(dev.device_id) == nullptr,
+          "Inventory::add_device: duplicate device id " + dev.device_id);
+  if (std::find(net->device_ids.begin(), net->device_ids.end(), dev.device_id) ==
+      net->device_ids.end()) {
+    net->device_ids.push_back(dev.device_id);
+  }
+  devices_.push_back(std::move(dev));
+}
+
+std::vector<const DeviceRecord*> Inventory::devices_in(const std::string& network_id) const {
+  std::vector<const DeviceRecord*> out;
+  for (const auto& d : devices_)
+    if (d.network_id == network_id) out.push_back(&d);
+  return out;
+}
+
+const NetworkRecord* Inventory::find_network(const std::string& network_id) const {
+  for (const auto& n : networks_)
+    if (n.network_id == network_id) return &n;
+  return nullptr;
+}
+
+const DeviceRecord* Inventory::find_device(const std::string& device_id) const {
+  for (const auto& d : devices_)
+    if (d.device_id == device_id) return &d;
+  return nullptr;
+}
+
+}  // namespace mpa

@@ -1,0 +1,116 @@
+#include "mpa/causal.hpp"
+
+#include <cmath>
+#include <span>
+
+#include "stats/binning.hpp"
+#include "util/error.hpp"
+
+namespace mpa {
+
+std::string ComparisonResult::label() const {
+  return std::to_string(untreated_bin + 1) + ":" + std::to_string(untreated_bin + 2);
+}
+
+ComparisonData comparison_data(const CaseTable& table, Practice treatment, int untreated_bin,
+                               const CausalOptions& opts) {
+  require(!table.empty(), "comparison_data: empty case table");
+  const auto treat_col = table.column(treatment);
+  const Binner binner = Binner::fit(treat_col, opts.treatment_bins, opts.lo_pct, opts.hi_pct);
+  require(untreated_bin >= 0 && untreated_bin + 1 < binner.num_bins(),
+          "comparison_data: comparison point out of range");
+  const auto treat_bins = binner.bin_all(treat_col);
+
+  ComparisonData data;
+  // Confounders: every other analysis practice (§5.2.3: "we include all
+  // of the practice metrics we infer, minus the treatment practice, as
+  // confounding factors").
+  for (Practice p : analysis_practices())
+    if (p != treatment) data.confounders.push_back(p);
+
+  auto confounder_row = [&](std::size_t i) {
+    std::vector<double> row;
+    row.reserve(data.confounders.size());
+    for (Practice p : data.confounders) {
+      const double v = table[i][p];
+      row.push_back(opts.log_transform_confounders ? std::log1p(std::max(0.0, v)) : v);
+    }
+    return row;
+  };
+
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (treat_bins[i] == untreated_bin) {
+      data.untreated.push_back(confounder_row(i));
+      data.untreated_tickets.push_back(table[i].tickets);
+    } else if (treat_bins[i] == untreated_bin + 1) {
+      data.treated.push_back(confounder_row(i));
+      data.treated_tickets.push_back(table[i].tickets);
+    }
+  }
+  return data;
+}
+
+CausalResult causal_analysis(const CaseTable& table, Practice treatment,
+                             const CausalOptions& opts) {
+  return causal_analysis_outcome(table, treatment, table.tickets(), opts);
+}
+
+CausalResult causal_analysis_outcome(const CaseTable& table, Practice treatment,
+                                     std::span<const double> outcome,
+                                     const CausalOptions& opts) {
+  require(!table.empty(), "causal_analysis: empty case table");
+  require(outcome.size() == table.size(),
+          "causal_analysis_outcome: outcome length must match table size");
+  CausalResult result;
+  result.treatment = treatment;
+
+  const auto treat_col = table.column(treatment);
+  const Binner binner =
+      Binner::fit(treat_col, opts.treatment_bins, opts.lo_pct, opts.hi_pct);
+
+  const auto treat_col2 = table.column(treatment);
+  const auto treat_bins = binner.bin_all(treat_col2);
+
+  for (int b = 0; b + 1 < binner.num_bins(); ++b) {
+    ComparisonData data = comparison_data(table, treatment, b, opts);
+    if (data.untreated.empty() || data.treated.empty()) continue;
+    // Swap in the requested outcome (comparison_data fills tickets).
+    data.treated_tickets.clear();
+    data.untreated_tickets.clear();
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      if (treat_bins[i] == b) {
+        data.untreated_tickets.push_back(outcome[i]);
+      } else if (treat_bins[i] == b + 1) {
+        data.treated_tickets.push_back(outcome[i]);
+      }
+    }
+
+    ComparisonResult cmp;
+    cmp.untreated_bin = b;
+    cmp.untreated_cases = data.untreated.size();
+    cmp.treated_cases = data.treated.size();
+
+    const MatchResult match = propensity_match(data.treated, data.untreated, opts.match);
+    cmp.pairs = match.pairs.size();
+    cmp.untreated_matched = match.untreated_matched_distinct;
+    cmp.propensity_balance = match.propensity_balance;
+    cmp.worst_abs_std_diff = match.worst_abs_std_diff();
+    cmp.vr_pass_fraction = match.variance_ratio_pass_fraction();
+    cmp.balanced = !match.pairs.empty() && match.propensity_balance.ok() &&
+                   cmp.worst_abs_std_diff < opts.max_abs_std_diff &&
+                   cmp.vr_pass_fraction >= opts.min_vr_pass_frac;
+
+    std::vector<double> diffs;
+    diffs.reserve(match.pairs.size());
+    for (const auto& pr : match.pairs)
+      diffs.push_back(data.treated_tickets[pr.treated_index] -
+                      data.untreated_tickets[pr.untreated_index]);
+    cmp.outcome = sign_test(diffs);
+    cmp.causal = cmp.balanced && cmp.outcome.p_value < opts.p_threshold;
+
+    result.comparisons.push_back(std::move(cmp));
+  }
+  return result;
+}
+
+}  // namespace mpa

@@ -1,0 +1,130 @@
+#include "mpa/dependence.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "stats/descriptive.hpp"
+#include "stats/info.hpp"
+#include "util/error.hpp"
+
+namespace mpa {
+
+DependenceAnalysis::DependenceAnalysis(const CaseTable& table, const DependenceOptions& opts) {
+  require(!table.empty(), "DependenceAnalysis: empty case table");
+
+  // Fit binners on the full table (bounds are global; per-month MI uses
+  // the same discretization so months are comparable).
+  practice_binners_.reserve(kNumPractices);
+  for (Practice p : all_practices()) {
+    practice_binners_.push_back(Binner::fit(table.column(p), opts.bins, opts.lo_pct, opts.hi_pct));
+  }
+  health_binner_ = Binner::fit(table.tickets(), opts.bins, opts.lo_pct, opts.hi_pct);
+
+  // Discretize every case once, grouped by month.
+  std::map<int, std::vector<std::size_t>> rows_by_month;
+  for (std::size_t i = 0; i < table.size(); ++i) rows_by_month[table[i].month].push_back(i);
+
+  std::vector<std::vector<int>> binned(kNumPractices);
+  for (int j = 0; j < kNumPractices; ++j) {
+    const auto p = static_cast<Practice>(j);
+    binned[static_cast<std::size_t>(j)] =
+        practice_binners_[static_cast<std::size_t>(j)].bin_all(table.column(p));
+  }
+  std::vector<int> health = health_binner_.bin_all(table.tickets());
+
+  auto month_slice = [&](const std::vector<int>& col, const std::vector<std::size_t>& rows) {
+    std::vector<int> out;
+    out.reserve(rows.size());
+    for (std::size_t i : rows) out.push_back(col[i]);
+    return out;
+  };
+
+  // Average monthly MI per practice (analysis set only; the excluded
+  // identity metrics would just duplicate their parents).
+  const auto analysis_set = analysis_practices();
+  for (Practice p : analysis_set) {
+    const int j = static_cast<int>(p);
+    double total = 0;
+    int months = 0;
+    for (const auto& [m, rows] : rows_by_month) {
+      if (rows.size() < 2) continue;
+      const auto x = month_slice(binned[static_cast<std::size_t>(j)], rows);
+      const auto y = month_slice(health, rows);
+      total += mutual_information(x, y);
+      ++months;
+    }
+    mi_.push_back(PracticeMi{p, months == 0 ? 0 : total / months});
+  }
+  std::sort(mi_.begin(), mi_.end(),
+            [](const PracticeMi& a, const PracticeMi& b) {
+              return a.avg_monthly_mi > b.avg_monthly_mi;
+            });
+
+  // Average monthly CMI per practice pair, given health.
+  for (std::size_t ai = 0; ai < analysis_set.size(); ++ai) {
+    for (std::size_t bi = ai + 1; bi < analysis_set.size(); ++bi) {
+      const int a = static_cast<int>(analysis_set[ai]);
+      const int b = static_cast<int>(analysis_set[bi]);
+      double total = 0;
+      int months = 0;
+      for (const auto& [m, rows] : rows_by_month) {
+        if (rows.size() < 2) continue;
+        const auto xa = month_slice(binned[static_cast<std::size_t>(a)], rows);
+        const auto xb = month_slice(binned[static_cast<std::size_t>(b)], rows);
+        const auto y = month_slice(health, rows);
+        total += conditional_mutual_information(xa, xb, y);
+        ++months;
+      }
+      cmi_.push_back(PairCmi{analysis_set[ai], analysis_set[bi],
+                             months == 0 ? 0 : total / months});
+    }
+  }
+  std::sort(cmi_.begin(), cmi_.end(),
+            [](const PairCmi& a, const PairCmi& b) {
+              return a.avg_monthly_cmi > b.avg_monthly_cmi;
+            });
+}
+
+std::pair<double, double> DependenceAnalysis::mi_confidence_interval(
+    const CaseTable& table, Practice p, Rng& rng, int rounds, double lo_pct,
+    double hi_pct) const {
+  require(!table.empty(), "mi_confidence_interval: empty case table");
+  require(rounds >= 10, "mi_confidence_interval: need at least 10 rounds");
+  const auto col_bins = binner(p).bin_all(table.column(p));
+  const auto health_bins = health_binner().bin_all(table.tickets());
+  std::map<int, std::vector<std::size_t>> rows_by_month;
+  for (std::size_t i = 0; i < table.size(); ++i) rows_by_month[table[i].month].push_back(i);
+
+  std::vector<double> replicates;
+  replicates.reserve(static_cast<std::size_t>(rounds));
+  std::vector<int> x, y;
+  for (int r = 0; r < rounds; ++r) {
+    double total = 0;
+    int months = 0;
+    for (const auto& [m, rows] : rows_by_month) {
+      if (rows.size() < 2) continue;
+      x.clear();
+      y.clear();
+      for (std::size_t k2 = 0; k2 < rows.size(); ++k2) {
+        const std::size_t pick = rows[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(rows.size()) - 1))];
+        x.push_back(col_bins[pick]);
+        y.push_back(health_bins[pick]);
+      }
+      total += mutual_information(x, y);
+      ++months;
+    }
+    replicates.push_back(months == 0 ? 0 : total / months);
+  }
+  return {percentile(replicates, lo_pct), percentile(replicates, hi_pct)};
+}
+
+std::vector<PracticeMi> DependenceAnalysis::top_practices(std::size_t k) const {
+  return {mi_.begin(), mi_.begin() + static_cast<std::ptrdiff_t>(std::min(k, mi_.size()))};
+}
+
+std::vector<PairCmi> DependenceAnalysis::top_pairs(std::size_t k) const {
+  return {cmi_.begin(), cmi_.begin() + static_cast<std::ptrdiff_t>(std::min(k, cmi_.size()))};
+}
+
+}  // namespace mpa

@@ -1,0 +1,73 @@
+// Dependence analysis (§5.1): rank practices by average monthly mutual
+// information with network health (Table 3), and practice pairs by
+// conditional mutual information given health (Table 4).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "metrics/case_table.hpp"
+#include "stats/binning.hpp"
+#include "util/rng.hpp"
+
+namespace mpa {
+
+struct DependenceOptions {
+  int bins = 10;        ///< §5.1.1: 10 equal-width bins.
+  double lo_pct = 5.0;  ///< Clamped percentile bounds.
+  double hi_pct = 95.0;
+};
+
+/// MI of one practice with health.
+struct PracticeMi {
+  Practice practice{};
+  double avg_monthly_mi = 0;
+};
+
+/// CMI of a practice pair given health.
+struct PairCmi {
+  Practice a{};
+  Practice b{};
+  double avg_monthly_cmi = 0;
+};
+
+class DependenceAnalysis {
+ public:
+  /// Bins every column once (bounds fitted on the full table), then
+  /// computes per-month MI/CMI and averages across months.
+  DependenceAnalysis(const CaseTable& table, const DependenceOptions& opts = {});
+
+  /// All practices, sorted by MI with health, descending.
+  const std::vector<PracticeMi>& mi_ranking() const { return mi_; }
+
+  /// Top-k practices (Table 3).
+  std::vector<PracticeMi> top_practices(std::size_t k) const;
+
+  /// All practice pairs, sorted by CMI given health, descending.
+  const std::vector<PairCmi>& cmi_ranking() const { return cmi_; }
+
+  /// Top-k pairs (Table 4).
+  std::vector<PairCmi> top_pairs(std::size_t k) const;
+
+  /// Nonparametric bootstrap confidence interval for one practice's
+  /// avg monthly MI: months are kept fixed; cases are resampled with
+  /// replacement within each month. Returns the (lo_pct, hi_pct)
+  /// percentile interval over `rounds` replicates.
+  std::pair<double, double> mi_confidence_interval(const CaseTable& table, Practice p, Rng& rng,
+                                                   int rounds = 200, double lo_pct = 2.5,
+                                                   double hi_pct = 97.5) const;
+
+  /// The fitted binner for a practice (bench code reuses it for plots).
+  const Binner& binner(Practice p) const {
+    return practice_binners_[static_cast<std::size_t>(p)];
+  }
+  const Binner& health_binner() const { return health_binner_; }
+
+ private:
+  std::vector<Binner> practice_binners_;
+  Binner health_binner_{0, 0, 1};
+  std::vector<PracticeMi> mi_;
+  std::vector<PairCmi> cmi_;
+};
+
+}  // namespace mpa

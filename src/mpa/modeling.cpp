@@ -1,0 +1,131 @@
+#include "mpa/modeling.hpp"
+
+#include <memory>
+
+#include "learn/baselines.hpp"
+#include "learn/forest.hpp"
+#include "learn/sampling.hpp"
+#include "util/error.hpp"
+
+namespace mpa {
+
+std::string_view to_string(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kMajority: return "majority";
+    case ModelKind::kSvm: return "svm";
+    case ModelKind::kDecisionTree: return "DT";
+    case ModelKind::kDtBoost: return "DT+AB";
+    case ModelKind::kDtOversample: return "DT+OS";
+    case ModelKind::kDtBoostOversample: return "DT+AB+OS";
+    case ModelKind::kBoostEnsemble: return "AB-ensemble";
+    case ModelKind::kForestPlain: return "RF";
+    case ModelKind::kForestBalanced: return "RF-balanced";
+    case ModelKind::kForestWeighted: return "RF-weighted";
+  }
+  return "unknown";
+}
+
+bool uses_oversampling(ModelKind kind) {
+  return kind == ModelKind::kDtOversample || kind == ModelKind::kDtBoostOversample;
+}
+
+Trainer make_trainer(ModelKind kind, int num_classes, Rng& rng, const ModelingOptions& opts) {
+  switch (kind) {
+    case ModelKind::kMajority:
+      return [](const Dataset& train) -> Predictor {
+        const auto model = MajorityClassifier::fit(train);
+        return [model](std::span<const int> x) { return model.predict(x); };
+      };
+    case ModelKind::kSvm: {
+      auto fork = std::make_shared<Rng>(rng.fork());
+      return [fork](const Dataset& train) -> Predictor {
+        const auto model = LinearSvm::fit(train, *fork);
+        return [model](std::span<const int> x) { return model.predict(x); };
+      };
+    }
+    case ModelKind::kDecisionTree:
+    case ModelKind::kDtOversample: {
+      const TreeOptions tree_opts = opts.tree;
+      return [tree_opts](const Dataset& train) -> Predictor {
+        auto model = std::make_shared<DecisionTree>(DecisionTree::fit(train, tree_opts));
+        return [model](std::span<const int> x) { return model->predict(x); };
+      };
+    }
+    case ModelKind::kDtBoost:
+    case ModelKind::kDtBoostOversample:
+    case ModelKind::kBoostEnsemble: {
+      const BoostOptions boost_opts = opts.boost;
+      return [boost_opts](const Dataset& train) -> Predictor {
+        auto model = std::make_shared<AdaBoostClassifier>(
+            AdaBoostClassifier::fit(train, boost_opts));
+        return [model](std::span<const int> x) { return model->predict(x); };
+      };
+    }
+    case ModelKind::kForestPlain:
+    case ModelKind::kForestBalanced:
+    case ModelKind::kForestWeighted: {
+      ForestOptions fopts;
+      fopts.tree = opts.tree;
+      fopts.variant = kind == ModelKind::kForestBalanced  ? ForestVariant::kBalanced
+                      : kind == ModelKind::kForestWeighted ? ForestVariant::kWeighted
+                                                            : ForestVariant::kPlain;
+      auto fork = std::make_shared<Rng>(rng.fork());
+      return [fopts, fork](const Dataset& train) -> Predictor {
+        auto model = std::make_shared<RandomForest>(RandomForest::fit(train, *fork, fopts));
+        return [model](std::span<const int> x) { return model->predict(x); };
+      };
+    }
+  }
+  require(false, "make_trainer: unknown model kind");
+  (void)num_classes;
+  return {};
+}
+
+EvalResult evaluate_model_cv(const CaseTable& table, int num_classes, ModelKind kind, Rng& rng,
+                             const ModelingOptions& opts) {
+  const Dataset data = make_dataset(table, num_classes);
+  const Trainer trainer = make_trainer(kind, num_classes, rng, opts);
+  std::function<Dataset(const Dataset&)> transform;
+  if (uses_oversampling(kind)) {
+    const auto recipe = paper_oversampling_recipe(num_classes);
+    transform = [recipe](const Dataset& train) { return oversample(train, recipe); };
+  }
+  return cross_validate(data, opts.folds, trainer, rng, transform);
+}
+
+DecisionTree fit_final_tree(const CaseTable& table, int num_classes,
+                            const ModelingOptions& opts) {
+  Dataset data = make_dataset(table, num_classes);
+  data = oversample(data, paper_oversampling_recipe(num_classes));
+  (void)opts;
+  return DecisionTree::fit(data, opts.tree);
+}
+
+double online_prediction_accuracy(const CaseTable& table, int num_classes, int history_m,
+                                  ModelKind kind, Rng& rng, int first_t, int last_t,
+                                  const ModelingOptions& opts) {
+  require(history_m >= 1, "online_prediction_accuracy: need at least one history month");
+  double acc_sum = 0;
+  int months = 0;
+  for (int t = first_t; t <= last_t; ++t) {
+    const CaseTable train_cases = table.filter_months(t - history_m, t - 1);
+    const CaseTable test_cases = table.month(t);
+    if (train_cases.empty() || test_cases.empty()) continue;
+
+    // Feature space fitted on the training window only; month t is
+    // discretized with the *trained* bins (true online protocol).
+    const FeatureSpace space = FeatureSpace::fit(train_cases);
+    Dataset train = make_dataset(train_cases, num_classes, &space);
+    if (uses_oversampling(kind)) train = oversample(train, paper_oversampling_recipe(num_classes));
+    const Dataset test = make_dataset(test_cases, num_classes, &space);
+
+    const Trainer trainer = make_trainer(kind, num_classes, rng, opts);
+    const Predictor model = trainer(train);
+    const EvalResult ev = evaluate(test, model);
+    acc_sum += ev.accuracy;
+    ++months;
+  }
+  return months == 0 ? 0 : acc_sum / months;
+}
+
+}  // namespace mpa

@@ -1,0 +1,16 @@
+// Umbrella header for the Management Plane Analytics library.
+//
+// Typical flow:
+//   1. Load (or synthesize) the three data sources: Inventory,
+//      SnapshotStore, TicketLog.
+//   2. infer_case_table() -> CaseTable of (network, month) cases.
+//   3. DependenceAnalysis for MI/CMI rankings (Tables 3-4).
+//   4. causal_analysis() per top practice (Tables 5-8).
+//   5. evaluate_model_cv() / online_prediction_accuracy() for the
+//      predictive models (Figures 8-10, Table 9).
+#pragma once
+
+#include "metrics/inference.hpp"
+#include "mpa/causal.hpp"
+#include "mpa/dependence.hpp"
+#include "mpa/modeling.hpp"

@@ -1,0 +1,187 @@
+#include "simulation/network_design.hpp"
+
+#include <algorithm>
+#include <map>
+#include <cmath>
+
+namespace mpa {
+namespace {
+
+// Vendors plausible for each role (drives multi-vendor networks).
+std::vector<Vendor> vendor_pool(Role r) {
+  switch (r) {
+    case Role::kRouter: return {Vendor::kCirrus, Vendor::kJunegrass, Vendor::kAristos};
+    case Role::kSwitch: return {Vendor::kCirrus, Vendor::kAristos, Vendor::kBrocatel};
+    case Role::kFirewall: return {Vendor::kPaloverde, Vendor::kJunegrass};
+    case Role::kLoadBalancer: return {Vendor::kEffen};
+    case Role::kAdc: return {Vendor::kEffen, Vendor::kCirrus};
+  }
+  return {Vendor::kCirrus};
+}
+
+std::string role_short(Role r) {
+  switch (r) {
+    case Role::kRouter: return "rt";
+    case Role::kSwitch: return "sw";
+    case Role::kFirewall: return "fw";
+    case Role::kLoadBalancer: return "lb";
+    case Role::kAdc: return "adc";
+  }
+  return "dev";
+}
+
+}  // namespace
+
+std::vector<std::string> NetworkDesign::devices_with_role(Role r) const {
+  std::vector<std::string> out;
+  for (const auto& d : devices)
+    if (d.role == r) out.push_back(d.device_id);
+  return out;
+}
+
+std::vector<std::string> NetworkDesign::middlebox_devices() const {
+  std::vector<std::string> out;
+  for (const auto& d : devices)
+    if (is_middlebox(d.role)) out.push_back(d.device_id);
+  return out;
+}
+
+NetworkDesign sample_network_design(int index, Rng& rng, const DesignOptions& opts) {
+  NetworkDesign d;
+  d.network_index = index;
+  d.net.network_id = "net" + std::to_string(index);
+
+  // Purpose (D1): 81% single workload; a handful are pure interconnects.
+  const double wl_roll = rng.uniform();
+  int num_workloads;
+  if (wl_roll < 0.05) {
+    num_workloads = 0;  // interconnect network
+  } else if (wl_roll < 0.86) {
+    num_workloads = 1;
+  } else {
+    num_workloads = static_cast<int>(rng.uniform_int(2, 4));
+  }
+  static const char* kWorkloadNames[] = {"web", "files", "app", "users"};
+  for (int w = 0; w < num_workloads; ++w) {
+    Workload wl;
+    wl.kind = static_cast<WorkloadKind>(rng.uniform_int(0, 3));
+    wl.name = std::string(kWorkloadNames[static_cast<int>(wl.kind)]) + "-" +
+              std::to_string(index) + "-" + std::to_string(w);
+    d.net.workloads.push_back(std::move(wl));
+  }
+
+  // Size (D2): long-tailed, median ~9 devices, tail to max_devices.
+  int n_devices = static_cast<int>(std::lround(rng.lognormal(2.2, 0.9)));
+  n_devices = std::clamp(n_devices, opts.min_devices, opts.max_devices);
+
+  // Role composition: routers ~15% (>=1 when the network routes),
+  // middleboxes in 71% of networks, rest switches.
+  const bool has_middlebox = rng.bernoulli(0.71);
+  d.use_bgp = rng.bernoulli(0.86);
+  d.use_ospf = rng.bernoulli(0.31);
+  const bool routes = d.use_bgp || d.use_ospf;
+  const double router_frac = rng.uniform(0.08, 0.30);
+  int n_routers =
+      routes ? std::max(1, static_cast<int>(std::lround(n_devices * router_frac))) : 0;
+  int n_mbox = has_middlebox ? static_cast<int>(rng.uniform_int(1, std::max<std::int64_t>(1, n_devices / 6))) : 0;
+  n_mbox = std::min(n_mbox, std::max(0, n_devices - n_routers - 1));
+  const int n_switches = std::max(1, n_devices - n_routers - n_mbox);
+  n_devices = n_routers + n_mbox + n_switches;
+
+  // Heterogeneity temperament. Each network fixes a small procurement
+  // *catalog* per role up front — (vendor, model, firmware) tuples —
+  // and devices draw from it. Catalog size is drawn independently of
+  // network size, so model/firmware counts do not mechanically track
+  // device counts (procurement policy, not scale, drives them). ~10% of
+  // networks carry large catalogs and draw near-uniformly (the highly
+  // heterogeneous tail of Figure 11(a)).
+  const double diversity = rng.uniform();
+  const double zipf_s = diversity > 0.9 ? 0.1 : rng.uniform(1.8, 3.2);
+  const int catalog_size =
+      diversity > 0.9 ? static_cast<int>(rng.uniform_int(4, 7))
+                      : (rng.bernoulli(0.45) ? 1 : static_cast<int>(rng.uniform_int(2, 3)));
+
+  struct CatalogEntry {
+    Vendor vendor;
+    std::string model;
+    std::string firmware;
+  };
+  std::map<Role, std::vector<CatalogEntry>> catalog;
+  auto catalog_for = [&](Role role) -> std::vector<CatalogEntry>& {
+    auto& entries = catalog[role];
+    if (entries.empty()) {
+      const auto pool = vendor_pool(role);
+      for (int v = 0; v < catalog_size; ++v) {
+        CatalogEntry e;
+        e.vendor = pool[static_cast<std::size_t>(
+            rng.zipf(static_cast<int>(pool.size()), 1.2)) - 1];
+        const int variant = static_cast<int>(rng.uniform_int(1, 5));
+        e.model = std::string(to_string(e.vendor)) + "-" + role_short(role) + "-m" +
+                  std::to_string(variant);
+        e.firmware = "fw" + std::to_string(3 + variant) + "." +
+                     std::to_string(rng.uniform_int(0, 2));
+        entries.push_back(std::move(e));
+      }
+    }
+    return entries;
+  };
+
+  auto add_device = [&](Role role, int k) {
+    DeviceRecord dev;
+    dev.device_id = d.net.network_id + "-" + role_short(role) + "-" + std::to_string(k);
+    dev.network_id = d.net.network_id;
+    auto& entries = catalog_for(role);
+    const auto& e = entries[static_cast<std::size_t>(
+        rng.zipf(static_cast<int>(entries.size()), zipf_s)) - 1];
+    dev.vendor = e.vendor;
+    dev.model = e.model;
+    dev.firmware = e.firmware;
+    dev.role = role;
+    d.devices.push_back(std::move(dev));
+  };
+  int serial = 0;
+  for (int i = 0; i < n_routers; ++i) add_device(Role::kRouter, serial++);
+  for (int i = 0; i < n_switches; ++i) add_device(Role::kSwitch, serial++);
+  static const Role kMboxRoles[] = {Role::kFirewall, Role::kLoadBalancer, Role::kAdc};
+  for (int i = 0; i < n_mbox; ++i)
+    add_device(kMboxRoles[rng.uniform_int(0, 2)], serial++);
+  for (const auto& dev : d.devices) d.net.device_ids.push_back(dev.device_id);
+
+  // Data/control plane composition (D4/D5). Everyone uses VLANs; other
+  // L2 constructs spread the protocol count over 1..8ish.
+  d.use_mstp = rng.bernoulli(0.6);
+  d.use_lag = rng.bernoulli(0.55);
+  d.use_udld = rng.bernoulli(0.45);
+  d.use_dhcp_relay = rng.bernoulli(0.4);
+  d.num_vlans = std::clamp(static_cast<int>(std::lround(rng.lognormal(2.8, 1.2))), 1, 300);
+
+  if (d.use_bgp) {
+    // 39% single instance, heavy tail beyond 20.
+    d.bgp_instances = std::clamp(static_cast<int>(std::lround(rng.lognormal(0.7, 1.2))), 1, 40);
+  }
+  if (d.use_ospf) d.ospf_instances = static_cast<int>(rng.uniform_int(1, 2));
+  d.acls_per_firewall = static_cast<int>(rng.uniform_int(1, 4));
+
+  // Operational temperament (Appendix A.2 calibration). Change volume
+  // correlates with network size (Figure 12(a): Pearson ~0.64) — the
+  // log-mean tracks log(size).
+  d.change_events_per_month = std::clamp(
+      rng.lognormal(0.55 + 0.75 * std::log(static_cast<double>(n_devices)), 0.9), 0.3, 400.0);
+  d.event_size_mean = std::clamp(rng.lognormal(0.4, 0.5), 1.0, 9.0);
+  d.automation_propensity = rng.uniform(0.05, 0.75);
+
+  // Change-type mix: interface-heavy overall; pool changes only where
+  // there are load balancers; ~5% of networks are router-change-heavy.
+  std::map<std::string, double> mix = {
+      {"interface", 0.35}, {"acl", 0.15}, {"user", 0.10}, {"vlan", 0.08},
+      {"sflow", 0.03},     {"qos", 0.03}, {"snmp", 0.02}, {"logging", 0.02},
+  };
+  if (!d.middlebox_devices().empty()) mix["pool"] = 0.22;
+  if (n_routers > 0) mix["router"] = rng.bernoulli(0.05) ? 1.2 : 0.06;
+  for (auto& [type, w] : mix) w *= rng.lognormal(0, 0.5);
+  d.change_type_mix = std::move(mix);
+
+  return d;
+}
+
+}  // namespace mpa

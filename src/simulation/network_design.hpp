@@ -1,0 +1,64 @@
+// Sampling of per-network designs for the synthetic OSP.
+//
+// This is the substitution for the proprietary OSP traces (DESIGN.md §2).
+// The samplers are calibrated to the characterization in Appendix A:
+// 81% of networks host one workload, 86% have multiple roles, 71%
+// contain a middlebox, >81% multi-vendor, hardware-entropy median < 0.3
+// with a ~10% highly heterogeneous tail, protocol counts spread over
+// 1..8, VLAN counts long-tailed, change-event counts with 10th/90th
+// percentiles near 3/34, automation fraction ranging ~10-70%.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/inventory.hpp"
+#include "util/rng.hpp"
+
+namespace mpa {
+
+/// Latent, generator-side description of one network. The analytics
+/// pipeline never sees this struct — it must re-infer everything from
+/// the emitted inventory/snapshots/tickets.
+struct NetworkDesign {
+  NetworkRecord net;
+  std::vector<DeviceRecord> devices;
+
+  // Data/control plane design decisions.
+  int num_vlans = 0;
+  bool use_bgp = false;
+  bool use_ospf = false;
+  bool use_mstp = false;
+  bool use_lag = false;
+  bool use_udld = false;
+  bool use_dhcp_relay = false;
+  int bgp_instances = 0;   ///< Disjoint BGP peer groups among routers.
+  int ospf_instances = 0;
+  int acls_per_firewall = 2;
+
+  // Operational temperament (drives the change process).
+  double change_events_per_month = 8;  ///< Mean of the monthly Poisson.
+  double event_size_mean = 1.6;        ///< Mean devices touched per event.
+  double automation_propensity = 0.4;  ///< Base P(change is automated).
+  /// Relative frequency of each agnostic change type for this network.
+  std::map<std::string, double> change_type_mix;
+
+  /// Index used to derive this network's address block.
+  int network_index = 0;
+
+  /// Device ids by role, for the change process to target.
+  std::vector<std::string> devices_with_role(Role r) const;
+  std::vector<std::string> middlebox_devices() const;
+};
+
+struct DesignOptions {
+  int min_devices = 4;
+  int max_devices = 120;  ///< Long tail up to O(100) devices.
+};
+
+/// Sample one network design. `index` must be unique per network (it
+/// seeds the address block and the ids).
+NetworkDesign sample_network_design(int index, Rng& rng, const DesignOptions& opts = {});
+
+}  // namespace mpa

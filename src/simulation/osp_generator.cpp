@@ -1,0 +1,61 @@
+#include "simulation/osp_generator.hpp"
+
+#include <set>
+
+#include "config/types.hpp"
+#include "simulation/change_process.hpp"
+#include "simulation/config_gen.hpp"
+
+namespace mpa {
+namespace {
+
+int live_vlan_count(const GeneratedNetwork& net) {
+  std::set<std::string> vlans;
+  for (const auto& [dev_id, cfg] : net.configs)
+    for (const auto& s : cfg.stanzas())
+      if (normalize_type(s.type) == "vlan") vlans.insert(s.name);
+  return static_cast<int>(vlans.size());
+}
+
+}  // namespace
+
+OspDataset generate_osp(const OspOptions& opts) {
+  Rng master(opts.seed);
+  OspDataset data;
+  data.num_months = opts.num_months;
+  const HealthModel health(opts.health);
+  int ticket_counter = 0;
+
+  for (int n = 0; n < opts.num_networks; ++n) {
+    Rng net_rng = master.fork();
+    NetworkDesign design = sample_network_design(n, net_rng, opts.design);
+    bool treated = false;
+    if (opts.treated_fraction > 0) {
+      treated = net_rng.bernoulli(opts.treated_fraction);
+      if (treated) design.change_events_per_month *= opts.treatment_rate_multiplier;
+    }
+    data.experiment_treated.push_back(treated);
+
+    data.inventory.add_network(design.net);
+    for (const auto& dev : design.devices) data.inventory.add_device(dev);
+
+    GeneratedNetwork gen = generate_configs(std::move(design), net_rng);
+    ChangeProcess process(&gen, net_rng.fork());
+    process.emit_initial_snapshots(data.snapshots);
+
+    std::vector<MonthlyOps> months;
+    months.reserve(static_cast<std::size_t>(opts.num_months));
+    Rng health_rng = net_rng.fork();
+    for (int m = 0; m < opts.num_months; ++m) {
+      MonthlyOps ops = process.simulate_month(m, data.snapshots);
+      health.generate_tickets(gen.design, ops, live_vlan_count(gen), m, health_rng,
+                              data.tickets, ticket_counter);
+      months.push_back(std::move(ops));
+    }
+    data.true_ops.push_back(std::move(months));
+    data.designs.push_back(std::move(gen.design));
+  }
+  return data;
+}
+
+}  // namespace mpa

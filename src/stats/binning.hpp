@@ -1,0 +1,47 @@
+// The paper's binning strategy (§5.1.1).
+//
+// "We bin the data for each metric using 10-equal width bins, with the
+// 5th percentile value as the lower bound for the first bin, and the
+// 95th percentile value as the upper bound for the last bin. Networks
+// whose metric value is below the 5th (above the 95th) percentile are
+// put in the first (last) bin."
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mpa {
+
+/// Equal-width binner between clamped percentile bounds.
+class Binner {
+ public:
+  /// Fit bounds from data. `num_bins` >= 1; `lo_pct`/`hi_pct` default to
+  /// the paper's 5th/95th percentiles. Degenerate data (all values
+  /// equal, or empty) yields a single-bin binner.
+  static Binner fit(std::span<const double> values, int num_bins, double lo_pct = 5.0,
+                    double hi_pct = 95.0);
+
+  /// Construct directly from bounds (for tests).
+  Binner(double lo, double hi, int num_bins);
+
+  /// Bin index in [0, num_bins); values below lo clamp to 0, above hi
+  /// clamp to num_bins-1.
+  int bin(double value) const;
+
+  /// Apply bin() elementwise.
+  std::vector<int> bin_all(std::span<const double> values) const;
+
+  int num_bins() const { return num_bins_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  /// Inclusive-lower value bound of bin `b` (upper bound = lower of b+1;
+  /// the last bin's upper bound is hi()).
+  double bin_lower(int b) const;
+
+ private:
+  double lo_ = 0;
+  double hi_ = 0;
+  int num_bins_ = 1;
+};
+
+}  // namespace mpa

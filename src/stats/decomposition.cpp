@@ -1,0 +1,298 @@
+#include "stats/decomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace mpa {
+namespace {
+
+// Continued fraction for the incomplete beta (Lentz's algorithm).
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 200;
+  constexpr double kEps = 3e-12;
+  constexpr double kFpMin = 1e-300;
+  const double qab = a + b, qap = a + 1.0, qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  require(a > 0 && b > 0, "regularized_incomplete_beta: a, b must be positive");
+  require(x >= 0 && x <= 1, "regularized_incomplete_beta: x out of [0,1]");
+  if (x == 0) return 0;
+  if (x == 1) return 1;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  // Use the continued fraction directly for x < (a+1)/(a+b+2), else the
+  // symmetry transformation.
+  if (x < (a + 1.0) / (a + b + 2.0)) return front * betacf(a, b, x) / a;
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+double f_distribution_sf(double f, int d1, int d2) {
+  require(d1 >= 1 && d2 >= 1, "f_distribution_sf: degrees of freedom must be >= 1");
+  if (f <= 0) return 1.0;
+  // P(F >= f) = I_{d2/(d2 + d1 f)}(d2/2, d1/2).
+  const double x = d2 / (d2 + d1 * f);
+  return regularized_incomplete_beta(d2 / 2.0, d1 / 2.0, x);
+}
+
+double linear_r2(std::span<const double> x, std::span<const double> y) {
+  const double r = pearson(x, y);
+  return r * r;
+}
+
+AnovaResult one_way_anova(std::span<const int> group, std::span<const double> y) {
+  require(group.size() == y.size(), "one_way_anova: length mismatch");
+  require(!y.empty(), "one_way_anova: empty input");
+  std::map<int, std::pair<double, int>> sums;  // group -> (sum, count)
+  double grand = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    auto& [sum, count] = sums[group[i]];
+    sum += y[i];
+    ++count;
+    grand += y[i];
+  }
+  const auto n = static_cast<double>(y.size());
+  const double grand_mean = grand / n;
+  const auto k = sums.size();
+
+  AnovaResult res;
+  if (k < 2 || y.size() <= k) return res;  // degenerate: F undefined
+
+  double ss_between = 0;
+  for (const auto& [g, sc] : sums) {
+    const double mean_g = sc.first / sc.second;
+    ss_between += sc.second * (mean_g - grand_mean) * (mean_g - grand_mean);
+  }
+  double ss_within = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const auto& sc = sums[group[i]];
+    const double mean_g = sc.first / sc.second;
+    ss_within += (y[i] - mean_g) * (y[i] - mean_g);
+  }
+  res.df_between = static_cast<int>(k) - 1;
+  res.df_within = static_cast<int>(y.size() - k);
+  if (ss_within <= 0) {
+    res.f_statistic = ss_between > 0 ? 1e12 : 0;
+    res.p_value = ss_between > 0 ? 0 : 1;
+    return res;
+  }
+  res.f_statistic =
+      (ss_between / res.df_between) / (ss_within / res.df_within);
+  res.p_value = f_distribution_sf(res.f_statistic, res.df_between, res.df_within);
+  return res;
+}
+
+PcaResult pca(const Matrix& data, int num_components) {
+  require(!data.empty(), "pca: empty data");
+  const std::size_t n = data.size();
+  const std::size_t d = data[0].size();
+  require(d >= 1, "pca: need at least one feature");
+  require(num_components >= 1 && static_cast<std::size_t>(num_components) <= d,
+          "pca: component count out of range");
+
+  // Standardize columns; work on the correlation matrix so features
+  // with large scales (VLAN counts) don't dominate.
+  std::vector<double> mean_v(d, 0), sd_v(d, 0);
+  for (const auto& row : data) {
+    require(row.size() == d, "pca: ragged matrix");
+    for (std::size_t j = 0; j < d; ++j) mean_v[j] += row[j];
+  }
+  for (std::size_t j = 0; j < d; ++j) mean_v[j] /= static_cast<double>(n);
+  for (const auto& row : data)
+    for (std::size_t j = 0; j < d; ++j) {
+      const double delta = row[j] - mean_v[j];
+      sd_v[j] += delta * delta;
+    }
+  for (std::size_t j = 0; j < d; ++j) {
+    sd_v[j] = std::sqrt(sd_v[j] / static_cast<double>(n));
+    if (sd_v[j] < 1e-12) sd_v[j] = 1;
+  }
+
+  // Correlation matrix.
+  Matrix corr(d, std::vector<double>(d, 0.0));
+  for (const auto& row : data) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double zj = (row[j] - mean_v[j]) / sd_v[j];
+      for (std::size_t k2 = j; k2 < d; ++k2) {
+        corr[j][k2] += zj * (row[k2] - mean_v[k2]) / sd_v[k2];
+      }
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j)
+    for (std::size_t k2 = 0; k2 <= j; ++k2) {
+      corr[k2][j] /= static_cast<double>(n);
+      corr[j][k2] = corr[k2][j];
+    }
+
+  const double total_variance = static_cast<double>(d);  // trace of corr
+
+  PcaResult res;
+  Matrix m = corr;  // deflated in place
+  for (int comp = 0; comp < num_components; ++comp) {
+    // Power iteration. The start vector must not be orthogonal to the
+    // dominant remaining eigenvector, so probe the basis vectors and
+    // keep the one the deflated matrix amplifies most.
+    std::vector<double> v(d, 0.0);
+    {
+      double best_norm = -1;
+      std::size_t best_j = 0;
+      for (std::size_t j = 0; j < d; ++j) {
+        double norm = 0;
+        for (std::size_t k2 = 0; k2 < d; ++k2) norm += m[k2][j] * m[k2][j];
+        if (norm > best_norm) {
+          best_norm = norm;
+          best_j = j;
+        }
+      }
+      v[best_j] = 1.0;
+    }
+    double eigen = 0;
+    for (int iter = 0; iter < 500; ++iter) {
+      std::vector<double> next(d, 0.0);
+      for (std::size_t j = 0; j < d; ++j)
+        for (std::size_t k2 = 0; k2 < d; ++k2) next[j] += m[j][k2] * v[k2];
+      double norm = 0;
+      for (double x : next) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm < 1e-15) break;  // matrix exhausted
+      for (auto& x : next) x /= norm;
+      double delta = 0;
+      for (std::size_t j = 0; j < d; ++j) delta = std::max(delta, std::abs(next[j] - v[j]));
+      v = std::move(next);
+      eigen = norm;
+      if (delta < 1e-12) break;
+    }
+    res.components.push_back(v);
+    res.eigenvalues.push_back(eigen);
+    res.explained.push_back(eigen / total_variance);
+    // Deflate: m -= eigen * v v^T.
+    for (std::size_t j = 0; j < d; ++j)
+      for (std::size_t k2 = 0; k2 < d; ++k2) m[j][k2] -= eigen * v[j] * v[k2];
+  }
+  return res;
+}
+
+IcaResult fast_ica(const Matrix& data, int num_components, int max_iters) {
+  require(!data.empty(), "fast_ica: empty data");
+  const std::size_t n = data.size();
+  const std::size_t d = data[0].size();
+  require(num_components >= 1 && static_cast<std::size_t>(num_components) <= d,
+          "fast_ica: component count out of range");
+
+  // Whiten via PCA: z = D^{-1/2} E^T (x - mean), using the top-d
+  // correlation-matrix eigenvectors from pca(). Components with
+  // near-zero eigenvalues are dropped from the whitened space.
+  const PcaResult basis = pca(data, static_cast<int>(d));
+  std::vector<double> mean_v(d, 0);
+  for (const auto& row : data)
+    for (std::size_t j = 0; j < d; ++j) mean_v[j] += row[j];
+  for (auto& v : mean_v) v /= static_cast<double>(n);
+  std::vector<std::size_t> keep;
+  for (std::size_t k = 0; k < basis.eigenvalues.size(); ++k)
+    if (basis.eigenvalues[k] > 1e-8) keep.push_back(k);
+  require(keep.size() >= static_cast<std::size_t>(num_components),
+          "fast_ica: not enough non-degenerate directions");
+
+  const std::size_t m = keep.size();
+  Matrix z(n, std::vector<double>(m, 0.0));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k < m; ++k) {
+      double proj = 0;
+      for (std::size_t j = 0; j < d; ++j)
+        proj += basis.components[keep[k]][j] * (data[i][j] - mean_v[j]);
+      z[i][k] = proj / std::sqrt(basis.eigenvalues[keep[k]]);
+    }
+
+  // Deflationary FastICA with g = tanh.
+  IcaResult res;
+  Matrix w_rows;  // in whitened space
+  // (Deterministic seeding: no RNG needed.)
+  for (int comp = 0; comp < num_components; ++comp) {
+    std::vector<double> w(m, 0.0);
+    w[static_cast<std::size_t>(comp) % m] = 1.0;  // deterministic start
+    bool converged = false;
+    for (int iter = 0; iter < max_iters; ++iter) {
+      // w+ = E[z g(w^T z)] - E[g'(w^T z)] w.
+      std::vector<double> next(m, 0.0);
+      double gprime_sum = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        double proj = 0;
+        for (std::size_t k = 0; k < m; ++k) proj += w[k] * z[i][k];
+        const double g = std::tanh(proj);
+        gprime_sum += 1.0 - g * g;
+        for (std::size_t k = 0; k < m; ++k) next[k] += z[i][k] * g;
+      }
+      for (std::size_t k = 0; k < m; ++k)
+        next[k] = next[k] / static_cast<double>(n) -
+                  gprime_sum / static_cast<double>(n) * w[k];
+      // Gram-Schmidt against previous components.
+      for (const auto& prev : w_rows) {
+        double dot = 0;
+        for (std::size_t k = 0; k < m; ++k) dot += next[k] * prev[k];
+        for (std::size_t k = 0; k < m; ++k) next[k] -= dot * prev[k];
+      }
+      double norm = 0;
+      for (double v : next) norm += v * v;
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) break;
+      for (auto& v : next) v /= norm;
+      double dot = 0;
+      for (std::size_t k = 0; k < m; ++k) dot += next[k] * w[k];
+      w = std::move(next);
+      if (std::abs(std::abs(dot) - 1.0) < 1e-9) {
+        converged = true;
+        break;
+      }
+    }
+    if (!converged) res.converged = false;
+    w_rows.push_back(w);
+
+    // Map back to the original feature space:
+    // direction_j = sum_k w_k / sqrt(lambda_k) * E_{kj}.
+    std::vector<double> dir(d, 0.0);
+    for (std::size_t k = 0; k < m; ++k)
+      for (std::size_t j = 0; j < d; ++j)
+        dir[j] += w[k] / std::sqrt(basis.eigenvalues[keep[k]]) * basis.components[keep[k]][j];
+    double norm = 0;
+    for (double v : dir) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm > 1e-12)
+      for (auto& v : dir) v /= norm;
+    res.components.push_back(std::move(dir));
+  }
+  return res;
+}
+
+}  // namespace mpa

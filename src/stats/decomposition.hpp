@@ -1,0 +1,68 @@
+// The dependence-decomposition baselines the paper rejects (§5.1):
+// "Common approaches for decomposing the impact of different factors
+// include analysis of variance (ANOVA) and principal/independent
+// component analyses (PCA/ICA). However, these techniques make key
+// assumptions about underlying dependencies that make them
+// inapplicable to MPA."
+//
+// They are implemented here so the argument can be *demonstrated*
+// (bench/ablation_dependence): linear measures miss the non-monotonic
+// relationships of Figure 4(c), and PCA components are uninterpretable
+// mixes of practices.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/logistic.hpp"  // for Matrix
+
+namespace mpa {
+
+/// Squared Pearson correlation — the variance a *linear* model explains.
+double linear_r2(std::span<const double> x, std::span<const double> y);
+
+/// One-way ANOVA of `y` across the groups labelled by `group`
+/// (0-based). Returns the F statistic and its p-value.
+struct AnovaResult {
+  double f_statistic = 0;
+  double p_value = 1;
+  int df_between = 0;
+  int df_within = 0;
+};
+
+AnovaResult one_way_anova(std::span<const int> group, std::span<const double> y);
+
+/// Upper-tail p-value of the F distribution, P(F(d1, d2) >= f).
+/// Exposed for tests (computed via the regularized incomplete beta).
+double f_distribution_sf(double f, int d1, int d2);
+
+/// Regularized incomplete beta function I_x(a, b), continued-fraction
+/// evaluation (Numerical Recipes style). Exposed for tests.
+double regularized_incomplete_beta(double a, double b, double x);
+
+/// Principal component analysis by power iteration with deflation over
+/// the correlation matrix of `data` (rows = samples).
+struct PcaResult {
+  /// components[k][j]: loading of feature j in component k (unit norm).
+  std::vector<std::vector<double>> components;
+  /// Eigenvalue of each component (variance explained, correlation scale).
+  std::vector<double> eigenvalues;
+  /// Fraction of total variance explained by each component.
+  std::vector<double> explained;
+};
+
+PcaResult pca(const Matrix& data, int num_components);
+
+/// FastICA (deflationary, tanh nonlinearity) over PCA-whitened data —
+/// the "ICA" of §5.1. Returns `num_components` unmixing directions in
+/// the original feature space (rows, unit norm). Like PCA, each
+/// recovered component is still a linear blend of practices, which is
+/// the paper's interpretability objection.
+struct IcaResult {
+  std::vector<std::vector<double>> components;  ///< Unmixing directions.
+  bool converged = true;
+};
+
+IcaResult fast_ica(const Matrix& data, int num_components, int max_iters = 400);
+
+}  // namespace mpa

@@ -1,0 +1,138 @@
+#include "stats/logistic.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mpa {
+namespace {
+
+double sigmoid(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+bool solve_linear_system(Matrix a, std::vector<double> b, std::vector<double>& x) {
+  const std::size_t n = b.size();
+  require(a.size() == n, "solve_linear_system: shape mismatch");
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    if (std::abs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      if (f == 0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  x.assign(n, 0);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) s -= a[i][c] * x[c];
+    x[i] = s / a[i][i];
+  }
+  return true;
+}
+
+LogisticRegression LogisticRegression::fit(const Matrix& features, std::span<const int> labels,
+                                           LogitOptions opts) {
+  const std::size_t n = features.size();
+  require(n == labels.size(), "LogisticRegression::fit: shape mismatch");
+  require(n >= 2, "LogisticRegression::fit: need at least two samples");
+  const std::size_t d = features[0].size();
+  require(d >= 1, "LogisticRegression::fit: need at least one feature");
+  bool has0 = false, has1 = false;
+  for (int y : labels) {
+    require(y == 0 || y == 1, "LogisticRegression::fit: labels must be 0/1");
+    (y ? has1 : has0) = true;
+  }
+  require(has0 && has1, "LogisticRegression::fit: need both classes");
+
+  LogisticRegression model;
+  // Standardize features for a well-conditioned Hessian.
+  model.feat_mean_.assign(d, 0);
+  model.feat_sd_.assign(d, 0);
+  for (const auto& row : features) {
+    require(row.size() == d, "LogisticRegression::fit: ragged feature matrix");
+    for (std::size_t j = 0; j < d; ++j) model.feat_mean_[j] += row[j];
+  }
+  for (std::size_t j = 0; j < d; ++j) model.feat_mean_[j] /= static_cast<double>(n);
+  for (const auto& row : features)
+    for (std::size_t j = 0; j < d; ++j) {
+      const double delta = row[j] - model.feat_mean_[j];
+      model.feat_sd_[j] += delta * delta;
+    }
+  for (std::size_t j = 0; j < d; ++j) {
+    model.feat_sd_[j] = std::sqrt(model.feat_sd_[j] / static_cast<double>(n));
+    if (model.feat_sd_[j] < 1e-12) model.feat_sd_[j] = 1;  // constant feature
+  }
+
+  // Standardized design matrix with leading intercept column.
+  Matrix z(n, std::vector<double>(d + 1, 1.0));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < d; ++j)
+      z[i][j + 1] = (features[i][j] - model.feat_mean_[j]) / model.feat_sd_[j];
+
+  std::vector<double> w(d + 1, 0.0);
+  for (int iter = 0; iter < opts.max_iters; ++iter) {
+    // Gradient and Hessian of the (penalized) negative log-likelihood.
+    std::vector<double> grad(d + 1, 0.0);
+    Matrix hess(d + 1, std::vector<double>(d + 1, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      double eta = 0;
+      for (std::size_t j = 0; j <= d; ++j) eta += w[j] * z[i][j];
+      const double p = sigmoid(eta);
+      const double r = p - static_cast<double>(labels[i]);
+      const double wgt = std::max(p * (1 - p), 1e-9);
+      for (std::size_t j = 0; j <= d; ++j) {
+        grad[j] += r * z[i][j];
+        for (std::size_t k = j; k <= d; ++k) hess[j][k] += wgt * z[i][j] * z[i][k];
+      }
+    }
+    for (std::size_t j = 1; j <= d; ++j) {  // no penalty on the intercept
+      grad[j] += opts.ridge * w[j];
+      hess[j][j] += opts.ridge;
+    }
+    for (std::size_t j = 0; j <= d; ++j)
+      for (std::size_t k = 0; k < j; ++k) hess[j][k] = hess[k][j];
+
+    std::vector<double> step;
+    if (!solve_linear_system(hess, grad, step)) break;  // keep current w
+    double max_delta = 0;
+    for (std::size_t j = 0; j <= d; ++j) {
+      w[j] -= step[j];
+      max_delta = std::max(max_delta, std::abs(step[j]));
+    }
+    if (max_delta < opts.tol) break;
+  }
+  model.w_ = std::move(w);
+  return model;
+}
+
+double LogisticRegression::predict_prob(std::span<const double> x) const {
+  require(x.size() + 1 == w_.size(), "LogisticRegression::predict_prob: dimension mismatch");
+  double eta = w_[0];
+  for (std::size_t j = 0; j < x.size(); ++j)
+    eta += w_[j + 1] * (x[j] - feat_mean_[j]) / feat_sd_[j];
+  return sigmoid(eta);
+}
+
+std::vector<double> LogisticRegression::predict_all(const Matrix& features) const {
+  std::vector<double> out;
+  out.reserve(features.size());
+  for (const auto& row : features) out.push_back(predict_prob(row));
+  return out;
+}
+
+}  // namespace mpa

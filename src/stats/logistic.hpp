@@ -1,0 +1,51 @@
+// L2-regularized logistic regression, used to estimate propensity
+// scores (§5.2.3): the probability of a case receiving treatment given
+// its observed confounding practices.
+//
+// Fitting is iteratively reweighted least squares (IRLS) over
+// internally-standardized features, with a ridge term for stability
+// when confounders are collinear (they strongly are, per Table 4).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mpa {
+
+/// Dense row-major matrix of samples (n rows) x features (d columns).
+using Matrix = std::vector<std::vector<double>>;
+
+struct LogitOptions {
+  int max_iters = 50;  ///< IRLS iterations.
+  double ridge = 1e-3; ///< L2 penalty on (standardized) weights.
+  double tol = 1e-8;   ///< Convergence threshold on weight change.
+};
+
+class LogisticRegression {
+ public:
+  /// Fit P(y=1 | x). `labels` must be 0/1 and contain both classes.
+  /// Rows of `features` must share one length d >= 1.
+  static LogisticRegression fit(const Matrix& features, std::span<const int> labels,
+                                LogitOptions opts = {});
+
+  /// Predicted probability P(y=1 | x); x.size() must equal d.
+  double predict_prob(std::span<const double> x) const;
+
+  /// Probabilities for every row.
+  std::vector<double> predict_all(const Matrix& features) const;
+
+  /// Weights in standardized feature space; [0] is the intercept.
+  const std::vector<double>& weights() const { return w_; }
+
+ private:
+  std::vector<double> w_;         // intercept + d weights
+  std::vector<double> feat_mean_; // standardization parameters
+  std::vector<double> feat_sd_;
+};
+
+/// Solve the symmetric positive-definite system A x = b in place by
+/// Gaussian elimination with partial pivoting. Exposed for tests.
+/// Returns false if A is singular to working precision.
+bool solve_linear_system(Matrix a, std::vector<double> b, std::vector<double>& x);
+
+}  // namespace mpa

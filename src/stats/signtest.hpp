@@ -1,0 +1,32 @@
+// The sign test used to assess matched-pair outcomes (§5.2.5).
+//
+// "We use the outcome calculations from all pairs to produce a binomial
+// distribution of outcomes: more tickets (+1) or fewer tickets (-1)...
+// to establish a causal relationship, we must reject the null
+// hypothesis H0 that the median outcome is zero."
+//
+// Ties (zero differences) are dropped, per the standard test. The
+// p-value is two-sided: 2 * P(Bin(n, 1/2) >= max(n+, n-)), clamped at 1;
+// computed exactly in log space, with a continuity-corrected normal
+// approximation beyond n = 5000.
+#pragma once
+
+#include <span>
+
+namespace mpa {
+
+struct SignTestResult {
+  int n_pos = 0;   ///< Pairs where treated outcome > untreated ("more tickets").
+  int n_neg = 0;   ///< Pairs where treated outcome < untreated ("fewer tickets").
+  int n_zero = 0;  ///< Ties ("no effect").
+  double p_value = 1.0;
+};
+
+/// Two-sided sign-test p-value from the positive/negative counts.
+double sign_test_p(int n_pos, int n_neg);
+
+/// Run the sign test over per-pair outcome differences (treated minus
+/// untreated).
+SignTestResult sign_test(std::span<const double> diffs);
+
+}  // namespace mpa

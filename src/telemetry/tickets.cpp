@@ -1,0 +1,34 @@
+#include "telemetry/tickets.hpp"
+
+namespace mpa {
+
+std::string_view to_string(TicketOrigin o) {
+  switch (o) {
+    case TicketOrigin::kMonitoringAlarm: return "alarm";
+    case TicketOrigin::kUserReport: return "user";
+    case TicketOrigin::kMaintenance: return "maintenance";
+  }
+  return "unknown";
+}
+
+void TicketLog::add(Ticket t) { tickets_.push_back(std::move(t)); }
+
+int TicketLog::count_health_tickets(const std::string& network_id, int month) const {
+  int n = 0;
+  for (const auto& t : tickets_) {
+    if (t.network_id == network_id && t.origin != TicketOrigin::kMaintenance &&
+        month_of(t.created) == month) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<const Ticket*> TicketLog::health_tickets(const std::string& network_id) const {
+  std::vector<const Ticket*> out;
+  for (const auto& t : tickets_)
+    if (t.network_id == network_id && t.origin != TicketOrigin::kMaintenance) out.push_back(&t);
+  return out;
+}
+
+}  // namespace mpa

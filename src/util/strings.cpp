@@ -1,0 +1,80 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+namespace mpa {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  std::size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::size_t indent_of(std::string_view line) {
+  std::size_t n = 0;
+  while (n < line.size() && (line[n] == ' ' || line[n] == '\t')) ++n;
+  return n;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string format_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  if (s == "-0") s = "0";
+  return s;
+}
+
+std::string format_sci(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", digits, v);
+  return std::string(buf);
+}
+
+}  // namespace mpa

@@ -1,0 +1,35 @@
+// Small string utilities used by the config parsers and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpa {
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split `s` on runs of whitespace, dropping empty tokens.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Strip leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Join `parts` with `sep` between elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Number of leading space characters (tabs count as one).
+std::size_t indent_of(std::string_view line);
+
+/// True if `s` starts with `prefix` (convenience for pre-C++20 call sites).
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Format a double with `digits` significant decimal places, trimming
+/// trailing zeros ("1.25", "3", "0.0001").
+std::string format_double(double v, int digits = 4);
+
+/// Scientific notation like the paper's tables: "6.80e-13".
+std::string format_sci(double v, int digits = 2);
+
+}  // namespace mpa

@@ -1,0 +1,69 @@
+// Tests for IPv4 address/prefix parsing.
+#include <gtest/gtest.h>
+
+#include "config/addr.hpp"
+
+namespace mpa {
+namespace {
+
+TEST(Addr, ParseIpv4) {
+  EXPECT_EQ(parse_ipv4("10.0.0.1"), 0x0a000001u);
+  EXPECT_EQ(parse_ipv4("255.255.255.255"), 0xffffffffu);
+  EXPECT_EQ(parse_ipv4("0.0.0.0"), 0u);
+}
+
+TEST(Addr, ParseIpv4Rejects) {
+  EXPECT_FALSE(parse_ipv4("10.0.0").has_value());
+  EXPECT_FALSE(parse_ipv4("10.0.0.0.1").has_value());
+  EXPECT_FALSE(parse_ipv4("10.0.0.256").has_value());
+  EXPECT_FALSE(parse_ipv4("a.b.c.d").has_value());
+  EXPECT_FALSE(parse_ipv4("").has_value());
+  EXPECT_FALSE(parse_ipv4("10..0.1").has_value());
+}
+
+TEST(Addr, ParsePrefix) {
+  const auto p = parse_prefix("10.1.2.3/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->addr, 0x0a010203u);
+  EXPECT_EQ(p->len, 24);
+  EXPECT_EQ(p->network(), 0x0a010200u);
+}
+
+TEST(Addr, ParsePrefixRejects) {
+  EXPECT_FALSE(parse_prefix("10.0.0.1").has_value());
+  EXPECT_FALSE(parse_prefix("10.0.0.1/33").has_value());
+  EXPECT_FALSE(parse_prefix("10.0.0.1/").has_value());
+  EXPECT_FALSE(parse_prefix("10.0.0.1/ab").has_value());
+}
+
+TEST(Addr, Contains) {
+  const Ipv4Prefix p{0x0a010200u, 24};
+  EXPECT_TRUE(p.contains(0x0a010201u));
+  EXPECT_TRUE(p.contains(0x0a0102ffu));
+  EXPECT_FALSE(p.contains(0x0a010301u));
+}
+
+TEST(Addr, ZeroLengthPrefixContainsAll) {
+  const Ipv4Prefix p{0, 0};
+  EXPECT_TRUE(p.contains(0xffffffffu));
+  EXPECT_EQ(p.network(), 0u);
+}
+
+TEST(Addr, SubnetCanonicalizes) {
+  const auto p = parse_prefix("10.1.2.3/24");
+  const Ipv4Prefix s = p->subnet();
+  EXPECT_EQ(s.addr, 0x0a010200u);
+  EXPECT_EQ(s.len, 24);
+  EXPECT_EQ(s, p->subnet());
+}
+
+TEST(Addr, FormatRoundTrip) {
+  EXPECT_EQ(format_ipv4(0x0a010203u), "10.1.2.3");
+  EXPECT_EQ(format_prefix(Ipv4Prefix{0x0a010200u, 24}), "10.1.2.0/24");
+  const auto p = parse_prefix(format_prefix(Ipv4Prefix{0xc0a80000u, 16}));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->addr, 0xc0a80000u);
+}
+
+}  // namespace
+}  // namespace mpa

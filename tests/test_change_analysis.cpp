@@ -1,0 +1,167 @@
+// Tests for change extraction, event grouping, and operational metrics.
+#include <gtest/gtest.h>
+
+#include "config/dialect.hpp"
+#include "metrics/change_analysis.hpp"
+
+namespace mpa {
+namespace {
+
+// Render helper: single interface stanza with a settable description.
+std::string ios_config(const std::string& desc) {
+  DeviceConfig c("d");
+  Stanza i;
+  i.type = "interface";
+  i.name = "Eth0";
+  i.set("description", desc);
+  c.add(i);
+  return render(c, Dialect::kIosLike);
+}
+
+Inventory one_net_inventory() {
+  Inventory inv;
+  inv.add_network(NetworkRecord{"net1", {}, {}});
+  inv.add_device(DeviceRecord{"d1", "net1", Vendor::kCirrus, "m", Role::kSwitch, "f"});
+  inv.add_device(DeviceRecord{"d2", "net1", Vendor::kCirrus, "m", Role::kLoadBalancer, "f"});
+  return inv;
+}
+
+TEST(AutomationClassifier, DefaultPrefix) {
+  EXPECT_TRUE(default_automation_classifier("svc-deploy"));
+  EXPECT_FALSE(default_automation_classifier("alice"));
+  EXPECT_FALSE(default_automation_classifier(""));
+}
+
+TEST(ExtractChanges, DiffsSuccessiveSnapshots) {
+  const Inventory inv = one_net_inventory();
+  SnapshotStore store;
+  store.add(ConfigSnapshot{"d1", 0, "svc-provision", ios_config("a")});
+  store.add(ConfigSnapshot{"d1", 10, "alice", ios_config("b")});
+  store.add(ConfigSnapshot{"d1", 20, "svc-deploy", ios_config("b")});  // no diff
+  store.add(ConfigSnapshot{"d1", 30, "svc-deploy", ios_config("c")});
+  const auto changes = extract_changes(inv, store);
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[0].time, 10);
+  EXPECT_EQ(changes[0].login, "alice");
+  EXPECT_FALSE(changes[0].automated);
+  EXPECT_EQ(changes[1].time, 30);
+  EXPECT_TRUE(changes[1].automated);
+  EXPECT_EQ(changes[0].network_id, "net1");
+  EXPECT_TRUE(changes[0].touches_type("interface"));
+  EXPECT_FALSE(changes[0].touches_type("acl"));
+}
+
+TEST(ExtractChanges, SkipsUnknownDevices) {
+  const Inventory inv = one_net_inventory();
+  SnapshotStore store;
+  store.add(ConfigSnapshot{"ghost", 0, "a", ios_config("a")});
+  store.add(ConfigSnapshot{"ghost", 10, "a", ios_config("b")});
+  EXPECT_TRUE(extract_changes(inv, store).empty());
+}
+
+std::vector<ChangeRecord> records_at(const std::vector<Timestamp>& times) {
+  std::vector<ChangeRecord> out;
+  int k = 0;
+  for (Timestamp t : times) {
+    ChangeRecord c;
+    c.device_id = "d" + std::to_string(k++ % 3);
+    c.network_id = "net1";
+    c.time = t;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<const ChangeRecord*> ptrs(const std::vector<ChangeRecord>& v) {
+  std::vector<const ChangeRecord*> out;
+  for (const auto& c : v) out.push_back(&c);
+  return out;
+}
+
+TEST(GroupEvents, ChainsWithinDelta) {
+  const auto recs = records_at({0, 3, 6, 20, 22, 100});
+  const auto events = group_events(ptrs(recs), 5);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].changes.size(), 3u);  // 0,3,6 chained
+  EXPECT_EQ(events[1].changes.size(), 2u);  // 20,22
+  EXPECT_EQ(events[2].changes.size(), 1u);  // 100
+  EXPECT_EQ(events[0].start, 0);
+  EXPECT_EQ(events[0].end, 6);
+}
+
+TEST(GroupEvents, DeltaZeroDisablesGrouping) {
+  const auto recs = records_at({0, 1, 2});
+  EXPECT_EQ(group_events(ptrs(recs), 0).size(), 3u);
+  EXPECT_EQ(group_events(ptrs(recs), -1).size(), 3u);
+}
+
+TEST(GroupEvents, LargerDeltaMergesMore) {
+  const auto recs = records_at({0, 4, 9, 15, 30});
+  EXPECT_GE(group_events(ptrs(recs), 1).size(), group_events(ptrs(recs), 10).size());
+  EXPECT_EQ(group_events(ptrs(recs), 30).size(), 1u);
+}
+
+TEST(GroupEvents, EmptyInput) {
+  EXPECT_TRUE(group_events({}, 5).empty());
+}
+
+TEST(GroupEvents, DeviceSetAndTypes) {
+  std::vector<ChangeRecord> recs = records_at({0, 2});
+  recs[0].stanza_changes.push_back(
+      StanzaChange{"interface", "interface", "Eth0", ChangeKind::kUpdated, 1});
+  recs[1].stanza_changes.push_back(
+      StanzaChange{"pool", "pool", "p0", ChangeKind::kUpdated, 1});
+  const auto events = group_events(ptrs(recs), 5);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].devices().size(), 2u);
+  EXPECT_TRUE(events[0].touches_type("interface"));
+  EXPECT_TRUE(events[0].touches_type("pool"));
+  EXPECT_FALSE(events[0].touches_type("acl"));
+  const std::map<std::string, Role> roles{{"d0", Role::kSwitch}, {"d1", Role::kLoadBalancer}};
+  EXPECT_TRUE(events[0].touches_middlebox(roles));
+  const std::map<std::string, Role> no_mbox{{"d0", Role::kSwitch}, {"d1", Role::kSwitch}};
+  EXPECT_FALSE(events[0].touches_middlebox(no_mbox));
+}
+
+TEST(OperationalMetrics, FullComputation) {
+  std::vector<ChangeRecord> recs = records_at({0, 2, 100});
+  recs[0].automated = true;
+  recs[0].stanza_changes.push_back(
+      StanzaChange{"interface", "interface", "Eth0", ChangeKind::kUpdated, 1});
+  recs[1].stanza_changes.push_back(
+      StanzaChange{"ip access-list", "acl", "web", ChangeKind::kUpdated, 1});
+  recs[2].stanza_changes.push_back(
+      StanzaChange{"vlan", "vlan", "100", ChangeKind::kAdded, 1});
+  const auto p = ptrs(recs);
+  const auto events = group_events(p, 5);
+  ASSERT_EQ(events.size(), 2u);
+  const std::map<std::string, Role> roles{
+      {"d0", Role::kSwitch}, {"d1", Role::kLoadBalancer}, {"d2", Role::kSwitch}};
+
+  Case out;
+  compute_operational_metrics(p, events, 10, roles, out);
+  EXPECT_DOUBLE_EQ(out[Practice::kNumConfigChanges], 3);
+  EXPECT_DOUBLE_EQ(out[Practice::kNumDevicesChanged], 3);
+  EXPECT_DOUBLE_EQ(out[Practice::kFracDevicesChanged], 0.3);
+  EXPECT_DOUBLE_EQ(out[Practice::kFracChangesAutomated], 1.0 / 3);
+  EXPECT_DOUBLE_EQ(out[Practice::kNumChangeTypes], 3);
+  EXPECT_DOUBLE_EQ(out[Practice::kNumChangeEvents], 2);
+  EXPECT_DOUBLE_EQ(out[Practice::kAvgDevicesPerEvent], (2 + 1) / 2.0);
+  EXPECT_DOUBLE_EQ(out[Practice::kFracEventsInterface], 0.5);
+  EXPECT_DOUBLE_EQ(out[Practice::kFracEventsAcl], 0.5);
+  EXPECT_DOUBLE_EQ(out[Practice::kFracEventsVlan], 0.5);
+  EXPECT_DOUBLE_EQ(out[Practice::kFracEventsRouter], 0);
+  EXPECT_DOUBLE_EQ(out[Practice::kFracEventsMbox], 0.5);  // d1 in event 0
+}
+
+TEST(OperationalMetrics, NoChangesYieldsZeros) {
+  Case out;
+  compute_operational_metrics({}, {}, 5, {}, out);
+  EXPECT_DOUBLE_EQ(out[Practice::kNumConfigChanges], 0);
+  EXPECT_DOUBLE_EQ(out[Practice::kFracChangesAutomated], 0);
+  EXPECT_DOUBLE_EQ(out[Practice::kAvgDevicesPerEvent], 0);
+  EXPECT_DOUBLE_EQ(out[Practice::kFracEventsInterface], 0);
+}
+
+}  // namespace
+}  // namespace mpa

@@ -1,0 +1,121 @@
+// Tests for learning-dataset construction and health classes.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "learn/dataset.hpp"
+
+namespace mpa {
+namespace {
+
+TEST(HealthClasses, TwoClassBoundary) {
+  EXPECT_EQ(health_class_2(0), 0);
+  EXPECT_EQ(health_class_2(1), 0);
+  EXPECT_EQ(health_class_2(2), 1);
+  EXPECT_EQ(health_class_2(100), 1);
+}
+
+TEST(HealthClasses, FiveClassBoundaries) {
+  EXPECT_EQ(health_class_5(0), 0);
+  EXPECT_EQ(health_class_5(2), 0);   // excellent <= 2
+  EXPECT_EQ(health_class_5(3), 1);   // good 3-5
+  EXPECT_EQ(health_class_5(5), 1);
+  EXPECT_EQ(health_class_5(6), 2);   // moderate 6-8
+  EXPECT_EQ(health_class_5(8), 2);
+  EXPECT_EQ(health_class_5(9), 3);   // poor 9-11
+  EXPECT_EQ(health_class_5(11), 3);
+  EXPECT_EQ(health_class_5(12), 4);  // very poor >= 12
+}
+
+TEST(HealthClasses, Names) {
+  EXPECT_EQ(health_class_names(2), (std::vector<std::string>{"healthy", "unhealthy"}));
+  EXPECT_EQ(health_class_names(5).size(), 5u);
+  EXPECT_EQ(health_class_names(5)[4], "very poor");
+  EXPECT_THROW(health_class_names(3), PreconditionError);
+}
+
+CaseTable small_table() {
+  CaseTable t;
+  for (int n = 0; n < 20; ++n) {
+    Case c;
+    c.network_id = "n" + std::to_string(n);
+    c.month = n % 4;
+    c[Practice::kNumDevices] = n;
+    c[Practice::kNumChangeEvents] = n * 2;
+    c.tickets = n % 7;
+    t.add(c);
+  }
+  return t;
+}
+
+TEST(Dataset, BuiltFromCaseTable) {
+  const CaseTable t = small_table();
+  const Dataset d = make_dataset(t, 2);
+  EXPECT_EQ(d.size(), 20u);
+  EXPECT_EQ(d.num_features(), static_cast<std::size_t>(kNumPractices));
+  EXPECT_EQ(d.feature_bins, kFeatureBins);
+  for (const auto& row : d.x)
+    for (int b : row) {
+      EXPECT_GE(b, 0);
+      EXPECT_LT(b, kFeatureBins);
+    }
+  for (std::size_t i = 0; i < d.size(); ++i)
+    EXPECT_EQ(d.y[i], health_class_2(t[i].tickets));
+  EXPECT_DOUBLE_EQ(d.total_weight(), 20.0);
+}
+
+TEST(Dataset, FiveClassLabels) {
+  const Dataset d = make_dataset(small_table(), 5);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_GE(d.y[i], 0);
+    EXPECT_LT(d.y[i], 5);
+  }
+  EXPECT_THROW(make_dataset(small_table(), 3), PreconditionError);
+}
+
+TEST(Dataset, ClassWeightsAndMajority) {
+  Dataset d;
+  d.num_classes = 2;
+  d.x = {{0}, {0}, {0}};
+  d.y = {0, 0, 1};
+  d.w = {1, 1, 5};
+  const auto cw = d.class_weights();
+  EXPECT_DOUBLE_EQ(cw[0], 2);
+  EXPECT_DOUBLE_EQ(cw[1], 5);
+  EXPECT_EQ(d.majority_class(), 1);  // by weight, not count
+}
+
+TEST(Dataset, Subset) {
+  const Dataset d = make_dataset(small_table(), 2);
+  const std::vector<std::size_t> idx{0, 5, 19};
+  const Dataset s = d.subset(idx);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.y[1], d.y[5]);
+  EXPECT_EQ(s.x[2], d.x[19]);
+  EXPECT_THROW(d.subset(std::vector<std::size_t>{99}), PreconditionError);
+}
+
+TEST(FeatureSpace, ConsistentDiscretization) {
+  const CaseTable t = small_table();
+  const FeatureSpace space = FeatureSpace::fit(t);
+  // Binning a case twice gives identical results; reusing the space on
+  // a different table applies the *trained* bounds.
+  const auto b1 = space.bin_case(t[3]);
+  const auto b2 = space.bin_case(t[3]);
+  EXPECT_EQ(b1, b2);
+  const Dataset d1 = make_dataset(t, 2, &space);
+  const Dataset d2 = make_dataset(t, 2);
+  EXPECT_EQ(d1.x, d2.x);  // same table -> same bins either way
+}
+
+TEST(FeatureSpace, TrainedBoundsClampNewData) {
+  const CaseTable t = small_table();
+  const FeatureSpace space = FeatureSpace::fit(t);
+  Case extreme;
+  extreme[Practice::kNumDevices] = 1e9;
+  const auto bins = space.bin_case(extreme);
+  EXPECT_EQ(bins[static_cast<int>(Practice::kNumDevices)], kFeatureBins - 1);
+}
+
+}  // namespace
+}  // namespace mpa

@@ -1,0 +1,123 @@
+// Tests for the on-disk dataset format and CLI plumbing.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "io/dataset_io.hpp"
+#include "simulation/osp_generator.hpp"
+#include "util/error.hpp"
+
+namespace mpa {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("mpa_io_test_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+DiskDataset small_dataset() {
+  OspOptions opts;
+  opts.num_networks = 4;
+  opts.num_months = 3;
+  opts.seed = 5;
+  OspDataset gen = generate_osp(opts);
+  return DiskDataset{std::move(gen.inventory), std::move(gen.snapshots), std::move(gen.tickets)};
+}
+
+TEST_F(DatasetIoTest, RoundTripPreservesEverything) {
+  const DiskDataset original = small_dataset();
+  save_dataset(original, dir_.string());
+  const DiskDataset loaded = load_dataset(dir_.string());
+
+  EXPECT_EQ(loaded.inventory.num_networks(), original.inventory.num_networks());
+  EXPECT_EQ(loaded.inventory.num_devices(), original.inventory.num_devices());
+  EXPECT_EQ(loaded.snapshots.total_snapshots(), original.snapshots.total_snapshots());
+  EXPECT_EQ(loaded.snapshots.total_bytes(), original.snapshots.total_bytes());
+  EXPECT_EQ(loaded.tickets.size(), original.tickets.size());
+
+  // Deep-check one device, one snapshot, one ticket.
+  const auto& dev0 = original.inventory.devices().front();
+  const auto* loaded_dev = loaded.inventory.find_device(dev0.device_id);
+  ASSERT_NE(loaded_dev, nullptr);
+  EXPECT_EQ(loaded_dev->vendor, dev0.vendor);
+  EXPECT_EQ(loaded_dev->model, dev0.model);
+  EXPECT_EQ(loaded_dev->role, dev0.role);
+  EXPECT_EQ(loaded_dev->firmware, dev0.firmware);
+
+  const auto& snaps0 = original.snapshots.for_device(dev0.device_id);
+  const auto& snaps1 = loaded.snapshots.for_device(dev0.device_id);
+  ASSERT_EQ(snaps0.size(), snaps1.size());
+  for (std::size_t i = 0; i < snaps0.size(); ++i) {
+    EXPECT_EQ(snaps0[i].time, snaps1[i].time);
+    EXPECT_EQ(snaps0[i].login, snaps1[i].login);
+    EXPECT_EQ(snaps0[i].text, snaps1[i].text);
+  }
+
+  const Ticket& t0 = original.tickets.all().front();
+  const Ticket& t1 = loaded.tickets.all().front();
+  EXPECT_EQ(t1.ticket_id, t0.ticket_id);
+  EXPECT_EQ(t1.created, t0.created);
+  EXPECT_EQ(t1.resolved, t0.resolved);
+  EXPECT_EQ(t1.origin, t0.origin);
+  EXPECT_EQ(t1.symptom, t0.symptom);
+  EXPECT_EQ(t1.devices, t0.devices);
+
+  // Workloads survive.
+  for (const auto& net : original.inventory.networks()) {
+    const auto* ln = loaded.inventory.find_network(net.network_id);
+    ASSERT_NE(ln, nullptr);
+    EXPECT_EQ(ln->workloads.size(), net.workloads.size());
+  }
+}
+
+TEST_F(DatasetIoTest, MissingDirectoryThrows) {
+  EXPECT_THROW(load_dataset((dir_ / "nope").string()), DataError);
+}
+
+TEST_F(DatasetIoTest, MalformedRowsThrow) {
+  save_dataset(small_dataset(), dir_.string());
+  // Corrupt devices.csv with a short row.
+  {
+    std::ofstream f(dir_ / "devices.csv", std::ios::app);
+    f << "incomplete,row\n";
+  }
+  EXPECT_THROW(load_dataset(dir_.string()), DataError);
+}
+
+TEST_F(DatasetIoTest, TruncatedSnapshotLogThrows) {
+  save_dataset(small_dataset(), dir_.string());
+  {
+    std::ofstream f(dir_ / "snapshots.log", std::ios::app);
+    f << "@snapshot devX 10 alice 9999\nshort";
+  }
+  EXPECT_THROW(load_dataset(dir_.string()), DataError);
+}
+
+TEST(DatasetIoParsers, EnumRoundTrips) {
+  for (int v = 0; v < kNumVendors; ++v) {
+    const auto vendor = static_cast<Vendor>(v);
+    EXPECT_EQ(vendor_from_string(to_string(vendor)), vendor);
+  }
+  for (int r = 0; r < kNumRoles; ++r) {
+    const auto role = static_cast<Role>(r);
+    EXPECT_EQ(role_from_string(to_string(role)), role);
+  }
+  for (auto o : {TicketOrigin::kMonitoringAlarm, TicketOrigin::kUserReport,
+                 TicketOrigin::kMaintenance}) {
+    EXPECT_EQ(origin_from_string(to_string(o)), o);
+  }
+  EXPECT_THROW(vendor_from_string("acme"), DataError);
+  EXPECT_THROW(role_from_string("toaster"), DataError);
+  EXPECT_THROW(origin_from_string("psychic"), DataError);
+}
+
+}  // namespace
+}  // namespace mpa

@@ -1,0 +1,177 @@
+// Tests for the ANOVA / PCA / linear baselines (§5.1 rejects these for
+// MPA; we implement them to demonstrate why).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/decomposition.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/info.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mpa {
+namespace {
+
+TEST(IncompleteBeta, KnownValues) {
+  // I_x(1, 1) = x.
+  EXPECT_NEAR(regularized_incomplete_beta(1, 1, 0.3), 0.3, 1e-10);
+  // I_x(2, 2) = x^2 (3 - 2x).
+  EXPECT_NEAR(regularized_incomplete_beta(2, 2, 0.5), 0.5, 1e-10);
+  EXPECT_NEAR(regularized_incomplete_beta(2, 2, 0.25), 0.25 * 0.25 * (3 - 0.5), 1e-10);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(3, 4, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(3, 4, 1.0), 1.0);
+  EXPECT_THROW(regularized_incomplete_beta(0, 1, 0.5), PreconditionError);
+  EXPECT_THROW(regularized_incomplete_beta(1, 1, 1.5), PreconditionError);
+}
+
+TEST(FDistribution, KnownTailValues) {
+  // F(1, n) = t(n)^2; P(F(1,10) >= 4.96) ~ 0.05.
+  EXPECT_NEAR(f_distribution_sf(4.96, 1, 10), 0.05, 0.003);
+  // P(F(2, 20) >= 3.49) ~ 0.05.
+  EXPECT_NEAR(f_distribution_sf(3.49, 2, 20), 0.05, 0.003);
+  EXPECT_DOUBLE_EQ(f_distribution_sf(0, 3, 3), 1.0);
+  EXPECT_LT(f_distribution_sf(100, 5, 50), 1e-6);
+  EXPECT_THROW(f_distribution_sf(1, 0, 5), PreconditionError);
+}
+
+TEST(Anova, DetectsGroupDifferences) {
+  Rng rng(1);
+  std::vector<int> group;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    const int g = i % 3;
+    group.push_back(g);
+    y.push_back(g * 2.0 + rng.normal(0, 0.5));
+  }
+  const AnovaResult r = one_way_anova(group, y);
+  EXPECT_GT(r.f_statistic, 50);
+  EXPECT_LT(r.p_value, 1e-10);
+  EXPECT_EQ(r.df_between, 2);
+  EXPECT_EQ(r.df_within, 297);
+}
+
+TEST(Anova, NullWhenGroupsIdentical) {
+  Rng rng(2);
+  std::vector<int> group;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    group.push_back(i % 4);
+    y.push_back(rng.normal(0, 1));
+  }
+  const AnovaResult r = one_way_anova(group, y);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(Anova, DegenerateCases) {
+  // Single group: F undefined -> p = 1.
+  const std::vector<int> g(10, 0);
+  const std::vector<double> y{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_DOUBLE_EQ(one_way_anova(g, y).p_value, 1.0);
+  EXPECT_THROW(one_way_anova(std::vector<int>{}, std::vector<double>{}), PreconditionError);
+  EXPECT_THROW(one_way_anova(std::vector<int>{1}, y), PreconditionError);
+}
+
+TEST(LinearR2, PerfectAndNone) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(linear_r2(x, y), 1.0, 1e-12);
+  const std::vector<double> z{3, 3, 3, 3, 3};
+  EXPECT_EQ(linear_r2(x, z), 0.0);
+}
+
+TEST(LinearR2, MissesNonMonotonicWhereMiDoesNot) {
+  // The paper's core §5.1 argument, as a property: a symmetric hump has
+  // ~zero linear correlation but high mutual information.
+  Rng rng(3);
+  std::vector<double> x, y;
+  std::vector<int> xb, yb;
+  for (int i = 0; i < 4000; ++i) {
+    const double xi = rng.uniform(0, 1);
+    const double yi = 4 * xi * (1 - xi) + rng.normal(0, 0.02);
+    x.push_back(xi);
+    y.push_back(yi);
+    xb.push_back(static_cast<int>(xi * 10));
+    yb.push_back(static_cast<int>(std::clamp(yi, 0.0, 0.999) * 10));
+  }
+  EXPECT_LT(linear_r2(x, y), 0.05);
+  EXPECT_GT(mutual_information(xb, yb), 1.0);
+}
+
+TEST(Pca, RecoversDominantDirection) {
+  // Two correlated features + one independent: PC1 loads the pair.
+  Rng rng(4);
+  Matrix data;
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.normal();
+    data.push_back({a, a + rng.normal(0, 0.1), rng.normal()});
+  }
+  const PcaResult r = pca(data, 2);
+  ASSERT_EQ(r.components.size(), 2u);
+  const auto& pc1 = r.components[0];
+  EXPECT_GT(std::abs(pc1[0]), 0.6);
+  EXPECT_GT(std::abs(pc1[1]), 0.6);
+  EXPECT_LT(std::abs(pc1[2]), 0.2);
+  // PC1 of a correlation matrix with a perfect pair explains ~2/3.
+  EXPECT_NEAR(r.explained[0], 2.0 / 3.0, 0.05);
+  EXPECT_GT(r.eigenvalues[0], r.eigenvalues[1]);
+}
+
+TEST(Pca, ComponentsAreUnitNormAndOrthogonal) {
+  Rng rng(5);
+  Matrix data;
+  for (int i = 0; i < 500; ++i)
+    data.push_back({rng.normal(), rng.normal() * 2, rng.normal() + 1, rng.uniform(0, 5)});
+  const PcaResult r = pca(data, 3);
+  for (const auto& c : r.components) {
+    double norm = 0;
+    for (double v : c) norm += v * v;
+    EXPECT_NEAR(norm, 1.0, 1e-6);
+  }
+  for (std::size_t a = 0; a < r.components.size(); ++a)
+    for (std::size_t b = a + 1; b < r.components.size(); ++b) {
+      double dot = 0;
+      for (std::size_t j = 0; j < r.components[a].size(); ++j)
+        dot += r.components[a][j] * r.components[b][j];
+      EXPECT_NEAR(dot, 0.0, 1e-4);
+    }
+}
+
+TEST(Ica, RecoversIndependentSourceDirections) {
+  // Two independent non-Gaussian sources mixed linearly: FastICA must
+  // return directions that separate them (each component dominated by
+  // one source's mixing direction).
+  Rng rng(6);
+  Matrix data;
+  for (int i = 0; i < 4000; ++i) {
+    const double s1 = rng.uniform(-1, 1);                 // uniform: sub-Gaussian
+    const double s2 = rng.bernoulli(0.5) ? 1.0 : -1.0;    // binary: very non-Gaussian
+    data.push_back({s1 + 0.3 * s2, 0.3 * s1 + s2});
+  }
+  const IcaResult r = fast_ica(data, 2);
+  ASSERT_EQ(r.components.size(), 2u);
+  // Components are unit norm.
+  for (const auto& c : r.components) {
+    double norm = 0;
+    for (double v : c) norm += v * v;
+    EXPECT_NEAR(norm, 1.0, 1e-6);
+  }
+  // The two directions are distinct (not parallel).
+  double dot = 0;
+  for (std::size_t j = 0; j < 2; ++j) dot += r.components[0][j] * r.components[1][j];
+  EXPECT_LT(std::abs(dot), 0.9);
+}
+
+TEST(Ica, Rejects) {
+  EXPECT_THROW(fast_ica({}, 1), PreconditionError);
+  EXPECT_THROW(fast_ica({{1.0, 2.0}}, 3), PreconditionError);
+}
+
+TEST(Pca, Rejects) {
+  EXPECT_THROW(pca({}, 1), PreconditionError);
+  EXPECT_THROW(pca({{1.0, 2.0}}, 3), PreconditionError);
+  EXPECT_THROW(pca({{1.0}, {1.0, 2.0}}, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mpa

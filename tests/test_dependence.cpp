@@ -1,0 +1,129 @@
+// Tests for the dependence analysis (MI / CMI rankings).
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "mpa/dependence.hpp"
+#include "util/rng.hpp"
+
+namespace mpa {
+namespace {
+
+// Case table where tickets are driven by kNumDevices, kNumVlans is an
+// independent distractor, and kNumModels correlates with kNumDevices.
+CaseTable synthetic_table(int networks, int months, Rng& rng) {
+  CaseTable t;
+  for (int n = 0; n < networks; ++n) {
+    const double devices = rng.uniform(5, 100);
+    const double models = devices / 10 + rng.uniform(0, 2);
+    for (int m = 0; m < months; ++m) {
+      Case c;
+      c.network_id = "n" + std::to_string(n);
+      c.month = m;
+      c[Practice::kNumDevices] = devices;
+      c[Practice::kNumModels] = models;
+      c[Practice::kNumVlans] = rng.uniform(1, 100);
+      c.tickets = devices / 20 + rng.uniform(0, 1);
+      t.add(c);
+    }
+  }
+  return t;
+}
+
+TEST(Dependence, DriverOutranksDistractor) {
+  Rng rng(1);
+  const CaseTable t = synthetic_table(300, 6, rng);
+  const DependenceAnalysis dep(t);
+  double mi_devices = -1, mi_vlans = -1;
+  for (const auto& pm : dep.mi_ranking()) {
+    if (pm.practice == Practice::kNumDevices) mi_devices = pm.avg_monthly_mi;
+    if (pm.practice == Practice::kNumVlans) mi_vlans = pm.avg_monthly_mi;
+  }
+  EXPECT_GT(mi_devices, mi_vlans + 0.3);
+  EXPECT_EQ(dep.mi_ranking().front().practice, Practice::kNumDevices);
+}
+
+TEST(Dependence, RankingIsSortedDescending) {
+  Rng rng(2);
+  const DependenceAnalysis dep(synthetic_table(100, 4, rng));
+  const auto& mi = dep.mi_ranking();
+  for (std::size_t i = 1; i < mi.size(); ++i)
+    EXPECT_GE(mi[i - 1].avg_monthly_mi, mi[i].avg_monthly_mi);
+  const auto& cmi = dep.cmi_ranking();
+  for (std::size_t i = 1; i < cmi.size(); ++i)
+    EXPECT_GE(cmi[i - 1].avg_monthly_cmi, cmi[i].avg_monthly_cmi);
+}
+
+TEST(Dependence, RankingCoversAnalysisSet) {
+  Rng rng(3);
+  const DependenceAnalysis dep(synthetic_table(50, 3, rng));
+  EXPECT_EQ(dep.mi_ranking().size(), analysis_practices().size());
+  const std::size_t k = analysis_practices().size();
+  EXPECT_EQ(dep.cmi_ranking().size(), k * (k - 1) / 2);
+}
+
+TEST(Dependence, TopKTruncates) {
+  Rng rng(4);
+  const DependenceAnalysis dep(synthetic_table(50, 3, rng));
+  EXPECT_EQ(dep.top_practices(10).size(), 10u);
+  EXPECT_EQ(dep.top_pairs(10).size(), 10u);
+  EXPECT_EQ(dep.top_practices(10000).size(), dep.mi_ranking().size());
+}
+
+TEST(Dependence, CorrelatedPairHasHighCmi) {
+  Rng rng(5);
+  const DependenceAnalysis dep(synthetic_table(300, 6, rng));
+  // (devices, models) should rank near the top of the CMI pairs.
+  const auto top = dep.top_pairs(5);
+  bool found = false;
+  for (const auto& pair : top) {
+    if ((pair.a == Practice::kNumDevices && pair.b == Practice::kNumModels) ||
+        (pair.a == Practice::kNumModels && pair.b == Practice::kNumDevices)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Dependence, BinnersExposedAndClamped) {
+  Rng rng(6);
+  const DependenceAnalysis dep(synthetic_table(100, 3, rng));
+  const Binner& b = dep.binner(Practice::kNumDevices);
+  EXPECT_EQ(b.num_bins(), 10);
+  EXPECT_EQ(b.bin(-1e9), 0);
+  EXPECT_EQ(b.bin(1e9), 9);
+  EXPECT_GE(dep.health_binner().num_bins(), 1);
+}
+
+TEST(Dependence, BootstrapCiBracketsPointEstimate) {
+  Rng rng(8);
+  const CaseTable t = synthetic_table(200, 4, rng);
+  const DependenceAnalysis dep(t);
+  double mi_devices = 0;
+  for (const auto& pm : dep.mi_ranking())
+    if (pm.practice == Practice::kNumDevices) mi_devices = pm.avg_monthly_mi;
+  Rng ci_rng(9);
+  const auto [lo, hi] = dep.mi_confidence_interval(t, Practice::kNumDevices, ci_rng, 100);
+  EXPECT_LT(lo, hi);
+  // The interval must bracket (or nearly bracket) the point estimate;
+  // bootstrap MI is biased slightly upward, so allow a small margin.
+  EXPECT_LT(lo, mi_devices + 0.05);
+  EXPECT_GT(hi, mi_devices - 0.05);
+  // A strong driver's CI stays away from the distractor's.
+  const auto [vlo, vhi] = dep.mi_confidence_interval(t, Practice::kNumVlans, ci_rng, 100);
+  EXPECT_GT(lo, vhi);
+}
+
+TEST(Dependence, RejectsEmptyTable) {
+  EXPECT_THROW(DependenceAnalysis(CaseTable{}), PreconditionError);
+}
+
+TEST(Dependence, SingleMonthStillWorks) {
+  Rng rng(7);
+  const CaseTable t = synthetic_table(100, 1, rng);
+  const DependenceAnalysis dep(t);
+  EXPECT_GT(dep.mi_ranking().front().avg_monthly_mi, 0);
+}
+
+}  // namespace
+}  // namespace mpa

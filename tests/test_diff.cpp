@@ -1,0 +1,123 @@
+// Tests for stanza-level config diffing.
+#include <gtest/gtest.h>
+
+#include "config/diff.hpp"
+
+namespace mpa {
+namespace {
+
+DeviceConfig base() {
+  DeviceConfig c("d");
+  Stanza i;
+  i.type = "interface";
+  i.name = "Eth0";
+  i.set("description", "uplink");
+  c.add(i);
+  Stanza a;
+  a.type = "ip access-list";
+  a.name = "web";
+  a.set("permit", "tcp any any eq 80");
+  c.add(a);
+  return c;
+}
+
+TEST(Diff, IdenticalConfigsNoChange) {
+  const DeviceConfig a = base(), b = base();
+  EXPECT_TRUE(diff(a, b).empty());
+  EXPECT_FALSE(is_change(a, b));
+}
+
+TEST(Diff, DetectsUpdate) {
+  const DeviceConfig a = base();
+  DeviceConfig b = base();
+  b.find("interface", "Eth0")->replace("description", "downlink");
+  const auto changes = diff(a, b);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].kind, ChangeKind::kUpdated);
+  EXPECT_EQ(changes[0].native_type, "interface");
+  EXPECT_EQ(changes[0].agnostic_type, "interface");
+  EXPECT_EQ(changes[0].name, "Eth0");
+  EXPECT_EQ(changes[0].options_touched, 1);
+  EXPECT_TRUE(is_change(a, b));
+}
+
+TEST(Diff, DetectsAddAndRemove) {
+  const DeviceConfig a = base();
+  DeviceConfig b = base();
+  b.remove("ip access-list", "web");
+  Stanza v;
+  v.type = "vlan";
+  v.name = "100";
+  v.set("l2", "enabled");
+  b.add(v);
+  const auto changes = diff(a, b);
+  ASSERT_EQ(changes.size(), 2u);
+  // Removal reported from `before` order first, then additions.
+  EXPECT_EQ(changes[0].kind, ChangeKind::kRemoved);
+  EXPECT_EQ(changes[0].agnostic_type, "acl");
+  EXPECT_EQ(changes[1].kind, ChangeKind::kAdded);
+  EXPECT_EQ(changes[1].agnostic_type, "vlan");
+  EXPECT_EQ(changes[1].options_touched, 1);
+}
+
+TEST(Diff, OptionsTouchedCountsModificationsOnce) {
+  const DeviceConfig a = base();
+  DeviceConfig b = base();
+  // Modify one option value: one removal + one addition in multiset
+  // terms, but it should count as 1.
+  b.find("ip access-list", "web")->replace("permit", "tcp any any eq 8080");
+  auto changes = diff(a, b);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].options_touched, 1);
+  // Add two more options: 2 additions -> max(0 removed, 2 added) + the
+  // modified one = 3 total differing lines on the larger side.
+  b.find("ip access-list", "web")->set("permit", "udp any any eq 53");
+  b.find("ip access-list", "web")->set("deny", "ip any any");
+  changes = diff(a, b);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].options_touched, 3);
+}
+
+TEST(Diff, ReorderedOptionsCountAsEqual) {
+  DeviceConfig a("d"), b("d");
+  Stanza s1;
+  s1.type = "interface";
+  s1.name = "Eth0";
+  s1.set("a", "1");
+  s1.set("b", "2");
+  a.add(s1);
+  Stanza s2;
+  s2.type = "interface";
+  s2.name = "Eth0";
+  s2.set("b", "2");
+  s2.set("a", "1");
+  b.add(s2);
+  // Stanzas differ by order, so it is an update, but no option content
+  // actually changed -> options_touched == 0.
+  const auto changes = diff(a, b);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].options_touched, 0);
+}
+
+TEST(Diff, SameNameDifferentTypeIsAddPlusRemove) {
+  DeviceConfig a("d"), b("d");
+  Stanza s1;
+  s1.type = "vlan";
+  s1.name = "100";
+  a.add(s1);
+  Stanza s2;
+  s2.type = "interface";
+  s2.name = "100";
+  b.add(s2);
+  const auto changes = diff(a, b);
+  EXPECT_EQ(changes.size(), 2u);
+}
+
+TEST(Diff, ChangeKindNames) {
+  EXPECT_EQ(to_string(ChangeKind::kAdded), "added");
+  EXPECT_EQ(to_string(ChangeKind::kRemoved), "removed");
+  EXPECT_EQ(to_string(ChangeKind::kUpdated), "updated");
+}
+
+}  // namespace
+}  // namespace mpa

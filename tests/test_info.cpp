@@ -1,0 +1,117 @@
+// Tests for entropy / mutual information / conditional MI.
+#include <gtest/gtest.h>
+
+#include "stats/info.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mpa {
+namespace {
+
+TEST(Info, EntropyBasics) {
+  EXPECT_DOUBLE_EQ(entropy(std::vector<int>{0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(entropy(std::vector<int>{0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(entropy(std::vector<int>{0, 1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(entropy(std::vector<int>{}), 0.0);
+}
+
+TEST(Info, ConditionalEntropy) {
+  // Y fully determined by X -> H(Y|X) = 0.
+  const std::vector<int> x{0, 0, 1, 1};
+  const std::vector<int> y{5, 5, 7, 7};
+  EXPECT_NEAR(conditional_entropy(y, x), 0.0, 1e-12);
+  // Y independent of X -> H(Y|X) = H(Y).
+  const std::vector<int> y2{0, 1, 0, 1};
+  EXPECT_NEAR(conditional_entropy(y2, x), entropy(y2), 1e-12);
+}
+
+TEST(Info, MiOfIdenticalVariablesEqualsEntropy) {
+  const std::vector<int> x{0, 1, 2, 0, 1, 2};
+  EXPECT_NEAR(mutual_information(x, x), entropy(x), 1e-12);
+}
+
+TEST(Info, MiOfIndependentIsZero) {
+  const std::vector<int> x{0, 0, 1, 1};
+  const std::vector<int> y{0, 1, 0, 1};
+  EXPECT_NEAR(mutual_information(x, y), 0.0, 1e-12);
+}
+
+TEST(Info, MiIsSymmetricProperty) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> x, y;
+    for (int i = 0; i < 200; ++i) {
+      x.push_back(static_cast<int>(rng.uniform_int(0, 5)));
+      y.push_back(static_cast<int>(rng.uniform_int(0, 3)) + (x.back() > 3 ? 2 : 0));
+    }
+    EXPECT_NEAR(mutual_information(x, y), mutual_information(y, x), 1e-10);
+    EXPECT_GE(mutual_information(x, y), -1e-12);  // non-negativity
+  }
+}
+
+TEST(Info, MiDetectsDependence) {
+  Rng rng(5);
+  std::vector<int> x, y_dep, y_indep;
+  for (int i = 0; i < 3000; ++i) {
+    const int xi = static_cast<int>(rng.uniform_int(0, 4));
+    x.push_back(xi);
+    y_dep.push_back(xi / 2 + static_cast<int>(rng.uniform_int(0, 1)));
+    y_indep.push_back(static_cast<int>(rng.uniform_int(0, 2)));
+  }
+  EXPECT_GT(mutual_information(x, y_dep), mutual_information(x, y_indep) + 0.2);
+}
+
+TEST(Info, CmiSymmetricInFirstTwoArgs) {
+  Rng rng(7);
+  std::vector<int> a, b, y;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(static_cast<int>(rng.uniform_int(0, 3)));
+    b.push_back(a.back() + static_cast<int>(rng.uniform_int(0, 1)));
+    y.push_back(static_cast<int>(rng.uniform_int(0, 2)));
+  }
+  EXPECT_NEAR(conditional_mutual_information(a, b, y), conditional_mutual_information(b, a, y),
+              1e-10);
+}
+
+TEST(Info, CmiZeroWhenConditionallyIndependent) {
+  // a and b independent given y (actually fully independent here).
+  Rng rng(11);
+  std::vector<int> a, b, y;
+  for (int i = 0; i < 4000; ++i) {
+    a.push_back(static_cast<int>(rng.uniform_int(0, 1)));
+    b.push_back(static_cast<int>(rng.uniform_int(0, 1)));
+    y.push_back(static_cast<int>(rng.uniform_int(0, 1)));
+  }
+  EXPECT_NEAR(conditional_mutual_information(a, b, y), 0.0, 0.01);
+}
+
+TEST(Info, CmiDetectsConditionalDependence) {
+  // b = a xor noise: strong dependence regardless of y.
+  Rng rng(13);
+  std::vector<int> a, b, y;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(static_cast<int>(rng.uniform_int(0, 1)));
+    b.push_back(a.back());
+    y.push_back(static_cast<int>(rng.uniform_int(0, 1)));
+  }
+  EXPECT_GT(conditional_mutual_information(a, b, y), 0.9);
+}
+
+TEST(Info, EntropyOfCounts) {
+  EXPECT_DOUBLE_EQ(entropy_of_counts(std::vector<double>{1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(entropy_of_counts(std::vector<double>{4}), 0.0);
+  EXPECT_DOUBLE_EQ(entropy_of_counts(std::vector<double>{0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(entropy_of_counts(std::vector<double>{2, 0, 2}), 1.0);  // zeros ignored
+  EXPECT_THROW(entropy_of_counts(std::vector<double>{-1}), PreconditionError);
+}
+
+TEST(Info, LengthMismatchRejected) {
+  const std::vector<int> x{1, 2};
+  const std::vector<int> y{1};
+  EXPECT_THROW(mutual_information(x, y), PreconditionError);
+  EXPECT_THROW(conditional_entropy(x, y), PreconditionError);
+  EXPECT_THROW(conditional_mutual_information(x, x, y), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mpa

@@ -1,0 +1,132 @@
+// Tests for logistic regression (propensity-score model).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/logistic.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mpa {
+namespace {
+
+TEST(LinearSolver, SolvesKnownSystem) {
+  Matrix a{{2, 1}, {1, 3}};
+  std::vector<double> x;
+  ASSERT_TRUE(solve_linear_system(a, {5, 10}, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 3.0, 1e-9);
+}
+
+TEST(LinearSolver, DetectsSingular) {
+  Matrix a{{1, 2}, {2, 4}};
+  std::vector<double> x;
+  EXPECT_FALSE(solve_linear_system(a, {1, 2}, x));
+}
+
+TEST(LinearSolver, PivotsForStability) {
+  Matrix a{{0, 1}, {1, 0}};
+  std::vector<double> x;
+  ASSERT_TRUE(solve_linear_system(a, {3, 7}, x));
+  EXPECT_NEAR(x[0], 7.0, 1e-9);
+  EXPECT_NEAR(x[1], 3.0, 1e-9);
+}
+
+TEST(Logistic, SeparatesObviousClasses) {
+  Matrix x;
+  std::vector<int> y;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.uniform(-1, 1);
+    x.push_back({v});
+    y.push_back(v > 0 ? 1 : 0);
+  }
+  const auto model = LogisticRegression::fit(x, y);
+  EXPECT_GT(model.predict_prob(std::vector<double>{0.8}), 0.9);
+  EXPECT_LT(model.predict_prob(std::vector<double>{-0.8}), 0.1);
+}
+
+TEST(Logistic, RecoversCoefficientSigns) {
+  // y ~ Bernoulli(sigmoid(2*x1 - 3*x2)); the fitted standardized
+  // weights must carry the right signs and rough magnitude ratio.
+  Rng rng(2);
+  Matrix x;
+  std::vector<int> y;
+  for (int i = 0; i < 5000; ++i) {
+    const double x1 = rng.normal(), x2 = rng.normal();
+    const double p = 1.0 / (1.0 + std::exp(-(2 * x1 - 3 * x2)));
+    x.push_back({x1, x2});
+    y.push_back(rng.bernoulli(p) ? 1 : 0);
+  }
+  const auto model = LogisticRegression::fit(x, y);
+  const auto& w = model.weights();
+  EXPECT_GT(w[1], 0);
+  EXPECT_LT(w[2], 0);
+  EXPECT_NEAR(std::abs(w[2] / w[1]), 1.5, 0.3);
+}
+
+TEST(Logistic, CalibratedProbabilities) {
+  // Fit on balanced noise-free halves; midpoint prob should be ~0.5.
+  Matrix x;
+  std::vector<int> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i >= 50 ? 1 : 0);
+  }
+  const auto model = LogisticRegression::fit(x, y);
+  EXPECT_NEAR(model.predict_prob(std::vector<double>{49.5}), 0.5, 0.1);
+}
+
+TEST(Logistic, ConstantFeatureHandled) {
+  Matrix x;
+  std::vector<int> y;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.uniform(-1, 1);
+    x.push_back({v, 5.0});  // second feature constant
+    y.push_back(v > 0 ? 1 : 0);
+  }
+  const auto model = LogisticRegression::fit(x, y);
+  EXPECT_GT(model.predict_prob(std::vector<double>{0.9, 5.0}), 0.8);
+}
+
+TEST(Logistic, PredictAllMatchesPredict) {
+  Matrix x{{0.0}, {1.0}, {2.0}};
+  const std::vector<int> y{0, 0, 1};
+  const auto model = LogisticRegression::fit(x, y);
+  const auto probs = model.predict_all(x);
+  ASSERT_EQ(probs.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(probs[i], model.predict_prob(x[i]));
+}
+
+TEST(Logistic, RejectsBadInput) {
+  Matrix x{{1.0}, {2.0}};
+  EXPECT_THROW(LogisticRegression::fit(x, std::vector<int>{0, 2}), PreconditionError);
+  EXPECT_THROW(LogisticRegression::fit(x, std::vector<int>{0, 0}), PreconditionError);
+  EXPECT_THROW(LogisticRegression::fit(x, std::vector<int>{0}), PreconditionError);
+  EXPECT_THROW(LogisticRegression::fit(Matrix{{1.0}, {}}, std::vector<int>{0, 1}),
+               PreconditionError);
+  const auto model = LogisticRegression::fit(x, std::vector<int>{0, 1});
+  EXPECT_THROW(model.predict_prob(std::vector<double>{1, 2}), PreconditionError);
+}
+
+TEST(Logistic, RidgeShrinksWeights) {
+  Matrix x;
+  std::vector<int> y;
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.uniform(-1, 1);
+    x.push_back({v});
+    y.push_back(v > 0 ? 1 : 0);  // perfectly separable
+  }
+  LogitOptions weak;
+  weak.ridge = 1e-4;
+  LogitOptions strong;
+  strong.ridge = 10.0;
+  const auto mw = LogisticRegression::fit(x, y, weak);
+  const auto ms = LogisticRegression::fit(x, y, strong);
+  EXPECT_GT(std::abs(mw.weights()[1]), std::abs(ms.weights()[1]));
+}
+
+}  // namespace
+}  // namespace mpa

@@ -1,0 +1,199 @@
+// Tests for the deterministic RNG and its samplers.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace mpa {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng a(7);
+  Rng a2(7);
+  Rng fork1 = a.fork();
+  Rng fork2 = a2.fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fork1.next(), fork2.next());
+  // Parent advanced identically.
+  EXPECT_EQ(a.next(), a2.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.uniform_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng r(1);
+  EXPECT_THROW(r.uniform_int(5, 4), PreconditionError);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng r(1);
+  EXPECT_FALSE(r.bernoulli(0.0));
+  EXPECT_TRUE(r.bernoulli(1.0));
+  EXPECT_FALSE(r.bernoulli(-1));
+  EXPECT_TRUE(r.bernoulli(2));
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(9);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (r.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(11);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalRejectsNegativeSd) {
+  Rng r(1);
+  EXPECT_THROW(r.normal(0, -1), PreconditionError);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng r(13);
+  for (double mean : {0.5, 3.0, 20.0, 80.0}) {
+    double total = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) total += r.poisson(mean);
+    EXPECT_NEAR(total / n, mean, mean * 0.08 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng r(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.poisson(0), 0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(17);
+  double total = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) total += r.exponential(0.5);
+  EXPECT_NEAR(total / n, 2.0, 0.1);
+}
+
+TEST(Rng, ZipfRespectsBounds) {
+  Rng r(19);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = r.zipf(5, 1.5);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, ZipfConcentratesOnLowRanks) {
+  Rng r(19);
+  int rank1 = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i)
+    if (r.zipf(10, 2.0) == 1) ++rank1;
+  // With s=2, rank 1 carries ~64% of the mass.
+  EXPECT_GT(rank1 / static_cast<double>(n), 0.5);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniform) {
+  Rng r(23);
+  std::array<int, 4> counts{};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[static_cast<std::size_t>(r.zipf(4, 0.0) - 1)]++;
+  for (int c : counts) EXPECT_NEAR(c / static_cast<double>(n), 0.25, 0.02);
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng r(29);
+  const std::vector<double> w = {1, 3, 6};
+  std::array<int, 3> counts{};
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) counts[r.weighted_index(w)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.015);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+  Rng r(1);
+  EXPECT_THROW(r.weighted_index({}), PreconditionError);
+  EXPECT_THROW(r.weighted_index({0, 0}), PreconditionError);
+  EXPECT_THROW(r.weighted_index({1, -1}), PreconditionError);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng r(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng r(37);
+  const auto idx = r.sample_indices(10, 6);
+  EXPECT_EQ(idx.size(), 6u);
+  std::set<std::size_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), 6u);
+  for (std::size_t i : idx) EXPECT_LT(i, 10u);
+}
+
+TEST(Rng, SampleIndicesFull) {
+  Rng r(37);
+  const auto idx = r.sample_indices(5, 5);
+  std::set<std::size_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(Rng, SampleIndicesRejectsOverdraw) {
+  Rng r(1);
+  EXPECT_THROW(r.sample_indices(3, 4), PreconditionError);
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng r(41);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(r.lognormal(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace mpa

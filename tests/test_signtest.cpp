@@ -1,0 +1,94 @@
+// Tests for the sign test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/signtest.hpp"
+#include "util/error.hpp"
+
+namespace mpa {
+namespace {
+
+TEST(SignTest, KnownSmallValues) {
+  // n=10, k=8: two-sided p = 2 * P(Bin(10,.5) >= 8)
+  //          = 2 * (45+10+1)/1024 = 0.109375.
+  EXPECT_NEAR(sign_test_p(8, 2), 0.109375, 1e-9);
+  // n=5, k=5: 2 * 1/32 = 0.0625.
+  EXPECT_NEAR(sign_test_p(5, 0), 0.0625, 1e-12);
+  // Perfectly split: p clamps to 1.
+  EXPECT_DOUBLE_EQ(sign_test_p(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(sign_test_p(0, 0), 1.0);
+}
+
+TEST(SignTest, SymmetricInArguments) {
+  EXPECT_DOUBLE_EQ(sign_test_p(8, 2), sign_test_p(2, 8));
+  EXPECT_DOUBLE_EQ(sign_test_p(100, 40), sign_test_p(40, 100));
+}
+
+TEST(SignTest, MonotoneInImbalance) {
+  // More lopsided outcomes give smaller p at fixed n.
+  double prev = 1.1;
+  for (int k = 50; k <= 95; k += 5) {
+    const double p = sign_test_p(k, 100 - k);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(SignTest, LargeSampleSignificance) {
+  // 830 vs 562 (+350 ties), the paper's Table 6 row 1:2 shape: should
+  // be extremely significant.
+  const double p = sign_test_p(830, 562);
+  EXPECT_LT(p, 1e-10);
+}
+
+TEST(SignTest, NormalApproxAgreesWithExactNearCutover) {
+  // The exact path runs to n=5000; check continuity by comparing a
+  // value just under the cutover with the normal approximation just
+  // over it (same ratio).
+  const double exact = sign_test_p(2600, 2390);       // n=4990 exact
+  const double approx = sign_test_p(2610, 2400);      // n=5010 normal
+  EXPECT_NEAR(std::log10(exact), std::log10(approx), 0.2);
+}
+
+TEST(SignTest, RunsOverDiffs) {
+  const std::vector<double> diffs{1, 2, -1, 0, 3, 0, -2, 5};
+  const SignTestResult r = sign_test(diffs);
+  EXPECT_EQ(r.n_pos, 4);
+  EXPECT_EQ(r.n_neg, 2);
+  EXPECT_EQ(r.n_zero, 2);
+  EXPECT_NEAR(r.p_value, sign_test_p(4, 2), 1e-12);
+}
+
+TEST(SignTest, AllTies) {
+  const SignTestResult r = sign_test(std::vector<double>{0, 0, 0});
+  EXPECT_EQ(r.n_zero, 3);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(SignTest, EmptyInput) {
+  const SignTestResult r = sign_test(std::vector<double>{});
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(SignTest, RejectsNegativeCounts) {
+  EXPECT_THROW(sign_test_p(-1, 3), PreconditionError);
+}
+
+// Property sweep: p-values always in (0, 1].
+class SignTestSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SignTestSweep, ValidProbability) {
+  const auto [pos, neg] = GetParam();
+  const double p = sign_test_p(pos, neg);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, SignTestSweep,
+                         ::testing::Values(std::pair{0, 1}, std::pair{1, 0}, std::pair{3, 3},
+                                           std::pair{100, 0}, std::pair{5000, 4000},
+                                           std::pair{10000, 9500}));
+
+}  // namespace
+}  // namespace mpa

@@ -1,0 +1,63 @@
+// Tests for string utilities.
+#include <gtest/gtest.h>
+
+#include "util/strings.hpp"
+
+namespace mpa {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitWs, DropsRuns) {
+  EXPECT_EQ(split_ws("  a \t b  c "), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_TRUE(split_ws("").empty());
+}
+
+TEST(Trim, Whitespace) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("\t x y \n"), "x y");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(IndentOf, CountsLeading) {
+  EXPECT_EQ(indent_of("  x"), 2u);
+  EXPECT_EQ(indent_of("x"), 0u);
+  EXPECT_EQ(indent_of("\t x"), 2u);
+  EXPECT_EQ(indent_of(""), 0u);
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("svc-deploy", "svc-"));
+  EXPECT_FALSE(starts_with("alice", "svc-"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_FALSE(starts_with("", "x"));
+}
+
+TEST(FormatDouble, TrimsZeros) {
+  EXPECT_EQ(format_double(1.25, 4), "1.25");
+  EXPECT_EQ(format_double(3.0, 4), "3");
+  EXPECT_EQ(format_double(0.0001, 4), "0.0001");
+  EXPECT_EQ(format_double(-0.0, 2), "0");
+  EXPECT_EQ(format_double(2.5, 0), "2");  // rounds bankers-or-away; integral
+}
+
+TEST(FormatSci, PaperStyle) {
+  EXPECT_EQ(format_sci(6.8e-13, 2), "6.80e-13");
+  EXPECT_EQ(format_sci(3.34e-2, 2), "3.34e-02");
+}
+
+}  // namespace
+}  // namespace mpa

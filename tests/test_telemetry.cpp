@@ -1,0 +1,73 @@
+// Tests for the snapshot store, ticket log, and time helpers.
+#include <gtest/gtest.h>
+
+#include "telemetry/snapshots.hpp"
+#include "telemetry/tickets.hpp"
+#include "util/error.hpp"
+
+namespace mpa {
+namespace {
+
+TEST(Time, MonthBoundaries) {
+  EXPECT_EQ(month_of(0), 0);
+  EXPECT_EQ(month_of(kMinutesPerMonth - 1), 0);
+  EXPECT_EQ(month_of(kMinutesPerMonth), 1);
+  EXPECT_EQ(month_of(-5), 0);
+  EXPECT_EQ(month_start(2), 2 * kMinutesPerMonth);
+  EXPECT_EQ(month_of(month_start(7)), 7);
+}
+
+TEST(SnapshotStore, OrderedArchive) {
+  SnapshotStore store;
+  store.add(ConfigSnapshot{"d1", 0, "svc-provision", "cfg-a"});
+  store.add(ConfigSnapshot{"d1", 10, "alice", "cfg-b"});
+  store.add(ConfigSnapshot{"d2", 5, "bob", "cfg-c"});
+  EXPECT_EQ(store.total_snapshots(), 3u);
+  EXPECT_EQ(store.total_bytes(), 15u);
+  ASSERT_EQ(store.for_device("d1").size(), 2u);
+  EXPECT_EQ(store.for_device("d1")[1].login, "alice");
+  EXPECT_TRUE(store.for_device("ghost").empty());
+  EXPECT_EQ(store.devices().size(), 2u);
+}
+
+TEST(SnapshotStore, RejectsOutOfOrder) {
+  SnapshotStore store;
+  store.add(ConfigSnapshot{"d1", 10, "a", "x"});
+  EXPECT_THROW(store.add(ConfigSnapshot{"d1", 5, "b", "y"}), PreconditionError);
+  // Equal timestamps are allowed (RANCID can archive twice in a minute).
+  store.add(ConfigSnapshot{"d1", 10, "b", "y"});
+  EXPECT_EQ(store.for_device("d1").size(), 2u);
+}
+
+TicketLog make_log() {
+  TicketLog log;
+  log.add(Ticket{"t1", "net1", 10, 20, {"d1"}, TicketOrigin::kMonitoringAlarm, "loss"});
+  log.add(Ticket{"t2", "net1", kMinutesPerMonth + 5, 0, {}, TicketOrigin::kUserReport, "slow"});
+  log.add(Ticket{"t3", "net1", 30, 40, {}, TicketOrigin::kMaintenance, "planned"});
+  log.add(Ticket{"t4", "net2", 15, 25, {}, TicketOrigin::kMonitoringAlarm, "down"});
+  return log;
+}
+
+TEST(TicketLog, HealthCountExcludesMaintenance) {
+  const TicketLog log = make_log();
+  EXPECT_EQ(log.count_health_tickets("net1", 0), 1);  // t1 only; t3 is maintenance
+  EXPECT_EQ(log.count_health_tickets("net1", 1), 1);  // t2
+  EXPECT_EQ(log.count_health_tickets("net2", 0), 1);
+  EXPECT_EQ(log.count_health_tickets("net2", 1), 0);
+  EXPECT_EQ(log.count_health_tickets("ghost", 0), 0);
+}
+
+TEST(TicketLog, HealthTicketsFilter) {
+  const TicketLog log = make_log();
+  EXPECT_EQ(log.health_tickets("net1").size(), 2u);
+  EXPECT_EQ(log.health_tickets("net2").size(), 1u);
+}
+
+TEST(TicketOriginNames, Stable) {
+  EXPECT_EQ(to_string(TicketOrigin::kMonitoringAlarm), "alarm");
+  EXPECT_EQ(to_string(TicketOrigin::kUserReport), "user");
+  EXPECT_EQ(to_string(TicketOrigin::kMaintenance), "maintenance");
+}
+
+}  // namespace
+}  // namespace mpa

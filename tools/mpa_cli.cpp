@@ -1,0 +1,256 @@
+// mpa_cli — the command-line face of the MPA framework, so an
+// organization can run the paper's full pipeline over a dataset
+// directory (see src/io/dataset_io.hpp for the format).
+//
+//   mpa_cli generate <dir> [--networks N] [--months M] [--seed S]
+//       Write a synthetic example dataset (also documents the format).
+//   mpa_cli summary <dir>
+//       Dataset sizes (Table 2 style).
+//   mpa_cli infer <dir> [--out cases.csv] [--delta MIN]
+//       Infer the (network, month) case table and dump it as CSV.
+//   mpa_cli rank <dir> [--top K]
+//       Dependence analysis: MI ranking + CMI pairs (Tables 3-4).
+//   mpa_cli causal <dir> --practice <name> [--threshold P]
+//       Matched-design QED for one practice (Tables 5-8 per practice).
+//   mpa_cli predict <dir> [--classes 2|5] [--history M]
+//       Cross-validated accuracy + online month-ahead accuracy (§6).
+//   mpa_cli lint <dir>
+//       Configuration-consistency lint of each network's latest configs.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "config/dialect.hpp"
+#include "config/lint.hpp"
+#include "io/dataset_io.hpp"
+#include "mpa/mpa.hpp"
+#include "simulation/osp_generator.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mpa;
+
+struct Args {
+  std::string command;
+  std::string dir;
+  std::map<std::string, std::string> flags;
+
+  int get_int(const std::string& key, int fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stoi(it->second);
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  if (argc >= 3 && argv[2][0] != '-') args.dir = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    std::string key = argv[i];
+    if (starts_with(key, "--") && i + 1 < argc) {
+      args.flags[key.substr(2)] = argv[++i];
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::cerr << "usage: mpa_cli <generate|summary|infer|rank|causal|predict|lint> <dir> [flags]\n"
+               "run with a dataset directory (see src/io/dataset_io.hpp).\n"
+               "  generate: --networks N --months M --seed S\n"
+               "  infer:    --out FILE --delta MINUTES\n"
+               "  rank:     --top K\n"
+               "  causal:   --practice NAME --threshold P\n"
+               "  predict:  --classes 2|5 --history M\n";
+  return 2;
+}
+
+Practice practice_by_name(const std::string& name) {
+  for (Practice p : all_practices())
+    if (practice_name(p) == name) return p;
+  std::string known;
+  for (Practice p : analysis_practices()) known += "  " + std::string(practice_name(p)) + "\n";
+  throw DataError("unknown practice '" + name + "'; known practices:\n" + known);
+}
+
+CaseTable infer_from_dir(const Args& args, int* months_out = nullptr) {
+  const DiskDataset data = load_dataset(args.dir);
+  // The observation window length is implied by the data: last month
+  // touched by any ticket or snapshot.
+  int months = 1;
+  for (const auto& t : data.tickets.all()) months = std::max(months, month_of(t.created) + 1);
+  for (const auto& dev : data.snapshots.devices())
+    for (const auto& s : data.snapshots.for_device(dev))
+      months = std::max(months, month_of(s.time) + 1);
+  InferenceOptions opts;
+  opts.num_months = months;
+  opts.event_window = args.get_int("delta", 5);
+  if (months_out != nullptr) *months_out = months;
+  return infer_case_table(data.inventory, data.snapshots, data.tickets, opts);
+}
+
+int cmd_generate(const Args& args) {
+  OspOptions opts;
+  opts.num_networks = args.get_int("networks", 50);
+  opts.num_months = args.get_int("months", 12);
+  opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const OspDataset data = generate_osp(opts);
+  save_dataset(DiskDataset{data.inventory, data.snapshots, data.tickets}, args.dir);
+  std::cout << "wrote " << args.dir << ": " << data.inventory.num_networks() << " networks, "
+            << data.snapshots.total_snapshots() << " snapshots, " << data.tickets.size()
+            << " tickets\n";
+  return 0;
+}
+
+int cmd_summary(const Args& args) {
+  const DiskDataset data = load_dataset(args.dir);
+  int months = 1, maintenance = 0;
+  for (const auto& t : data.tickets.all()) {
+    months = std::max(months, month_of(t.created) + 1);
+    if (t.origin == TicketOrigin::kMaintenance) ++maintenance;
+  }
+  TextTable t({"property", "value"});
+  t.row().add("Months").add(months);
+  t.row().add("Networks").add(data.inventory.num_networks());
+  t.row().add("Devices").add(data.inventory.num_devices());
+  t.row().add("Config snapshots").add(data.snapshots.total_snapshots());
+  t.row().add("Snapshot bytes").add(data.snapshots.total_bytes());
+  t.row().add("Tickets").add(data.tickets.size());
+  t.row().add("  maintenance").add(maintenance);
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_infer(const Args& args) {
+  const CaseTable table = infer_from_dir(args);
+  const std::string out = args.get("out");
+  if (out.empty()) {
+    std::cout << table.to_csv();
+  } else {
+    std::ofstream f(out);
+    f << table.to_csv();
+    std::cout << "wrote " << table.size() << " cases to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_rank(const Args& args) {
+  const CaseTable table = infer_from_dir(args);
+  const DependenceAnalysis dep(table);
+  const auto k = static_cast<std::size_t>(args.get_int("top", 10));
+
+  std::cout << "-- practices by avg monthly MI with health --\n";
+  TextTable mi({"rank", "practice", "cat", "MI"});
+  int rank = 0;
+  for (const auto& pm : dep.top_practices(k))
+    mi.row().add(++rank).add(std::string(practice_name(pm.practice)))
+        .add(std::string(category_tag(pm.practice))).add(pm.avg_monthly_mi, 3);
+  mi.print(std::cout);
+
+  std::cout << "\n-- practice pairs by CMI given health --\n";
+  TextTable cmi({"rank", "practice A", "practice B", "CMI"});
+  rank = 0;
+  for (const auto& pair : dep.top_pairs(k))
+    cmi.row().add(++rank).add(std::string(practice_name(pair.a)))
+        .add(std::string(practice_name(pair.b))).add(pair.avg_monthly_cmi, 3);
+  cmi.print(std::cout);
+  return 0;
+}
+
+int cmd_causal(const Args& args) {
+  const std::string name = args.get("practice");
+  if (name.empty()) {
+    std::cerr << "causal: --practice NAME required\n";
+    return 2;
+  }
+  const Practice treatment = practice_by_name(name);
+  const CaseTable table = infer_from_dir(args);
+  CausalOptions opts;
+  opts.p_threshold = args.get_double("threshold", 1e-3);
+  const CausalResult res = causal_analysis(table, treatment, opts);
+
+  TextTable t({"comparison", "pairs", "+/0/-", "p-value", "balanced", "verdict"});
+  for (const auto& cmp : res.comparisons) {
+    t.row().add(cmp.label()).add(cmp.pairs)
+        .add(std::to_string(cmp.outcome.n_pos) + "/" + std::to_string(cmp.outcome.n_zero) + "/" +
+             std::to_string(cmp.outcome.n_neg))
+        .add(format_sci(cmp.outcome.p_value)).add(cmp.balanced ? "yes" : "NO")
+        .add(cmp.causal
+                 ? (cmp.outcome.n_pos > cmp.outcome.n_neg ? "causes MORE tickets"
+                                                          : "causes FEWER tickets")
+                 : "no causal evidence");
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_predict(const Args& args) {
+  int months = 1;
+  const CaseTable table = infer_from_dir(args, &months);
+  const int classes = args.get_int("classes", 2);
+  const int history = args.get_int("history", 3);
+  Rng rng(7);
+
+  const EvalResult cv = evaluate_model_cv(table, classes, ModelKind::kDtBoostOversample, rng);
+  std::cout << "-- " << classes << "-class model, 5-fold CV --\n"
+            << cv.to_string(health_class_names(classes));
+
+  const int first_t = std::min(months - 1, history);
+  const double online = online_prediction_accuracy(
+      table, classes, history, ModelKind::kDtBoostOversample, rng, first_t, months - 1);
+  std::cout << "\nonline month-ahead accuracy (history " << history
+            << " months): " << format_double(online * 100, 1) << "%\n";
+  return 0;
+}
+
+int cmd_lint(const Args& args) {
+  const DiskDataset data = load_dataset(args.dir);
+  std::size_t total = 0;
+  for (const auto& net : data.inventory.networks()) {
+    std::vector<DeviceConfig> configs;
+    for (const auto* dev : data.inventory.devices_in(net.network_id)) {
+      const auto& snaps = data.snapshots.for_device(dev->device_id);
+      if (snaps.empty()) continue;
+      configs.push_back(parse(snaps.back().text, dialect_of(dev->vendor), dev->device_id));
+    }
+    const auto issues = lint_network(configs);
+    total += issues.size();
+    for (const auto& i : issues)
+      std::cout << net.network_id << " " << i.device_id << " [" << to_string(i.kind) << "] "
+                << i.detail << "\n";
+  }
+  std::cout << total << " issue(s) across " << data.inventory.num_networks() << " networks\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.command.empty() || args.dir.empty()) return usage();
+  try {
+    if (args.command == "generate") return cmd_generate(args);
+    if (args.command == "summary") return cmd_summary(args);
+    if (args.command == "infer") return cmd_infer(args);
+    if (args.command == "rank") return cmd_rank(args);
+    if (args.command == "causal") return cmd_causal(args);
+    if (args.command == "predict") return cmd_predict(args);
+    if (args.command == "lint") return cmd_lint(args);
+  } catch (const std::exception& e) {
+    std::cerr << "mpa_cli: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
