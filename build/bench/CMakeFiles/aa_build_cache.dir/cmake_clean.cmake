@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aa_build_cache.dir/aa_build_cache.cpp.o"
+  "CMakeFiles/aa_build_cache.dir/aa_build_cache.cpp.o.d"
+  "aa_build_cache"
+  "aa_build_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aa_build_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dependence.dir/ablation_dependence.cpp.o"
+  "CMakeFiles/ablation_dependence.dir/ablation_dependence.cpp.o.d"
+  "ablation_dependence"
+  "ablation_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

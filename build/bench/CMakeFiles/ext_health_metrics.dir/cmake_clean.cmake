@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_health_metrics.dir/ext_health_metrics.cpp.o"
+  "CMakeFiles/ext_health_metrics.dir/ext_health_metrics.cpp.o.d"
+  "ext_health_metrics"
+  "ext_health_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_health_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_typed_grouping.dir/ext_typed_grouping.cpp.o"
+  "CMakeFiles/ext_typed_grouping.dir/ext_typed_grouping.cpp.o.d"
+  "ext_typed_grouping"
+  "ext_typed_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_typed_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_survey.dir/fig02_survey.cpp.o"
+  "CMakeFiles/fig02_survey.dir/fig02_survey.cpp.o.d"
+  "fig02_survey"
+  "fig02_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_relationships.dir/fig04_relationships.cpp.o"
+  "CMakeFiles/fig04_relationships.dir/fig04_relationships.cpp.o.d"
+  "fig04_relationships"
+  "fig04_relationships.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_relationships.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_confounding.dir/fig05_confounding.cpp.o"
+  "CMakeFiles/fig05_confounding.dir/fig05_confounding.cpp.o.d"
+  "fig05_confounding"
+  "fig05_confounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_confounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

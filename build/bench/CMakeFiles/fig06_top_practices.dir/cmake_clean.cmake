@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_top_practices.dir/fig06_top_practices.cpp.o"
+  "CMakeFiles/fig06_top_practices.dir/fig06_top_practices.cpp.o.d"
+  "fig06_top_practices"
+  "fig06_top_practices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_top_practices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

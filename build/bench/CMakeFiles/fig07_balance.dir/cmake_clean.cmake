@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_balance.dir/fig07_balance.cpp.o"
+  "CMakeFiles/fig07_balance.dir/fig07_balance.cpp.o.d"
+  "fig07_balance"
+  "fig07_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_skew_fixes.dir/fig08_skew_fixes.cpp.o"
+  "CMakeFiles/fig08_skew_fixes.dir/fig08_skew_fixes.cpp.o.d"
+  "fig08_skew_fixes"
+  "fig08_skew_fixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_skew_fixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_class_dist.dir/fig09_class_dist.cpp.o"
+  "CMakeFiles/fig09_class_dist.dir/fig09_class_dist.cpp.o.d"
+  "fig09_class_dist"
+  "fig09_class_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_class_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

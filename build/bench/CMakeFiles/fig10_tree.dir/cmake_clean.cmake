@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tree.dir/fig10_tree.cpp.o"
+  "CMakeFiles/fig10_tree.dir/fig10_tree.cpp.o.d"
+  "fig10_tree"
+  "fig10_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_design_char.dir/fig11_design_char.cpp.o"
+  "CMakeFiles/fig11_design_char.dir/fig11_design_char.cpp.o.d"
+  "fig11_design_char"
+  "fig11_design_char.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_design_char.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ops_char.dir/fig12_ops_char.cpp.o"
+  "CMakeFiles/fig12_ops_char.dir/fig12_ops_char.cpp.o.d"
+  "fig12_ops_char"
+  "fig12_ops_char.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ops_char.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_events_char.dir/fig13_events_char.cpp.o"
+  "CMakeFiles/fig13_events_char.dir/fig13_events_char.cpp.o.d"
+  "fig13_events_char"
+  "fig13_events_char.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_events_char.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpa_bench_common.dir/common.cpp.o"
+  "CMakeFiles/mpa_bench_common.dir/common.cpp.o.d"
+  "libmpa_bench_common.a"
+  "libmpa_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpa_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

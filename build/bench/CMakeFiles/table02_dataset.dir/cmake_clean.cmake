@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_dataset.dir/table02_dataset.cpp.o"
+  "CMakeFiles/table02_dataset.dir/table02_dataset.cpp.o.d"
+  "table02_dataset"
+  "table02_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_mi_top10.dir/table03_mi_top10.cpp.o"
+  "CMakeFiles/table03_mi_top10.dir/table03_mi_top10.cpp.o.d"
+  "table03_mi_top10"
+  "table03_mi_top10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_mi_top10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table03_mi_top10.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_cmi_pairs.dir/table04_cmi_pairs.cpp.o"
+  "CMakeFiles/table04_cmi_pairs.dir/table04_cmi_pairs.cpp.o.d"
+  "table04_cmi_pairs"
+  "table04_cmi_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_cmi_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

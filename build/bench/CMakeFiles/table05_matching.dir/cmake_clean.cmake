@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_matching.dir/table05_matching.cpp.o"
+  "CMakeFiles/table05_matching.dir/table05_matching.cpp.o.d"
+  "table05_matching"
+  "table05_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_signtest.dir/table06_signtest.cpp.o"
+  "CMakeFiles/table06_signtest.dir/table06_signtest.cpp.o.d"
+  "table06_signtest"
+  "table06_signtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_signtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_causal_low.dir/table07_causal_low.cpp.o"
+  "CMakeFiles/table07_causal_low.dir/table07_causal_low.cpp.o.d"
+  "table07_causal_low"
+  "table07_causal_low.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_causal_low.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table08_causal_upper.dir/table08_causal_upper.cpp.o"
+  "CMakeFiles/table08_causal_upper.dir/table08_causal_upper.cpp.o.d"
+  "table08_causal_upper"
+  "table08_causal_upper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08_causal_upper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table08_causal_upper.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table09_online.dir/table09_online.cpp.o"
+  "CMakeFiles/table09_online.dir/table09_online.cpp.o.d"
+  "table09_online"
+  "table09_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table09_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

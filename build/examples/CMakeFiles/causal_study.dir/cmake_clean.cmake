@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causal_study.dir/causal_study.cpp.o"
+  "CMakeFiles/causal_study.dir/causal_study.cpp.o.d"
+  "causal_study"
+  "causal_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causal_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_forensics.dir/config_forensics.cpp.o"
+  "CMakeFiles/config_forensics.dir/config_forensics.cpp.o.d"
+  "config_forensics"
+  "config_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/health_forecast.cpp" "examples/CMakeFiles/health_forecast.dir/health_forecast.cpp.o" "gcc" "examples/CMakeFiles/health_forecast.dir/health_forecast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpa/CMakeFiles/mpa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulation/CMakeFiles/mpa_simulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/mpa_learn.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mpa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mpa_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/mpa_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/mpa_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mpa_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/health_forecast.dir/health_forecast.cpp.o"
+  "CMakeFiles/health_forecast.dir/health_forecast.cpp.o.d"
+  "health_forecast"
+  "health_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/health_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

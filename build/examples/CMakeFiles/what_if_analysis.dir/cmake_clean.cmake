@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/what_if_analysis.dir/what_if_analysis.cpp.o"
+  "CMakeFiles/what_if_analysis.dir/what_if_analysis.cpp.o.d"
+  "what_if_analysis"
+  "what_if_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/what_if_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/dialect.cpp" "src/config/CMakeFiles/mpa_config.dir/dialect.cpp.o" "gcc" "src/config/CMakeFiles/mpa_config.dir/dialect.cpp.o.d"
+  "/root/repo/src/config/diff.cpp" "src/config/CMakeFiles/mpa_config.dir/diff.cpp.o" "gcc" "src/config/CMakeFiles/mpa_config.dir/diff.cpp.o.d"
+  "/root/repo/src/config/lint.cpp" "src/config/CMakeFiles/mpa_config.dir/lint.cpp.o" "gcc" "src/config/CMakeFiles/mpa_config.dir/lint.cpp.o.d"
+  "/root/repo/src/config/refs.cpp" "src/config/CMakeFiles/mpa_config.dir/refs.cpp.o" "gcc" "src/config/CMakeFiles/mpa_config.dir/refs.cpp.o.d"
+  "/root/repo/src/config/routing.cpp" "src/config/CMakeFiles/mpa_config.dir/routing.cpp.o" "gcc" "src/config/CMakeFiles/mpa_config.dir/routing.cpp.o.d"
+  "/root/repo/src/config/stanza.cpp" "src/config/CMakeFiles/mpa_config.dir/stanza.cpp.o" "gcc" "src/config/CMakeFiles/mpa_config.dir/stanza.cpp.o.d"
+  "/root/repo/src/config/types.cpp" "src/config/CMakeFiles/mpa_config.dir/types.cpp.o" "gcc" "src/config/CMakeFiles/mpa_config.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mpa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mpa_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

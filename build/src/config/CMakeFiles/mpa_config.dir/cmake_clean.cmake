@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpa_config.dir/dialect.cpp.o"
+  "CMakeFiles/mpa_config.dir/dialect.cpp.o.d"
+  "CMakeFiles/mpa_config.dir/diff.cpp.o"
+  "CMakeFiles/mpa_config.dir/diff.cpp.o.d"
+  "CMakeFiles/mpa_config.dir/lint.cpp.o"
+  "CMakeFiles/mpa_config.dir/lint.cpp.o.d"
+  "CMakeFiles/mpa_config.dir/refs.cpp.o"
+  "CMakeFiles/mpa_config.dir/refs.cpp.o.d"
+  "CMakeFiles/mpa_config.dir/routing.cpp.o"
+  "CMakeFiles/mpa_config.dir/routing.cpp.o.d"
+  "CMakeFiles/mpa_config.dir/stanza.cpp.o"
+  "CMakeFiles/mpa_config.dir/stanza.cpp.o.d"
+  "CMakeFiles/mpa_config.dir/types.cpp.o"
+  "CMakeFiles/mpa_config.dir/types.cpp.o.d"
+  "libmpa_config.a"
+  "libmpa_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpa_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpa_io.dir/dataset_io.cpp.o"
+  "CMakeFiles/mpa_io.dir/dataset_io.cpp.o.d"
+  "libmpa_io.a"
+  "libmpa_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpa_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learn/adaboost.cpp" "src/learn/CMakeFiles/mpa_learn.dir/adaboost.cpp.o" "gcc" "src/learn/CMakeFiles/mpa_learn.dir/adaboost.cpp.o.d"
+  "/root/repo/src/learn/baselines.cpp" "src/learn/CMakeFiles/mpa_learn.dir/baselines.cpp.o" "gcc" "src/learn/CMakeFiles/mpa_learn.dir/baselines.cpp.o.d"
+  "/root/repo/src/learn/dataset.cpp" "src/learn/CMakeFiles/mpa_learn.dir/dataset.cpp.o" "gcc" "src/learn/CMakeFiles/mpa_learn.dir/dataset.cpp.o.d"
+  "/root/repo/src/learn/decision_tree.cpp" "src/learn/CMakeFiles/mpa_learn.dir/decision_tree.cpp.o" "gcc" "src/learn/CMakeFiles/mpa_learn.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/learn/eval.cpp" "src/learn/CMakeFiles/mpa_learn.dir/eval.cpp.o" "gcc" "src/learn/CMakeFiles/mpa_learn.dir/eval.cpp.o.d"
+  "/root/repo/src/learn/forest.cpp" "src/learn/CMakeFiles/mpa_learn.dir/forest.cpp.o" "gcc" "src/learn/CMakeFiles/mpa_learn.dir/forest.cpp.o.d"
+  "/root/repo/src/learn/sampling.cpp" "src/learn/CMakeFiles/mpa_learn.dir/sampling.cpp.o" "gcc" "src/learn/CMakeFiles/mpa_learn.dir/sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mpa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mpa_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mpa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/mpa_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/mpa_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mpa_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

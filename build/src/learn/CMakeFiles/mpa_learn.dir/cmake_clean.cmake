@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpa_learn.dir/adaboost.cpp.o"
+  "CMakeFiles/mpa_learn.dir/adaboost.cpp.o.d"
+  "CMakeFiles/mpa_learn.dir/baselines.cpp.o"
+  "CMakeFiles/mpa_learn.dir/baselines.cpp.o.d"
+  "CMakeFiles/mpa_learn.dir/dataset.cpp.o"
+  "CMakeFiles/mpa_learn.dir/dataset.cpp.o.d"
+  "CMakeFiles/mpa_learn.dir/decision_tree.cpp.o"
+  "CMakeFiles/mpa_learn.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/mpa_learn.dir/eval.cpp.o"
+  "CMakeFiles/mpa_learn.dir/eval.cpp.o.d"
+  "CMakeFiles/mpa_learn.dir/forest.cpp.o"
+  "CMakeFiles/mpa_learn.dir/forest.cpp.o.d"
+  "CMakeFiles/mpa_learn.dir/sampling.cpp.o"
+  "CMakeFiles/mpa_learn.dir/sampling.cpp.o.d"
+  "libmpa_learn.a"
+  "libmpa_learn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpa_learn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

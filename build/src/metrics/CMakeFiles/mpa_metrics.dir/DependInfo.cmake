@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/case_table.cpp" "src/metrics/CMakeFiles/mpa_metrics.dir/case_table.cpp.o" "gcc" "src/metrics/CMakeFiles/mpa_metrics.dir/case_table.cpp.o.d"
+  "/root/repo/src/metrics/change_analysis.cpp" "src/metrics/CMakeFiles/mpa_metrics.dir/change_analysis.cpp.o" "gcc" "src/metrics/CMakeFiles/mpa_metrics.dir/change_analysis.cpp.o.d"
+  "/root/repo/src/metrics/design_metrics.cpp" "src/metrics/CMakeFiles/mpa_metrics.dir/design_metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/mpa_metrics.dir/design_metrics.cpp.o.d"
+  "/root/repo/src/metrics/inference.cpp" "src/metrics/CMakeFiles/mpa_metrics.dir/inference.cpp.o" "gcc" "src/metrics/CMakeFiles/mpa_metrics.dir/inference.cpp.o.d"
+  "/root/repo/src/metrics/practices.cpp" "src/metrics/CMakeFiles/mpa_metrics.dir/practices.cpp.o" "gcc" "src/metrics/CMakeFiles/mpa_metrics.dir/practices.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mpa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mpa_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/mpa_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/mpa_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mpa_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

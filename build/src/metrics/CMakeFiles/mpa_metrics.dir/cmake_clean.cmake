@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpa_metrics.dir/case_table.cpp.o"
+  "CMakeFiles/mpa_metrics.dir/case_table.cpp.o.d"
+  "CMakeFiles/mpa_metrics.dir/change_analysis.cpp.o"
+  "CMakeFiles/mpa_metrics.dir/change_analysis.cpp.o.d"
+  "CMakeFiles/mpa_metrics.dir/design_metrics.cpp.o"
+  "CMakeFiles/mpa_metrics.dir/design_metrics.cpp.o.d"
+  "CMakeFiles/mpa_metrics.dir/inference.cpp.o"
+  "CMakeFiles/mpa_metrics.dir/inference.cpp.o.d"
+  "CMakeFiles/mpa_metrics.dir/practices.cpp.o"
+  "CMakeFiles/mpa_metrics.dir/practices.cpp.o.d"
+  "libmpa_metrics.a"
+  "libmpa_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpa_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

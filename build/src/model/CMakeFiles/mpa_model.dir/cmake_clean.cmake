@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpa_model.dir/inventory.cpp.o"
+  "CMakeFiles/mpa_model.dir/inventory.cpp.o.d"
+  "libmpa_model.a"
+  "libmpa_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpa_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpa_core.dir/causal.cpp.o"
+  "CMakeFiles/mpa_core.dir/causal.cpp.o.d"
+  "CMakeFiles/mpa_core.dir/dependence.cpp.o"
+  "CMakeFiles/mpa_core.dir/dependence.cpp.o.d"
+  "CMakeFiles/mpa_core.dir/modeling.cpp.o"
+  "CMakeFiles/mpa_core.dir/modeling.cpp.o.d"
+  "libmpa_core.a"
+  "libmpa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

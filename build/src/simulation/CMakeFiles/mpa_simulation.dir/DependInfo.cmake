@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simulation/change_process.cpp" "src/simulation/CMakeFiles/mpa_simulation.dir/change_process.cpp.o" "gcc" "src/simulation/CMakeFiles/mpa_simulation.dir/change_process.cpp.o.d"
+  "/root/repo/src/simulation/config_gen.cpp" "src/simulation/CMakeFiles/mpa_simulation.dir/config_gen.cpp.o" "gcc" "src/simulation/CMakeFiles/mpa_simulation.dir/config_gen.cpp.o.d"
+  "/root/repo/src/simulation/health_model.cpp" "src/simulation/CMakeFiles/mpa_simulation.dir/health_model.cpp.o" "gcc" "src/simulation/CMakeFiles/mpa_simulation.dir/health_model.cpp.o.d"
+  "/root/repo/src/simulation/network_design.cpp" "src/simulation/CMakeFiles/mpa_simulation.dir/network_design.cpp.o" "gcc" "src/simulation/CMakeFiles/mpa_simulation.dir/network_design.cpp.o.d"
+  "/root/repo/src/simulation/osp_generator.cpp" "src/simulation/CMakeFiles/mpa_simulation.dir/osp_generator.cpp.o" "gcc" "src/simulation/CMakeFiles/mpa_simulation.dir/osp_generator.cpp.o.d"
+  "/root/repo/src/simulation/survey.cpp" "src/simulation/CMakeFiles/mpa_simulation.dir/survey.cpp.o" "gcc" "src/simulation/CMakeFiles/mpa_simulation.dir/survey.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mpa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mpa_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/mpa_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/mpa_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mpa_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mpa_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpa_simulation.dir/change_process.cpp.o"
+  "CMakeFiles/mpa_simulation.dir/change_process.cpp.o.d"
+  "CMakeFiles/mpa_simulation.dir/config_gen.cpp.o"
+  "CMakeFiles/mpa_simulation.dir/config_gen.cpp.o.d"
+  "CMakeFiles/mpa_simulation.dir/health_model.cpp.o"
+  "CMakeFiles/mpa_simulation.dir/health_model.cpp.o.d"
+  "CMakeFiles/mpa_simulation.dir/network_design.cpp.o"
+  "CMakeFiles/mpa_simulation.dir/network_design.cpp.o.d"
+  "CMakeFiles/mpa_simulation.dir/osp_generator.cpp.o"
+  "CMakeFiles/mpa_simulation.dir/osp_generator.cpp.o.d"
+  "CMakeFiles/mpa_simulation.dir/survey.cpp.o"
+  "CMakeFiles/mpa_simulation.dir/survey.cpp.o.d"
+  "libmpa_simulation.a"
+  "libmpa_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpa_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/binning.cpp" "src/stats/CMakeFiles/mpa_stats.dir/binning.cpp.o" "gcc" "src/stats/CMakeFiles/mpa_stats.dir/binning.cpp.o.d"
+  "/root/repo/src/stats/decomposition.cpp" "src/stats/CMakeFiles/mpa_stats.dir/decomposition.cpp.o" "gcc" "src/stats/CMakeFiles/mpa_stats.dir/decomposition.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/mpa_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/mpa_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/info.cpp" "src/stats/CMakeFiles/mpa_stats.dir/info.cpp.o" "gcc" "src/stats/CMakeFiles/mpa_stats.dir/info.cpp.o.d"
+  "/root/repo/src/stats/logistic.cpp" "src/stats/CMakeFiles/mpa_stats.dir/logistic.cpp.o" "gcc" "src/stats/CMakeFiles/mpa_stats.dir/logistic.cpp.o.d"
+  "/root/repo/src/stats/matching.cpp" "src/stats/CMakeFiles/mpa_stats.dir/matching.cpp.o" "gcc" "src/stats/CMakeFiles/mpa_stats.dir/matching.cpp.o.d"
+  "/root/repo/src/stats/signtest.cpp" "src/stats/CMakeFiles/mpa_stats.dir/signtest.cpp.o" "gcc" "src/stats/CMakeFiles/mpa_stats.dir/signtest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mpa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

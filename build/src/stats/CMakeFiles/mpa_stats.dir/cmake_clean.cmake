@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpa_stats.dir/binning.cpp.o"
+  "CMakeFiles/mpa_stats.dir/binning.cpp.o.d"
+  "CMakeFiles/mpa_stats.dir/decomposition.cpp.o"
+  "CMakeFiles/mpa_stats.dir/decomposition.cpp.o.d"
+  "CMakeFiles/mpa_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/mpa_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/mpa_stats.dir/info.cpp.o"
+  "CMakeFiles/mpa_stats.dir/info.cpp.o.d"
+  "CMakeFiles/mpa_stats.dir/logistic.cpp.o"
+  "CMakeFiles/mpa_stats.dir/logistic.cpp.o.d"
+  "CMakeFiles/mpa_stats.dir/matching.cpp.o"
+  "CMakeFiles/mpa_stats.dir/matching.cpp.o.d"
+  "CMakeFiles/mpa_stats.dir/signtest.cpp.o"
+  "CMakeFiles/mpa_stats.dir/signtest.cpp.o.d"
+  "libmpa_stats.a"
+  "libmpa_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpa_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

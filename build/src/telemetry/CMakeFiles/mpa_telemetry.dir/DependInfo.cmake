@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/health_metrics.cpp" "src/telemetry/CMakeFiles/mpa_telemetry.dir/health_metrics.cpp.o" "gcc" "src/telemetry/CMakeFiles/mpa_telemetry.dir/health_metrics.cpp.o.d"
+  "/root/repo/src/telemetry/snapshots.cpp" "src/telemetry/CMakeFiles/mpa_telemetry.dir/snapshots.cpp.o" "gcc" "src/telemetry/CMakeFiles/mpa_telemetry.dir/snapshots.cpp.o.d"
+  "/root/repo/src/telemetry/tickets.cpp" "src/telemetry/CMakeFiles/mpa_telemetry.dir/tickets.cpp.o" "gcc" "src/telemetry/CMakeFiles/mpa_telemetry.dir/tickets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mpa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mpa_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/mpa_config.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpa_telemetry.dir/health_metrics.cpp.o"
+  "CMakeFiles/mpa_telemetry.dir/health_metrics.cpp.o.d"
+  "CMakeFiles/mpa_telemetry.dir/snapshots.cpp.o"
+  "CMakeFiles/mpa_telemetry.dir/snapshots.cpp.o.d"
+  "CMakeFiles/mpa_telemetry.dir/tickets.cpp.o"
+  "CMakeFiles/mpa_telemetry.dir/tickets.cpp.o.d"
+  "libmpa_telemetry.a"
+  "libmpa_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpa_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

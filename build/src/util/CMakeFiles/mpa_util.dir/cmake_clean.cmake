@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpa_util.dir/rng.cpp.o"
+  "CMakeFiles/mpa_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mpa_util.dir/strings.cpp.o"
+  "CMakeFiles/mpa_util.dir/strings.cpp.o.d"
+  "CMakeFiles/mpa_util.dir/table.cpp.o"
+  "CMakeFiles/mpa_util.dir/table.cpp.o.d"
+  "libmpa_util.a"
+  "libmpa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

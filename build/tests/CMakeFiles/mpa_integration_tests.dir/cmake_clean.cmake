@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpa_integration_tests.dir/test_pipeline_integration.cpp.o"
+  "CMakeFiles/mpa_integration_tests.dir/test_pipeline_integration.cpp.o.d"
+  "mpa_integration_tests"
+  "mpa_integration_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpa_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

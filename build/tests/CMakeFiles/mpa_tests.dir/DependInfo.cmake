@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaboost.cpp" "tests/CMakeFiles/mpa_tests.dir/test_adaboost.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_adaboost.cpp.o.d"
+  "/root/repo/tests/test_addr.cpp" "tests/CMakeFiles/mpa_tests.dir/test_addr.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_addr.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/mpa_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_binning.cpp" "tests/CMakeFiles/mpa_tests.dir/test_binning.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_binning.cpp.o.d"
+  "/root/repo/tests/test_causal.cpp" "tests/CMakeFiles/mpa_tests.dir/test_causal.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_causal.cpp.o.d"
+  "/root/repo/tests/test_change_analysis.cpp" "tests/CMakeFiles/mpa_tests.dir/test_change_analysis.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_change_analysis.cpp.o.d"
+  "/root/repo/tests/test_dataset.cpp" "tests/CMakeFiles/mpa_tests.dir/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_dataset.cpp.o.d"
+  "/root/repo/tests/test_dataset_io.cpp" "tests/CMakeFiles/mpa_tests.dir/test_dataset_io.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_dataset_io.cpp.o.d"
+  "/root/repo/tests/test_decision_tree.cpp" "tests/CMakeFiles/mpa_tests.dir/test_decision_tree.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_decision_tree.cpp.o.d"
+  "/root/repo/tests/test_decomposition.cpp" "tests/CMakeFiles/mpa_tests.dir/test_decomposition.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_decomposition.cpp.o.d"
+  "/root/repo/tests/test_dependence.cpp" "tests/CMakeFiles/mpa_tests.dir/test_dependence.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_dependence.cpp.o.d"
+  "/root/repo/tests/test_descriptive.cpp" "tests/CMakeFiles/mpa_tests.dir/test_descriptive.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_descriptive.cpp.o.d"
+  "/root/repo/tests/test_design_metrics.cpp" "tests/CMakeFiles/mpa_tests.dir/test_design_metrics.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_design_metrics.cpp.o.d"
+  "/root/repo/tests/test_dialect.cpp" "tests/CMakeFiles/mpa_tests.dir/test_dialect.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_dialect.cpp.o.d"
+  "/root/repo/tests/test_diff.cpp" "tests/CMakeFiles/mpa_tests.dir/test_diff.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_diff.cpp.o.d"
+  "/root/repo/tests/test_eval.cpp" "tests/CMakeFiles/mpa_tests.dir/test_eval.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_eval.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/mpa_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_forest.cpp" "tests/CMakeFiles/mpa_tests.dir/test_forest.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_forest.cpp.o.d"
+  "/root/repo/tests/test_inference.cpp" "tests/CMakeFiles/mpa_tests.dir/test_inference.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_inference.cpp.o.d"
+  "/root/repo/tests/test_info.cpp" "tests/CMakeFiles/mpa_tests.dir/test_info.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_info.cpp.o.d"
+  "/root/repo/tests/test_inventory.cpp" "tests/CMakeFiles/mpa_tests.dir/test_inventory.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_inventory.cpp.o.d"
+  "/root/repo/tests/test_logistic.cpp" "tests/CMakeFiles/mpa_tests.dir/test_logistic.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_logistic.cpp.o.d"
+  "/root/repo/tests/test_matching.cpp" "tests/CMakeFiles/mpa_tests.dir/test_matching.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_matching.cpp.o.d"
+  "/root/repo/tests/test_modeling.cpp" "tests/CMakeFiles/mpa_tests.dir/test_modeling.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_modeling.cpp.o.d"
+  "/root/repo/tests/test_practices.cpp" "tests/CMakeFiles/mpa_tests.dir/test_practices.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_practices.cpp.o.d"
+  "/root/repo/tests/test_refs.cpp" "tests/CMakeFiles/mpa_tests.dir/test_refs.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_refs.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/mpa_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/mpa_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_sampling.cpp" "tests/CMakeFiles/mpa_tests.dir/test_sampling.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_sampling.cpp.o.d"
+  "/root/repo/tests/test_signtest.cpp" "tests/CMakeFiles/mpa_tests.dir/test_signtest.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_signtest.cpp.o.d"
+  "/root/repo/tests/test_simulation.cpp" "tests/CMakeFiles/mpa_tests.dir/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_simulation.cpp.o.d"
+  "/root/repo/tests/test_stanza.cpp" "tests/CMakeFiles/mpa_tests.dir/test_stanza.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_stanza.cpp.o.d"
+  "/root/repo/tests/test_strings.cpp" "tests/CMakeFiles/mpa_tests.dir/test_strings.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_strings.cpp.o.d"
+  "/root/repo/tests/test_survey.cpp" "tests/CMakeFiles/mpa_tests.dir/test_survey.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_survey.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/mpa_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_telemetry.cpp" "tests/CMakeFiles/mpa_tests.dir/test_telemetry.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_telemetry.cpp.o.d"
+  "/root/repo/tests/test_types.cpp" "tests/CMakeFiles/mpa_tests.dir/test_types.cpp.o" "gcc" "tests/CMakeFiles/mpa_tests.dir/test_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpa/CMakeFiles/mpa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mpa_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulation/CMakeFiles/mpa_simulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/mpa_learn.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mpa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mpa_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/mpa_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/mpa_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mpa_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

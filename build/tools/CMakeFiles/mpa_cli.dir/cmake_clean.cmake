@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpa_cli.dir/mpa_cli.cpp.o"
+  "CMakeFiles/mpa_cli.dir/mpa_cli.cpp.o.d"
+  "mpa_cli"
+  "mpa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
