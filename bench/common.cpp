@@ -2,11 +2,7 @@
 
 #include <chrono>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
-#include <sstream>
-
-#include "metrics/inference.hpp"
 
 namespace mpa::bench {
 namespace {
@@ -16,54 +12,63 @@ int env_int(const char* name, int fallback) {
   return v == nullptr ? fallback : std::atoi(v);
 }
 
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  return end == v || *end != '\0' ? fallback : static_cast<std::uint64_t>(parsed);
+}
+
 }  // namespace
 
 BenchConfig config_from_env() {
   BenchConfig cfg;
   cfg.networks = env_int("MPA_BENCH_NETWORKS", cfg.networks);
   cfg.months = env_int("MPA_BENCH_MONTHS", cfg.months);
-  cfg.seed = static_cast<std::uint64_t>(env_int("MPA_BENCH_SEED", static_cast<int>(cfg.seed)));
+  cfg.seed = env_u64("MPA_BENCH_SEED", cfg.seed);
   if (const char* dir = std::getenv("MPA_BENCH_CACHE_DIR")) cfg.cache_dir = dir;
   return cfg;
 }
 
-CaseTable load_case_table(const BenchConfig& cfg) {
-  const std::string path = cfg.cache_dir + "/mpa_case_table_" + std::to_string(cfg.networks) +
-                           "x" + std::to_string(cfg.months) + "_s" + std::to_string(cfg.seed) +
-                           ".csv";
-  {
-    std::ifstream in(path);
-    if (in) {
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      try {
-        CaseTable table = CaseTable::from_csv(buf.str());
-        if (!table.empty()) {
-          std::cerr << "[bench] loaded cached case table: " << path << " (" << table.size()
-                    << " cases)\n";
-          return table;
-        }
-      } catch (const DataError&) {
-        std::cerr << "[bench] cache corrupt, regenerating: " << path << "\n";
-      }
-    }
+std::string case_table_key(const BenchConfig& cfg) {
+  return "mpa_case_table_" + std::to_string(cfg.networks) + "x" + std::to_string(cfg.months) +
+         "_s" + std::to_string(cfg.seed);
+}
+
+AnalysisSession make_session(const BenchConfig& cfg) {
+  SessionOptions opts;
+  opts.seed = cfg.seed;
+  opts.artifact_dir = cfg.cache_dir;
+  opts.artifact_key = case_table_key(cfg);
+  opts.inference.num_months = cfg.months;
+
+  // Peek at the store before generating: the whole point of the
+  // persistent artifact is skipping OSP generation on warm runs.
+  const ArtifactStore store(opts.artifact_dir);
+  if (store.load_case_table(opts.artifact_key).has_value()) {
+    std::cerr << "[bench] artifact store has " << store.path_for(opts.artifact_key) << "\n";
+    return AnalysisSession(Inventory{}, SnapshotStore{}, TicketLog{}, std::move(opts));
   }
+
+  const std::string cache_path = store.path_for(opts.artifact_key);
   const auto t0 = std::chrono::steady_clock::now();
   std::cerr << "[bench] generating synthetic OSP (" << cfg.networks << " networks x "
             << cfg.months << " months, seed " << cfg.seed << ")...\n";
-  const OspDataset data = generate_raw(cfg);
-  InferenceOptions iopts;
-  iopts.num_months = cfg.months;
-  CaseTable table = infer_case_table(data.inventory, data.snapshots, data.tickets, iopts);
+  OspDataset data = generate_raw(cfg);
+  AnalysisSession session(std::move(data.inventory), std::move(data.snapshots),
+                          std::move(data.tickets), std::move(opts));
+  const std::size_t cases = session.case_table().size();  // infer + persist
   const auto t1 = std::chrono::steady_clock::now();
   std::cerr << "[bench] built case table in " << std::chrono::duration<double>(t1 - t0).count()
-            << "s (" << table.size() << " cases)\n";
-  std::ofstream out(path);
-  if (out) {
-    out << table.to_csv();
-    std::cerr << "[bench] cached to " << path << "\n";
-  }
-  return table;
+            << "s (" << cases << " cases, " << session.threads() << " threads), cached to "
+            << cache_path << "\n";
+  return session;
+}
+
+CaseTable load_case_table(const BenchConfig& cfg) {
+  AnalysisSession session = make_session(cfg);
+  return session.case_table();
 }
 
 OspDataset generate_raw(const BenchConfig& cfg) {

@@ -1,17 +1,20 @@
 // Shared plumbing for the reproduction benches: one synthetic OSP at
-// paper scale (850 networks x 17 months by default), with the inferred
-// case table cached as CSV so the ~20 bench binaries don't each pay the
-// generation + inference cost.
+// paper scale (850 networks x 17 months by default), analyzed through
+// the engine's AnalysisSession. The inferred case table persists in
+// the session's ArtifactStore (CSV under the cache dir) so the ~20
+// bench binaries don't each pay the generation + inference cost.
 //
 // Environment overrides:
 //   MPA_BENCH_NETWORKS  number of networks (default 850)
 //   MPA_BENCH_MONTHS    number of months   (default 17)
-//   MPA_BENCH_SEED      generator seed     (default 42)
+//   MPA_BENCH_SEED      generator seed     (default 42; full uint64)
 //   MPA_BENCH_CACHE_DIR cache directory    (default /tmp)
+//   MPA_THREADS         engine thread count (default: hardware)
 #pragma once
 
 #include <string>
 
+#include "engine/session.hpp"
 #include "metrics/case_table.hpp"
 #include "simulation/osp_generator.hpp"
 
@@ -27,8 +30,15 @@ struct BenchConfig {
 /// Read the configuration, applying environment overrides.
 BenchConfig config_from_env();
 
-/// The inferred case table for the configured OSP; loads from the CSV
-/// cache when present, otherwise generates + infers + caches.
+/// The artifact-store key the configured case table persists under.
+std::string case_table_key(const BenchConfig& cfg);
+
+/// An engine session over the configured OSP: checks the artifact
+/// store first and only generates + infers on a miss, so most benches
+/// never touch the raw data. The session key matches case_table_key().
+AnalysisSession make_session(const BenchConfig& cfg = config_from_env());
+
+/// The inferred case table for the configured OSP (via make_session).
 CaseTable load_case_table(const BenchConfig& cfg = config_from_env());
 
 /// Generate the raw dataset (no cache; only the benches that need raw

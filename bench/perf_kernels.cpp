@@ -1,13 +1,21 @@
 // Microbenchmarks of the library's computational kernels
 // (google-benchmark): config parse/render/diff, MI, logistic fit,
-// matching, and tree learning.
+// matching, tree learning — plus serial-vs-parallel timings of the
+// three engine fan-out stages (inference, causal QED, CV). The
+// parallel variants run on a pool sized by MPA_THREADS (default:
+// hardware concurrency); arg 0 = serial, arg 1 = pooled.
 #include <benchmark/benchmark.h>
 
 #include "config/dialect.hpp"
 #include "config/diff.hpp"
 #include "learn/decision_tree.hpp"
+#include "metrics/inference.hpp"
+#include "mpa/causal.hpp"
+#include "mpa/modeling.hpp"
+#include "simulation/osp_generator.hpp"
 #include "stats/info.hpp"
 #include "stats/matching.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -90,6 +98,88 @@ void BM_DecisionTreeFit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_DecisionTreeFit)->Arg(1000)->Arg(10000);
+
+// --- engine fan-out stages: serial vs parallel ------------------------
+
+ThreadPool& perf_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+const OspDataset& perf_osp() {
+  static const OspDataset data = [] {
+    OspOptions opts;
+    opts.num_networks = 60;
+    opts.num_months = 6;
+    opts.seed = 5;
+    return generate_osp(opts);
+  }();
+  return data;
+}
+
+const CaseTable& perf_table() {
+  static const CaseTable table = [] {
+    InferenceOptions opts;
+    opts.num_months = 6;
+    return infer_case_table(perf_osp().inventory, perf_osp().snapshots, perf_osp().tickets,
+                            opts);
+  }();
+  return table;
+}
+
+void set_mode_label(benchmark::State& state, bool parallel) {
+  state.SetLabel(parallel ? "pool=" + std::to_string(perf_pool().size()) + " threads"
+                          : "serial");
+}
+
+void BM_InferCaseTable(benchmark::State& state) {
+  const OspDataset& data = perf_osp();
+  const bool parallel = state.range(0) != 0;
+  InferenceOptions opts;
+  opts.num_months = 6;
+  if (parallel) opts.pool = &perf_pool();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(infer_case_table(data.inventory, data.snapshots, data.tickets, opts));
+  set_mode_label(state, parallel);
+  state.SetItemsProcessed(state.iterations() * 60);  // networks
+}
+BENCHMARK(BM_InferCaseTable)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_CausalAnalysis(benchmark::State& state) {
+  const CaseTable& table = perf_table();
+  const bool parallel = state.range(0) != 0;
+  CausalOptions opts;
+  if (parallel) opts.pool = &perf_pool();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(causal_analysis(table, Practice::kNumChangeEvents, opts));
+  set_mode_label(state, parallel);
+}
+BENCHMARK(BM_CausalAnalysis)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_EvaluateModelCv(benchmark::State& state) {
+  const CaseTable& table = perf_table();
+  const bool parallel = state.range(0) != 0;
+  ModelingOptions opts;
+  if (parallel) opts.pool = &perf_pool();
+  for (auto _ : state) {
+    Rng rng(9);  // same stream every iteration and mode
+    benchmark::DoNotOptimize(
+        evaluate_model_cv(table, 2, ModelKind::kDtBoostOversample, rng, opts));
+  }
+  set_mode_label(state, parallel);
+}
+BENCHMARK(BM_EvaluateModelCv)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> out(n, 0);
+  for (auto _ : state) {
+    perf_pool().parallel_for(n, [&](std::size_t i) { out[i] = static_cast<double>(i) * 0.5; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(16)->Arg(1024);
 
 }  // namespace
 

@@ -3,7 +3,7 @@
 // practice with all diagnostics an analyst would want to see (§5.2).
 #include <iostream>
 
-#include "mpa/mpa.hpp"
+#include "engine/session.hpp"
 #include "simulation/osp_generator.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -17,15 +17,20 @@ int main() {
   gen_opts.seed = 11;
   std::cout << "generating a 300-network synthetic OSP (a real deployment would\n"
                "load its inventory, snapshot archive, and ticket log instead)...\n";
-  const OspDataset data = generate_osp(gen_opts);
-  const CaseTable table = infer_case_table(data.inventory, data.snapshots, data.tickets);
+  OspDataset data = generate_osp(gen_opts);
+  SessionOptions session_opts;
+  session_opts.seed = 11;
+  AnalysisSession session(std::move(data.inventory), std::move(data.snapshots),
+                          std::move(data.tickets), std::move(session_opts));
 
   const Practice treatment = Practice::kNumChangeTypes;
   std::cout << "\ntreatment practice: " << practice_name(treatment) << "\n"
             << "confounders: every other inferred practice (" << analysis_practices().size() - 1
             << " metrics)\n";
 
-  const CausalResult res = causal_analysis(table, treatment);
+  // The session infers the case table on first use, runs the four
+  // comparison points of the QED in parallel, and memoizes the result.
+  const CausalResult& res = session.causal(treatment);
 
   TextTable t({"comparison", "untreated", "treated", "pairs", "worst |sdm|", "balanced",
                "+/0/-", "p-value", "verdict"});

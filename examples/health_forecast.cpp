@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "engine/session.hpp"
 #include "learn/sampling.hpp"
 #include "mpa/mpa.hpp"
 #include "simulation/osp_generator.hpp"
@@ -17,11 +18,12 @@ int main() {
   gen_opts.num_networks = 150;
   gen_opts.num_months = 12;
   gen_opts.seed = 23;
-  const OspDataset data = generate_osp(gen_opts);
-  InferenceOptions infer_opts;
-  infer_opts.num_months = gen_opts.num_months;
-  const CaseTable table =
-      infer_case_table(data.inventory, data.snapshots, data.tickets, infer_opts);
+  OspDataset data = generate_osp(gen_opts);
+  SessionOptions session_opts;
+  session_opts.inference.num_months = gen_opts.num_months;
+  AnalysisSession session(std::move(data.inventory), std::move(data.snapshots),
+                          std::move(data.tickets), session_opts);
+  const CaseTable& table = session.case_table();
 
   const int target_month = gen_opts.num_months - 1;  // "next month"
   const int history = 6;

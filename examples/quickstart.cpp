@@ -3,12 +3,14 @@
 // 1. Obtain the three data sources. A real organization loads its own
 //    inventory / snapshot archive / ticket log; here we synthesize a
 //    small one so the example is self-contained.
-// 2. Infer the (network, month) case table.
+// 2. Open an AnalysisSession over them — the engine layer that owns
+//    the inferred case table, the memoized analyses, and the thread
+//    pool (MPA_THREADS to override its size).
 // 3. Rank practices by dependence with health.
 // 4. Train a 2-class health model and report cross-validated accuracy.
 #include <iostream>
 
-#include "mpa/mpa.hpp"
+#include "engine/session.hpp"
 #include "simulation/osp_generator.hpp"
 
 int main() {
@@ -19,32 +21,33 @@ int main() {
   gen_opts.num_networks = 80;
   gen_opts.num_months = 12;
   gen_opts.seed = 7;
-  const OspDataset data = generate_osp(gen_opts);
+  OspDataset data = generate_osp(gen_opts);
   std::cout << "data sources: " << data.inventory.num_networks() << " networks, "
             << data.inventory.num_devices() << " devices, "
             << data.snapshots.total_snapshots() << " config snapshots, "
             << data.tickets.size() << " tickets\n";
 
-  // --- 2. Practice inference ----------------------------------------------
-  InferenceOptions infer_opts;
-  infer_opts.num_months = gen_opts.num_months;
-  const CaseTable table =
-      infer_case_table(data.inventory, data.snapshots, data.tickets, infer_opts);
+  // --- 2. The engine session ------------------------------------------------
+  SessionOptions opts;
+  opts.inference.num_months = gen_opts.num_months;
+  opts.seed = 1;
+  AnalysisSession session(std::move(data.inventory), std::move(data.snapshots),
+                          std::move(data.tickets), opts);
+  const CaseTable& table = session.case_table();  // inferred once, cached
   std::cout << "case table: " << table.size() << " (network, month) cases with "
-            << kNumPractices << " practice metrics each\n";
+            << kNumPractices << " practice metrics each (inferred on "
+            << session.threads() << " threads)\n";
 
   // --- 3. Which practices relate to health? --------------------------------
-  const DependenceAnalysis dep(table);
   std::cout << "\ntop practices by avg monthly MI with ticket count:\n";
-  for (const auto& pm : dep.top_practices(5)) {
+  for (const auto& pm : session.dependence().top_practices(5)) {
     std::cout << "  " << practice_name(pm.practice) << " (" << category_tag(pm.practice)
               << "): " << pm.avg_monthly_mi << "\n";
   }
 
   // --- 4. Predict health ----------------------------------------------------
-  Rng rng(1);
-  const EvalResult dt = evaluate_model_cv(table, 2, ModelKind::kDecisionTree, rng);
-  const EvalResult majority = evaluate_model_cv(table, 2, ModelKind::kMajority, rng);
+  const EvalResult& dt = session.evaluate_cv(2, ModelKind::kDecisionTree);
+  const EvalResult& majority = session.evaluate_cv(2, ModelKind::kMajority);
   std::cout << "\n2-class decision tree (5-fold CV):\n"
             << dt.to_string(health_class_names(2))
             << "majority baseline accuracy: " << majority.accuracy * 100 << "%\n";

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "engine/session.hpp"
 #include "learn/sampling.hpp"
 #include "mpa/mpa.hpp"
 #include "simulation/osp_generator.hpp"
@@ -18,10 +19,12 @@ int main() {
   gen_opts.num_networks = 200;
   gen_opts.num_months = 12;
   gen_opts.seed = 31;
-  const OspDataset data = generate_osp(gen_opts);
-  const InferenceOptions infer_opts{.event_window = 5, .num_months = gen_opts.num_months};
-  const CaseTable table =
-      infer_case_table(data.inventory, data.snapshots, data.tickets, infer_opts);
+  OspDataset data = generate_osp(gen_opts);
+  SessionOptions session_opts;
+  session_opts.inference = InferenceOptions{.event_window = 5, .num_months = gen_opts.num_months};
+  AnalysisSession session(std::move(data.inventory), std::move(data.snapshots),
+                          std::move(data.tickets), session_opts);
+  const CaseTable& table = session.case_table();
 
   // Organization-wide 5-class model (AB + OS, the paper's best).
   const FeatureSpace space = FeatureSpace::fit(table);

@@ -1,0 +1,43 @@
+#include "engine/artifact_store.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mpa {
+
+std::string ArtifactStore::path_for(const std::string& key) const {
+  return dir_ + "/" + key + ".csv";
+}
+
+std::optional<CaseTable> ArtifactStore::load_case_table(const std::string& key) const {
+  if (!enabled()) return std::nullopt;
+  std::ifstream in(path_for(key));
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    CaseTable table = CaseTable::from_csv(buf.str());
+    if (table.empty()) return std::nullopt;
+    return table;
+  } catch (const DataError&) {
+    return std::nullopt;
+  }
+}
+
+bool ArtifactStore::save_case_table(const std::string& key, const CaseTable& table) const {
+  if (!enabled()) return false;
+  std::ofstream out(path_for(key));
+  if (!out) return false;
+  out << table.to_csv();
+  return static_cast<bool>(out);
+}
+
+void ArtifactStore::remove(const std::string& key) const {
+  if (!enabled()) return;
+  std::remove(path_for(key).c_str());
+}
+
+}  // namespace mpa

@@ -1,0 +1,46 @@
+// Persistent artifact store for the engine: named derived artifacts
+// (today: inferred case tables as CSV) written under a cache
+// directory so they survive process restarts. This is the store the
+// benches use to share one expensive 850x17 case table across ~25
+// binaries, and the AnalysisSession uses to skip re-inference when a
+// keyed session is reconstructed over the same data.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "metrics/case_table.hpp"
+
+namespace mpa {
+
+class ArtifactStore {
+ public:
+  /// A disabled store: every load misses, every save is a no-op.
+  ArtifactStore() = default;
+
+  /// Store rooted at `dir` (must already exist; /tmp-style caches).
+  explicit ArtifactStore(std::string dir) : dir_(std::move(dir)) {}
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Where the artifact for `key` lives (key + ".csv" under dir).
+  std::string path_for(const std::string& key) const;
+
+  /// Load a previously saved case table; nullopt when the store is
+  /// disabled, the artifact is absent, or its content is corrupt
+  /// (corrupt artifacts are treated as misses, never as errors).
+  std::optional<CaseTable> load_case_table(const std::string& key) const;
+
+  /// Persist a case table under `key`. Returns false when the store
+  /// is disabled or the write fails.
+  bool save_case_table(const std::string& key, const CaseTable& table) const;
+
+  /// Delete the artifact for `key` (used by explicit invalidation).
+  void remove(const std::string& key) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace mpa

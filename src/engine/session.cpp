@@ -1,0 +1,135 @@
+#include "engine/session.hpp"
+
+#include <algorithm>
+
+#include "io/dataset_io.hpp"
+#include "telemetry/time.hpp"
+
+namespace mpa {
+namespace {
+
+/// splitmix64 finalizer — decorrelates artifact tags into seeds.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+AnalysisSession::AnalysisSession(Inventory inventory, SnapshotStore snapshots, TicketLog tickets,
+                                 SessionOptions opts)
+    : inventory_(std::move(inventory)),
+      snapshots_(std::move(snapshots)),
+      tickets_(std::move(tickets)),
+      opts_(std::move(opts)),
+      store_(opts_.artifact_dir),
+      pool_(std::make_unique<ThreadPool>(opts_.threads > 0 ? opts_.threads
+                                                           : ThreadPool::default_thread_count())) {
+}
+
+AnalysisSession AnalysisSession::from_directory(const std::string& dir, SessionOptions opts) {
+  DiskDataset data = load_dataset(dir);
+  // Observation window implied by the data: the last month touched by
+  // any ticket or snapshot.
+  int months = 1;
+  for (const auto& t : data.tickets.all()) months = std::max(months, month_of(t.created) + 1);
+  for (const auto& dev : data.snapshots.devices())
+    for (const auto& s : data.snapshots.for_device(dev))
+      months = std::max(months, month_of(s.time) + 1);
+  opts.inference.num_months = months;
+  return AnalysisSession(std::move(data.inventory), std::move(data.snapshots),
+                         std::move(data.tickets), std::move(opts));
+}
+
+Rng AnalysisSession::stream_for(std::uint64_t tag) const {
+  return Rng(mix(opts_.seed ^ mix(tag)));
+}
+
+const CaseTable& AnalysisSession::case_table() {
+  if (table_.has_value()) {
+    ++stats_.hits;
+    return *table_;
+  }
+  if (!opts_.artifact_key.empty()) {
+    if (auto cached = store_.load_case_table(opts_.artifact_key)) {
+      ++stats_.table_loads;
+      table_ = std::move(*cached);
+      return *table_;
+    }
+  }
+  InferenceOptions iopts = opts_.inference;
+  iopts.pool = pool_.get();
+  table_ = infer_case_table(inventory_, snapshots_, tickets_, iopts);
+  ++stats_.table_builds;
+  if (!opts_.artifact_key.empty()) store_.save_case_table(opts_.artifact_key, *table_);
+  return *table_;
+}
+
+const DependenceAnalysis& AnalysisSession::dependence() {
+  if (dependence_.has_value()) {
+    ++stats_.hits;
+    return *dependence_;
+  }
+  dependence_.emplace(case_table(), opts_.dependence);
+  return *dependence_;
+}
+
+const CausalResult& AnalysisSession::causal(Practice treatment) {
+  const auto it = causal_.find(treatment);
+  if (it != causal_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  CausalOptions copts = opts_.causal;
+  copts.pool = pool_.get();
+  ++stats_.causal_runs;
+  return causal_.emplace(treatment, causal_analysis(case_table(), treatment, copts))
+      .first->second;
+}
+
+const EvalResult& AnalysisSession::evaluate_cv(int num_classes, ModelKind kind) {
+  const auto key = std::make_pair(static_cast<int>(kind), num_classes);
+  const auto it = cv_.find(key);
+  if (it != cv_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ModelingOptions mopts = opts_.modeling;
+  mopts.pool = pool_.get();
+  Rng rng = stream_for(0x5cf00ULL + static_cast<std::uint64_t>(kind) * 64 +
+                       static_cast<std::uint64_t>(num_classes));
+  ++stats_.cv_runs;
+  return cv_.emplace(key, evaluate_model_cv(case_table(), num_classes, kind, rng, mopts))
+      .first->second;
+}
+
+double AnalysisSession::online_accuracy(int num_classes, int history_m, ModelKind kind,
+                                        int first_t, int last_t) {
+  ModelingOptions mopts = opts_.modeling;
+  mopts.pool = pool_.get();
+  Rng rng = stream_for(0x0911eULL + static_cast<std::uint64_t>(kind) * 4096 +
+                       static_cast<std::uint64_t>(num_classes) * 128 +
+                       static_cast<std::uint64_t>(history_m));
+  return online_prediction_accuracy(case_table(), num_classes, history_m, kind, rng, first_t,
+                                    last_t, mopts);
+}
+
+void AnalysisSession::invalidate() {
+  table_.reset();
+  dependence_.reset();
+  causal_.clear();
+  cv_.clear();
+  if (!opts_.artifact_key.empty()) store_.remove(opts_.artifact_key);
+}
+
+void AnalysisSession::replace_data(Inventory inventory, SnapshotStore snapshots,
+                                   TicketLog tickets) {
+  inventory_ = std::move(inventory);
+  snapshots_ = std::move(snapshots);
+  tickets_ = std::move(tickets);
+  invalidate();
+}
+
+}  // namespace mpa

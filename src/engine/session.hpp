@@ -1,0 +1,137 @@
+// AnalysisSession: the engine layer that owns the paper's pipeline.
+//
+// A session wraps the three raw data sources (inventory, snapshot
+// archive, ticket log) and serves every derived artifact behind a
+// memoizing cache with explicit invalidation:
+//
+//   case_table()    the inferred (network, month) case table (§2),
+//                   optionally persisted through an ArtifactStore
+//   dependence()    MI / CMI rankings (§5.1, Tables 3-4)
+//   causal(p)       matched-design QED per practice (§5.2, Tables 5-8)
+//   evaluate_cv()   cross-validated model evaluation (§6.1, Figure 8)
+//   online_accuracy() the online month-ahead protocol (§6.2, Table 9)
+//
+// All stages execute on one shared ThreadPool (MPA_THREADS override;
+// fan-out per network / comparison point / fold / month), and every
+// randomized artifact draws a private RNG stream derived from the
+// session seed and the artifact's identity — so results are
+// bit-identical at any thread count and independent of the order in
+// which artifacts are requested.
+//
+// A session is single-owner: call it from one thread of control; the
+// parallelism lives inside the stages, not across them.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "engine/artifact_store.hpp"
+#include "metrics/inference.hpp"
+#include "mpa/causal.hpp"
+#include "mpa/dependence.hpp"
+#include "mpa/modeling.hpp"
+#include "util/parallel.hpp"
+
+namespace mpa {
+
+struct SessionOptions {
+  InferenceOptions inference = {};
+  DependenceOptions dependence = {};
+  CausalOptions causal = {};
+  ModelingOptions modeling = {};
+  /// Root of every model RNG stream: each derived artifact is a pure
+  /// function of (data, options, seed).
+  std::uint64_t seed = 42;
+  /// Worker threads for every stage; 0 = MPA_THREADS env override,
+  /// falling back to the hardware concurrency.
+  int threads = 0;
+  /// Directory for persistent artifacts (empty = in-memory only).
+  std::string artifact_dir;
+  /// Key the case table persists under (empty = don't persist). The
+  /// caller is responsible for keying by dataset identity (the
+  /// benches key by shape + seed).
+  std::string artifact_key;
+};
+
+class AnalysisSession {
+ public:
+  AnalysisSession(Inventory inventory, SnapshotStore snapshots, TicketLog tickets,
+                  SessionOptions opts = {});
+
+  /// Open a session over a dataset directory (io/dataset_io.hpp
+  /// format). The observation-window length is implied by the data —
+  /// the last month touched by any ticket or snapshot — overriding
+  /// opts.inference.num_months.
+  static AnalysisSession from_directory(const std::string& dir, SessionOptions opts = {});
+
+  const Inventory& inventory() const { return inventory_; }
+  const SnapshotStore& snapshots() const { return snapshots_; }
+  const TicketLog& tickets() const { return tickets_; }
+  const SessionOptions& options() const { return opts_; }
+  int num_months() const { return opts_.inference.num_months; }
+
+  /// The shared pool every stage runs on (size >= 1).
+  ThreadPool& pool() { return *pool_; }
+  int threads() const { return pool_->size(); }
+
+  /// The inferred case table. Memoized; when the session is keyed,
+  /// loads from / saves to the artifact store.
+  const CaseTable& case_table();
+
+  /// MI / CMI dependence rankings over the case table. Memoized.
+  const DependenceAnalysis& dependence();
+
+  /// Matched-design QED for one treatment practice. Memoized per
+  /// practice.
+  const CausalResult& causal(Practice treatment);
+
+  /// Cross-validated evaluation of one model kind. Memoized per
+  /// (kind, num_classes); the RNG stream is derived from the session
+  /// seed and the key, so the result does not depend on what else the
+  /// session computed before.
+  const EvalResult& evaluate_cv(int num_classes, ModelKind kind);
+
+  /// Online month-ahead accuracy (not memoized — cheap relative to
+  /// its parameter space, but still deterministic per parameter set).
+  double online_accuracy(int num_classes, int history_m, ModelKind kind, int first_t,
+                         int last_t);
+
+  /// Drop every derived artifact, including the persisted case table
+  /// when the session is keyed. The next request recomputes.
+  void invalidate();
+
+  /// Swap in new data sources; implies invalidate().
+  void replace_data(Inventory inventory, SnapshotStore snapshots, TicketLog tickets);
+
+  /// Cache observability (tests + tooling).
+  struct CacheStats {
+    std::size_t hits = 0;          ///< Requests served from memory.
+    std::size_t table_builds = 0;  ///< infer_case_table executions.
+    std::size_t table_loads = 0;   ///< Case tables read from the store.
+    std::size_t causal_runs = 0;
+    std::size_t cv_runs = 0;
+  };
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  /// Private RNG stream for one artifact identity.
+  Rng stream_for(std::uint64_t tag) const;
+
+  Inventory inventory_;
+  SnapshotStore snapshots_;
+  TicketLog tickets_;
+  SessionOptions opts_;
+  ArtifactStore store_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::optional<CaseTable> table_;
+  std::optional<DependenceAnalysis> dependence_;
+  std::map<Practice, CausalResult> causal_;
+  std::map<std::pair<int, int>, EvalResult> cv_;  ///< (kind, classes).
+  CacheStats stats_;
+};
+
+}  // namespace mpa

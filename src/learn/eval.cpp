@@ -3,10 +3,26 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 
 namespace mpa {
 namespace {
+
+/// Stratified fold assignment: shuffle within each class, deal
+/// round-robin so each fold mirrors the class skew.
+std::vector<int> assign_folds(const Dataset& data, int k, Rng& rng) {
+  std::vector<int> fold_of(data.size(), 0);
+  std::vector<std::vector<std::size_t>> by_class(static_cast<std::size_t>(data.num_classes));
+  for (std::size_t i = 0; i < data.size(); ++i)
+    by_class[static_cast<std::size_t>(data.y[i])].push_back(i);
+  int next = 0;
+  for (auto& rows : by_class) {
+    rng.shuffle(rows);
+    for (std::size_t i : rows) fold_of[i] = next++ % k;
+  }
+  return fold_of;
+}
 
 EvalResult from_confusion(std::vector<std::vector<int>> confusion) {
   EvalResult r;
@@ -61,17 +77,7 @@ EvalResult cross_validate(const Dataset& data, int k, const Trainer& trainer, Rn
   require(k >= 2, "cross_validate: need k >= 2");
   require(data.size() >= static_cast<std::size_t>(k), "cross_validate: too few samples");
 
-  // Stratified fold assignment: shuffle within each class, deal
-  // round-robin so each fold mirrors the class skew.
-  std::vector<int> fold_of(data.size(), 0);
-  std::vector<std::vector<std::size_t>> by_class(static_cast<std::size_t>(data.num_classes));
-  for (std::size_t i = 0; i < data.size(); ++i)
-    by_class[static_cast<std::size_t>(data.y[i])].push_back(i);
-  int next = 0;
-  for (auto& rows : by_class) {
-    rng.shuffle(rows);
-    for (std::size_t i : rows) fold_of[i] = next++ % k;
-  }
+  const std::vector<int> fold_of = assign_folds(data, k, rng);
 
   std::vector<std::vector<int>> confusion(
       static_cast<std::size_t>(data.num_classes),
@@ -89,6 +95,49 @@ EvalResult cross_validate(const Dataset& data, int k, const Trainer& trainer, Rn
       confusion[static_cast<std::size_t>(test.y[i])]
                [static_cast<std::size_t>(model(test.x[i]))]++;
   }
+  return from_confusion(std::move(confusion));
+}
+
+EvalResult cross_validate(const Dataset& data, int k, const TrainerFactory& factory, Rng& rng,
+                          const std::function<Dataset(const Dataset&)>& transform_train,
+                          ThreadPool* pool) {
+  require(k >= 2, "cross_validate: need k >= 2");
+  require(data.size() >= static_cast<std::size_t>(k), "cross_validate: too few samples");
+
+  const std::vector<int> fold_of = assign_folds(data, k, rng);
+
+  // All RNG derivation happens here, on the calling thread, in fold
+  // order — the fanned-out folds only consume their private streams.
+  std::vector<Rng> fold_rngs;
+  fold_rngs.reserve(static_cast<std::size_t>(k));
+  for (int f = 0; f < k; ++f) fold_rngs.push_back(rng.fork());
+
+  const std::size_t kc = static_cast<std::size_t>(data.num_classes);
+  std::vector<std::vector<std::vector<int>>> fold_confusion(
+      static_cast<std::size_t>(k),
+      std::vector<std::vector<int>>(kc, std::vector<int>(kc, 0)));
+
+  parallel_for(pool, static_cast<std::size_t>(k), [&](std::size_t fi) {
+    const int f = static_cast<int>(fi);
+    std::vector<std::size_t> train_idx, test_idx;
+    for (std::size_t i = 0; i < data.size(); ++i)
+      (fold_of[i] == f ? test_idx : train_idx).push_back(i);
+    if (test_idx.empty() || train_idx.empty()) return;
+    Dataset train = data.subset(train_idx);
+    if (transform_train) train = transform_train(train);
+    const Dataset test = data.subset(test_idx);
+    const Trainer trainer = factory(fold_rngs[fi]);
+    const Predictor model = trainer(train);
+    auto& confusion = fold_confusion[fi];
+    for (std::size_t i = 0; i < test.size(); ++i)
+      confusion[static_cast<std::size_t>(test.y[i])]
+               [static_cast<std::size_t>(model(test.x[i]))]++;
+  });
+
+  std::vector<std::vector<int>> confusion(kc, std::vector<int>(kc, 0));
+  for (const auto& fc : fold_confusion)
+    for (std::size_t a = 0; a < kc; ++a)
+      for (std::size_t p = 0; p < kc; ++p) confusion[a][p] += fc[a][p];
   return from_confusion(std::move(confusion));
 }
 

@@ -13,12 +13,20 @@
 
 namespace mpa {
 
+class ThreadPool;
+
 /// A fitted model as a prediction function over binned features.
 using Predictor = std::function<int(std::span<const int>)>;
 
 /// A training procedure: dataset -> predictor. Trainers that need
 /// randomness should capture their own forked Rng.
 using Trainer = std::function<Predictor(const Dataset&)>;
+
+/// Builds one fold's trainer from that fold's private RNG stream.
+/// Fold streams are forked from the caller's Rng in fold order on the
+/// dispatching thread, which is what makes parallel cross-validation
+/// bit-identical to the serial run.
+using TrainerFactory = std::function<Trainer(Rng& fold_rng)>;
 
 struct EvalResult {
   double accuracy = 0;
@@ -39,5 +47,15 @@ EvalResult evaluate(const Dataset& test, const Predictor& model);
 /// minority samples never leak into a test fold.
 EvalResult cross_validate(const Dataset& data, int k, const Trainer& trainer, Rng& rng,
                           const std::function<Dataset(const Dataset&)>& transform_train = {});
+
+/// Fork-join cross-validation: fold assignment and the per-fold RNG
+/// streams are derived from `rng` on the calling thread (in fold
+/// order), then the k train+test passes fan out on `pool` (null =
+/// run inline). Per-fold confusion matrices merge in fold order, so
+/// the result is bit-identical at any thread count — including to
+/// this function's own 1-thread run.
+EvalResult cross_validate(const Dataset& data, int k, const TrainerFactory& factory, Rng& rng,
+                          const std::function<Dataset(const Dataset&)>& transform_train = {},
+                          ThreadPool* pool = nullptr);
 
 }  // namespace mpa

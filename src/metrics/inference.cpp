@@ -5,6 +5,7 @@
 
 #include "config/dialect.hpp"
 #include "metrics/design_metrics.hpp"
+#include "util/parallel.hpp"
 
 namespace mpa {
 namespace {
@@ -21,79 +22,95 @@ struct DeviceTimeline {
   }
 };
 
+/// All rows of one network, in month order. Pure function of its
+/// inputs: safe to fan out per network, and the concatenation in
+/// inventory order is byte-identical to the serial loop.
+std::vector<Case> infer_network_cases(const NetworkRecord& net, const Inventory& inventory,
+                                      const SnapshotStore& snapshots, const TicketLog& tickets,
+                                      const InferenceOptions& opts) {
+  const auto devices = inventory.devices_in(net.network_id);
+
+  std::map<std::string, Role> device_roles;
+  for (const auto* d : devices) device_roles[d->device_id] = d->role;
+
+  // Parse every device's snapshot archive once; derive both the
+  // monthly config states and the change stream from it.
+  std::map<std::string, DeviceTimeline> timelines;
+  std::vector<ChangeRecord> changes;
+  for (const auto* d : devices) {
+    const auto& snaps = snapshots.for_device(d->device_id);
+    if (snaps.empty()) continue;
+    const Dialect dialect = dialect_of(d->vendor);
+    DeviceTimeline tl;
+    tl.times.reserve(snaps.size());
+    tl.configs.reserve(snaps.size());
+    for (const auto& s : snaps) {
+      tl.times.push_back(s.time);
+      tl.configs.push_back(parse(s.text, dialect, d->device_id));
+    }
+    for (std::size_t i = 1; i < tl.configs.size(); ++i) {
+      auto stanza_changes = diff(tl.configs[i - 1], tl.configs[i]);
+      if (stanza_changes.empty()) continue;
+      ChangeRecord cr;
+      cr.device_id = d->device_id;
+      cr.network_id = net.network_id;
+      cr.time = snaps[i].time;
+      cr.login = snaps[i].login;
+      cr.automated = opts.automation(snaps[i].login);
+      cr.stanza_changes = std::move(stanza_changes);
+      changes.push_back(std::move(cr));
+    }
+    timelines.emplace(d->device_id, std::move(tl));
+  }
+  std::sort(changes.begin(), changes.end(), [](const ChangeRecord& a, const ChangeRecord& b) {
+    return a.time != b.time ? a.time < b.time : a.device_id < b.device_id;
+  });
+
+  std::vector<Case> rows;
+  rows.reserve(static_cast<std::size_t>(opts.num_months));
+  for (int m = 0; m < opts.num_months; ++m) {
+    const Timestamp m_start = month_start(m);
+    const Timestamp m_end = month_start(m + 1);
+
+    Case row;
+    row.network_id = net.network_id;
+    row.month = m;
+
+    // Design metrics from the configuration state at month end.
+    std::vector<DeviceConfig> state;
+    state.reserve(timelines.size());
+    for (const auto& [dev_id, tl] : timelines) {
+      const int idx = tl.state_before(m_end);
+      if (idx >= 0) state.push_back(tl.configs[static_cast<std::size_t>(idx)]);
+    }
+    compute_design_metrics(net, devices, state, row);
+
+    // Operational metrics from this month's changes.
+    std::vector<const ChangeRecord*> month_changes;
+    for (const auto& c : changes)
+      if (c.time >= m_start && c.time < m_end) month_changes.push_back(&c);
+    const auto events = group_events(month_changes, opts.event_window);
+    compute_operational_metrics(month_changes, events, devices.size(), device_roles, row);
+
+    row.tickets = tickets.count_health_tickets(net.network_id, m);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
 }  // namespace
 
 CaseTable infer_case_table(const Inventory& inventory, const SnapshotStore& snapshots,
                            const TicketLog& tickets, const InferenceOptions& opts) {
+  const auto& networks = inventory.networks();
+  std::vector<std::vector<Case>> per_network(networks.size());
+  parallel_for(opts.pool, networks.size(), [&](std::size_t n) {
+    per_network[n] = infer_network_cases(networks[n], inventory, snapshots, tickets, opts);
+  });
+
   CaseTable table;
-
-  for (const auto& net : inventory.networks()) {
-    const auto devices = inventory.devices_in(net.network_id);
-
-    std::map<std::string, Role> device_roles;
-    for (const auto* d : devices) device_roles[d->device_id] = d->role;
-
-    // Parse every device's snapshot archive once; derive both the
-    // monthly config states and the change stream from it.
-    std::map<std::string, DeviceTimeline> timelines;
-    std::vector<ChangeRecord> changes;
-    for (const auto* d : devices) {
-      const auto& snaps = snapshots.for_device(d->device_id);
-      if (snaps.empty()) continue;
-      const Dialect dialect = dialect_of(d->vendor);
-      DeviceTimeline tl;
-      tl.times.reserve(snaps.size());
-      tl.configs.reserve(snaps.size());
-      for (const auto& s : snaps) {
-        tl.times.push_back(s.time);
-        tl.configs.push_back(parse(s.text, dialect, d->device_id));
-      }
-      for (std::size_t i = 1; i < tl.configs.size(); ++i) {
-        auto stanza_changes = diff(tl.configs[i - 1], tl.configs[i]);
-        if (stanza_changes.empty()) continue;
-        ChangeRecord cr;
-        cr.device_id = d->device_id;
-        cr.network_id = net.network_id;
-        cr.time = snaps[i].time;
-        cr.login = snaps[i].login;
-        cr.automated = opts.automation(snaps[i].login);
-        cr.stanza_changes = std::move(stanza_changes);
-        changes.push_back(std::move(cr));
-      }
-      timelines.emplace(d->device_id, std::move(tl));
-    }
-    std::sort(changes.begin(), changes.end(), [](const ChangeRecord& a, const ChangeRecord& b) {
-      return a.time != b.time ? a.time < b.time : a.device_id < b.device_id;
-    });
-
-    for (int m = 0; m < opts.num_months; ++m) {
-      const Timestamp m_start = month_start(m);
-      const Timestamp m_end = month_start(m + 1);
-
-      Case row;
-      row.network_id = net.network_id;
-      row.month = m;
-
-      // Design metrics from the configuration state at month end.
-      std::vector<DeviceConfig> state;
-      state.reserve(timelines.size());
-      for (const auto& [dev_id, tl] : timelines) {
-        const int idx = tl.state_before(m_end);
-        if (idx >= 0) state.push_back(tl.configs[static_cast<std::size_t>(idx)]);
-      }
-      compute_design_metrics(net, devices, state, row);
-
-      // Operational metrics from this month's changes.
-      std::vector<const ChangeRecord*> month_changes;
-      for (const auto& c : changes)
-        if (c.time >= m_start && c.time < m_end) month_changes.push_back(&c);
-      const auto events = group_events(month_changes, opts.event_window);
-      compute_operational_metrics(month_changes, events, devices.size(), device_roles, row);
-
-      row.tickets = tickets.count_health_tickets(net.network_id, m);
-      table.add(std::move(row));
-    }
-  }
+  for (auto& rows : per_network)
+    for (auto& row : rows) table.add(std::move(row));
   return table;
 }
 

@@ -15,6 +15,8 @@
 
 namespace mpa {
 
+class ThreadPool;
+
 struct InferenceOptions {
   /// Change-event grouping window delta, in minutes (paper: 5; <= 0
   /// disables grouping).
@@ -23,6 +25,11 @@ struct InferenceOptions {
   int num_months = 17;
   /// Login classifier for change modality (O2).
   AutomationClassifier automation = default_automation_classifier;
+  /// Fan inference out per network on this pool (null = serial). Each
+  /// network's rows are computed independently and concatenated in
+  /// inventory order, so the result is bit-identical at any thread
+  /// count.
+  ThreadPool* pool = nullptr;
 };
 
 /// Build the (network, month) case table from the three data sources.

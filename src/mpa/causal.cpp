@@ -3,8 +3,11 @@
 #include <cmath>
 #include <span>
 
+#include <optional>
+
 #include "stats/binning.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace mpa {
 
@@ -71,9 +74,15 @@ CausalResult causal_analysis_outcome(const CaseTable& table, Practice treatment,
   const auto treat_col2 = table.column(treatment);
   const auto treat_bins = binner.bin_all(treat_col2);
 
-  for (int b = 0; b + 1 < binner.num_bins(); ++b) {
+  // Each comparison point is independent (matching has no shared
+  // state and uses no RNG), so fan them out; slots keep bin order.
+  const std::size_t num_points =
+      binner.num_bins() > 0 ? static_cast<std::size_t>(binner.num_bins() - 1) : 0;
+  std::vector<std::optional<ComparisonResult>> points(num_points);
+  parallel_for(opts.pool, num_points, [&](std::size_t point) {
+    const int b = static_cast<int>(point);
     ComparisonData data = comparison_data(table, treatment, b, opts);
-    if (data.untreated.empty() || data.treated.empty()) continue;
+    if (data.untreated.empty() || data.treated.empty()) return;
     // Swap in the requested outcome (comparison_data fills tickets).
     data.treated_tickets.clear();
     data.untreated_tickets.clear();
@@ -108,8 +117,10 @@ CausalResult causal_analysis_outcome(const CaseTable& table, Practice treatment,
     cmp.outcome = sign_test(diffs);
     cmp.causal = cmp.balanced && cmp.outcome.p_value < opts.p_threshold;
 
-    result.comparisons.push_back(std::move(cmp));
-  }
+    points[point] = std::move(cmp);
+  });
+  for (auto& point : points)
+    if (point.has_value()) result.comparisons.push_back(std::move(*point));
   return result;
 }
 

@@ -18,6 +18,8 @@
 
 namespace mpa {
 
+class ThreadPool;
+
 struct CausalOptions {
   int treatment_bins = 5;
   double lo_pct = 5.0;
@@ -38,6 +40,10 @@ struct CausalOptions {
   double max_abs_std_diff = 0.50;
   double min_vr_pass_frac = 0.70;
   MatchOptions match = {};
+  /// Fan the comparison points (1:2 .. 4:5) out on this pool (null =
+  /// serial). Matching is deterministic, so results are bit-identical
+  /// at any thread count.
+  ThreadPool* pool = nullptr;
 };
 
 /// Result of one comparison point (e.g. bin 1 vs bin 2).

@@ -6,6 +6,7 @@
 #include "learn/forest.hpp"
 #include "learn/sampling.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace mpa {
 
@@ -84,13 +85,17 @@ Trainer make_trainer(ModelKind kind, int num_classes, Rng& rng, const ModelingOp
 EvalResult evaluate_model_cv(const CaseTable& table, int num_classes, ModelKind kind, Rng& rng,
                              const ModelingOptions& opts) {
   const Dataset data = make_dataset(table, num_classes);
-  const Trainer trainer = make_trainer(kind, num_classes, rng, opts);
+  // One trainer per fold, built from that fold's private RNG stream
+  // (randomized trainers stay independent across concurrent folds).
+  const TrainerFactory factory = [&](Rng& fold_rng) {
+    return make_trainer(kind, num_classes, fold_rng, opts);
+  };
   std::function<Dataset(const Dataset&)> transform;
   if (uses_oversampling(kind)) {
     const auto recipe = paper_oversampling_recipe(num_classes);
     transform = [recipe](const Dataset& train) { return oversample(train, recipe); };
   }
-  return cross_validate(data, opts.folds, trainer, rng, transform);
+  return cross_validate(data, opts.folds, factory, rng, transform, opts.pool);
 }
 
 DecisionTree fit_final_tree(const CaseTable& table, int num_classes,
@@ -105,12 +110,23 @@ double online_prediction_accuracy(const CaseTable& table, int num_classes, int h
                                   ModelKind kind, Rng& rng, int first_t, int last_t,
                                   const ModelingOptions& opts) {
   require(history_m >= 1, "online_prediction_accuracy: need at least one history month");
-  double acc_sum = 0;
-  int months = 0;
-  for (int t = first_t; t <= last_t; ++t) {
+  if (last_t < first_t) return 0;
+  const std::size_t num_t = static_cast<std::size_t>(last_t - first_t + 1);
+
+  // One private RNG stream per month t, forked in t order on the
+  // calling thread (unconditionally, so skipped months don't shift
+  // later streams); the months then fan out independently.
+  std::vector<Rng> month_rngs;
+  month_rngs.reserve(num_t);
+  for (std::size_t i = 0; i < num_t; ++i) month_rngs.push_back(rng.fork());
+
+  std::vector<double> acc(num_t, 0.0);
+  std::vector<char> counted(num_t, 0);
+  parallel_for(opts.pool, num_t, [&](std::size_t ti) {
+    const int t = first_t + static_cast<int>(ti);
     const CaseTable train_cases = table.filter_months(t - history_m, t - 1);
     const CaseTable test_cases = table.month(t);
-    if (train_cases.empty() || test_cases.empty()) continue;
+    if (train_cases.empty() || test_cases.empty()) return;
 
     // Feature space fitted on the training window only; month t is
     // discretized with the *trained* bins (true online protocol).
@@ -119,10 +135,18 @@ double online_prediction_accuracy(const CaseTable& table, int num_classes, int h
     if (uses_oversampling(kind)) train = oversample(train, paper_oversampling_recipe(num_classes));
     const Dataset test = make_dataset(test_cases, num_classes, &space);
 
-    const Trainer trainer = make_trainer(kind, num_classes, rng, opts);
+    const Trainer trainer = make_trainer(kind, num_classes, month_rngs[ti], opts);
     const Predictor model = trainer(train);
     const EvalResult ev = evaluate(test, model);
-    acc_sum += ev.accuracy;
+    acc[ti] = ev.accuracy;
+    counted[ti] = 1;
+  });
+
+  double acc_sum = 0;
+  int months = 0;
+  for (std::size_t ti = 0; ti < num_t; ++ti) {
+    if (!counted[ti]) continue;
+    acc_sum += acc[ti];
     ++months;
   }
   return months == 0 ? 0 : acc_sum / months;

@@ -31,6 +31,11 @@ struct ModelingOptions {
   int folds = 5;
   TreeOptions tree = {};
   BoostOptions boost = {};
+  /// Fan CV folds / online months out on this pool (null = serial).
+  /// Every trainer consumes a private RNG stream forked on the calling
+  /// thread in task order, so results are bit-identical at any thread
+  /// count.
+  ThreadPool* pool = nullptr;
 };
 
 /// Whether this kind oversamples its training data (the transform is

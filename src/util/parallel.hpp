@@ -1,0 +1,172 @@
+// Deterministic fork-join parallelism for the MPA engine.
+//
+// A ThreadPool runs index-based jobs (`parallel_for`): workers pull
+// indices from a shared atomic counter, so scheduling is dynamic but
+// the work done for index i is exactly the same regardless of thread
+// count. Every parallel stage in the library is structured so that
+// task i writes only to slot i of a pre-sized output and any RNG
+// stream it needs was forked on the calling thread in index order —
+// which makes results bit-identical between 1 thread and N threads.
+//
+// The pool size defaults to the MPA_THREADS environment variable,
+// falling back to the hardware concurrency. A pool of size 1 spawns
+// no workers and runs everything inline, as does a nested
+// parallel_for issued from inside a worker.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mpa {
+
+class ThreadPool {
+ public:
+  /// MPA_THREADS if set to a positive integer, else the hardware
+  /// concurrency (else 1).
+  static int default_thread_count() {
+    if (const char* env = std::getenv("MPA_THREADS")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 1) return static_cast<int>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+
+  explicit ThreadPool(int threads = default_thread_count())
+      : threads_(threads < 1 ? 1 : threads) {
+    workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int t = 0; t + 1 < threads_; ++t)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  /// Total threads that execute job bodies (workers + caller).
+  int size() const { return threads_; }
+
+  /// Run fn(i) for every i in [0, n), blocking until all complete.
+  /// The calling thread participates. The first exception thrown by
+  /// any task is rethrown here after the job drains. Nested calls
+  /// (from inside a task) run inline.
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn) {
+    if (n == 0) return;
+    if (threads_ <= 1 || n == 1 || in_region()) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::lock_guard<std::mutex> job_lock(job_mu_);  // one job at a time
+    Job job;
+    job.body = [&fn](std::size_t i) { fn(i); };
+    job.limit = n;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      job_ = &job;
+    }
+    wake_.notify_all();
+    run_region(job);
+    {
+      // Wait for every body to finish AND every worker to step out of
+      // the job before destroying it: a worker that ran the last task
+      // still touches job.next once more on its way out of the loop.
+      std::unique_lock<std::mutex> lk(mu_);
+      done_.wait(lk, [&] {
+        return job.completed.load() == job.limit && job.participants.load() == 0;
+      });
+      job_ = nullptr;
+    }
+    if (job.error) std::rethrow_exception(job.error);
+  }
+
+ private:
+  struct Job {
+    std::function<void(std::size_t)> body;
+    std::size_t limit = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::atomic<int> participants{0};  // workers currently inside run_region
+    std::mutex error_mu;
+    std::exception_ptr error;
+  };
+
+  static bool& in_region() {
+    thread_local bool flag = false;
+    return flag;
+  }
+
+  void run_region(Job& job) {
+    in_region() = true;
+    while (true) {
+      const std::size_t i = job.next.fetch_add(1);
+      if (i >= job.limit) break;
+      try {
+        job.body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(job.error_mu);
+        if (!job.error) job.error = std::current_exception();
+      }
+      if (job.completed.fetch_add(1) + 1 == job.limit) {
+        { std::lock_guard<std::mutex> lk(mu_); }  // pair with waiter's check
+        done_.notify_all();
+      }
+    }
+    in_region() = false;
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (true) {
+      wake_.wait(lk, [&] {
+        return stop_ || (job_ != nullptr && job_->next.load() < job_->limit);
+      });
+      if (stop_) return;
+      Job* job = job_;
+      job->participants.fetch_add(1, std::memory_order_relaxed);
+      lk.unlock();
+      run_region(*job);
+      lk.lock();
+      // Ordered against the caller's predicate check by mu_; after
+      // this the worker never touches *job again.
+      job->participants.fetch_sub(1, std::memory_order_relaxed);
+      done_.notify_all();
+    }
+  }
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;          // guards job_ / stop_ and the cv handshakes
+  std::mutex job_mu_;      // serializes concurrent parallel_for callers
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  Job* job_ = nullptr;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper: run on `pool` when provided, inline otherwise.
+template <typename Fn>
+void parallel_for(ThreadPool* pool, std::size_t n, Fn&& fn) {
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  } else {
+    pool->parallel_for(n, static_cast<Fn&&>(fn));
+  }
+}
+
+}  // namespace mpa

@@ -1,0 +1,180 @@
+// Tests for the engine layer: AnalysisSession memoization and
+// invalidation, the persistent ArtifactStore, and the determinism
+// contract — same seed + dataset must yield bit-identical case
+// tables, causal results, and CV evaluations across 1, 2, and 8
+// threads.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "engine/session.hpp"
+#include "simulation/osp_generator.hpp"
+
+namespace mpa {
+namespace {
+
+constexpr int kNetworks = 40;
+constexpr int kMonths = 6;
+
+OspDataset test_osp() {
+  OspOptions opts;
+  opts.num_networks = kNetworks;
+  opts.num_months = kMonths;
+  opts.seed = 99;
+  return generate_osp(opts);
+}
+
+AnalysisSession make_session(int threads, SessionOptions opts = {}) {
+  OspDataset data = test_osp();
+  opts.threads = threads;
+  opts.inference.num_months = kMonths;
+  return AnalysisSession(std::move(data.inventory), std::move(data.snapshots),
+                         std::move(data.tickets), std::move(opts));
+}
+
+TEST(Session, MemoizesAndInvalidates) {
+  AnalysisSession session = make_session(2);
+  const CaseTable* first = &session.case_table();
+  const CaseTable* again = &session.case_table();
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(session.stats().table_builds, 1u);
+  EXPECT_EQ(session.stats().hits, 1u);
+
+  const CausalResult* causal = &session.causal(Practice::kNumChangeEvents);
+  EXPECT_EQ(causal, &session.causal(Practice::kNumChangeEvents));
+  EXPECT_EQ(session.stats().causal_runs, 1u);
+
+  const EvalResult* cv = &session.evaluate_cv(2, ModelKind::kDecisionTree);
+  EXPECT_EQ(cv, &session.evaluate_cv(2, ModelKind::kDecisionTree));
+  EXPECT_EQ(session.stats().cv_runs, 1u);
+
+  session.invalidate();
+  session.case_table();
+  EXPECT_EQ(session.stats().table_builds, 2u);
+}
+
+TEST(Session, CaseTableBitIdenticalAcrossThreadCounts) {
+  AnalysisSession serial = make_session(1);
+  const std::string expected = serial.case_table().to_csv();
+  EXPECT_EQ(serial.threads(), 1);
+  for (int threads : {2, 8}) {
+    AnalysisSession session = make_session(threads);
+    EXPECT_EQ(session.threads(), threads);
+    EXPECT_EQ(session.case_table().to_csv(), expected) << threads << " threads";
+  }
+}
+
+TEST(Session, CausalBitIdenticalAcrossThreadCounts) {
+  AnalysisSession serial = make_session(1);
+  const CausalResult& expected = serial.causal(Practice::kNumChangeEvents);
+  ASSERT_FALSE(expected.comparisons.empty());
+  for (int threads : {2, 8}) {
+    AnalysisSession session = make_session(threads);
+    const CausalResult& got = session.causal(Practice::kNumChangeEvents);
+    ASSERT_EQ(got.comparisons.size(), expected.comparisons.size()) << threads << " threads";
+    for (std::size_t i = 0; i < expected.comparisons.size(); ++i) {
+      const ComparisonResult& e = expected.comparisons[i];
+      const ComparisonResult& g = got.comparisons[i];
+      EXPECT_EQ(g.untreated_bin, e.untreated_bin);
+      EXPECT_EQ(g.untreated_cases, e.untreated_cases);
+      EXPECT_EQ(g.treated_cases, e.treated_cases);
+      EXPECT_EQ(g.pairs, e.pairs);
+      EXPECT_EQ(g.worst_abs_std_diff, e.worst_abs_std_diff);  // bitwise
+      EXPECT_EQ(g.vr_pass_fraction, e.vr_pass_fraction);
+      EXPECT_EQ(g.balanced, e.balanced);
+      EXPECT_EQ(g.outcome.p_value, e.outcome.p_value);
+      EXPECT_EQ(g.outcome.n_pos, e.outcome.n_pos);
+      EXPECT_EQ(g.outcome.n_neg, e.outcome.n_neg);
+      EXPECT_EQ(g.causal, e.causal);
+    }
+  }
+}
+
+TEST(Session, CvBitIdenticalAcrossThreadCounts) {
+  AnalysisSession serial = make_session(1);
+  const EvalResult& expected = serial.evaluate_cv(2, ModelKind::kDtBoostOversample);
+  for (int threads : {2, 8}) {
+    AnalysisSession session = make_session(threads);
+    const EvalResult& got = session.evaluate_cv(2, ModelKind::kDtBoostOversample);
+    EXPECT_EQ(got.accuracy, expected.accuracy) << threads << " threads";  // bitwise
+    EXPECT_EQ(got.confusion, expected.confusion) << threads << " threads";
+  }
+}
+
+TEST(Session, OnlineAccuracyBitIdenticalAcrossThreadCounts) {
+  AnalysisSession serial = make_session(1);
+  const double expected =
+      serial.online_accuracy(2, 2, ModelKind::kDecisionTree, 2, kMonths - 1);
+  for (int threads : {2, 8}) {
+    AnalysisSession session = make_session(threads);
+    EXPECT_EQ(session.online_accuracy(2, 2, ModelKind::kDecisionTree, 2, kMonths - 1),
+              expected)
+        << threads << " threads";
+  }
+}
+
+TEST(Session, CvIndependentOfRequestOrder) {
+  AnalysisSession a = make_session(2);
+  AnalysisSession b = make_session(2);
+  // b computes other artifacts first; the DT evaluation must not care.
+  b.evaluate_cv(2, ModelKind::kMajority);
+  b.causal(Practice::kNumDevices);
+  EXPECT_EQ(a.evaluate_cv(2, ModelKind::kDecisionTree).accuracy,
+            b.evaluate_cv(2, ModelKind::kDecisionTree).accuracy);
+}
+
+TEST(ArtifactStore, DisabledStoreMissesAndIgnoresSaves) {
+  const ArtifactStore store;
+  EXPECT_FALSE(store.enabled());
+  EXPECT_FALSE(store.load_case_table("anything").has_value());
+  EXPECT_FALSE(store.save_case_table("anything", CaseTable{}));
+}
+
+TEST(ArtifactStore, RoundTripsAndTreatsCorruptionAsMiss) {
+  const std::string dir = testing::TempDir();
+  const ArtifactStore store(dir);
+  const std::string key = "mpa_engine_test_artifact";
+  store.remove(key);
+
+  AnalysisSession session = make_session(1);
+  const CaseTable& table = session.case_table();
+  ASSERT_TRUE(store.save_case_table(key, table));
+  const auto loaded = store.load_case_table(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->to_csv(), table.to_csv());
+
+  {
+    std::ofstream out(store.path_for(key));
+    out << "not,a,case,table\n1,2\n";
+  }
+  EXPECT_FALSE(store.load_case_table(key).has_value());
+  store.remove(key);
+  EXPECT_FALSE(store.load_case_table(key).has_value());
+}
+
+TEST(Session, PersistsCaseTableThroughArtifactStore) {
+  SessionOptions opts;
+  opts.artifact_dir = testing::TempDir();
+  opts.artifact_key = "mpa_engine_test_session";
+  ArtifactStore(opts.artifact_dir).remove(opts.artifact_key);
+
+  AnalysisSession first = make_session(2, opts);
+  const std::string csv = first.case_table().to_csv();
+  EXPECT_EQ(first.stats().table_builds, 1u);
+  EXPECT_EQ(first.stats().table_loads, 0u);
+
+  AnalysisSession second = make_session(2, opts);
+  EXPECT_EQ(second.case_table().to_csv(), csv);
+  EXPECT_EQ(second.stats().table_builds, 0u);
+  EXPECT_EQ(second.stats().table_loads, 1u);
+
+  // Explicit invalidation also drops the persisted artifact.
+  second.invalidate();
+  EXPECT_FALSE(ArtifactStore(opts.artifact_dir).load_case_table(opts.artifact_key).has_value());
+}
+
+}  // namespace
+}  // namespace mpa

@@ -1,0 +1,90 @@
+// Tests for the fork-join thread pool (util/parallel.hpp).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace mpa {
+namespace {
+
+TEST(ThreadPool, DefaultThreadCountRespectsEnv) {
+  setenv("MPA_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 3);
+  setenv("MPA_THREADS", "0", 1);  // not a positive integer -> fallback
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);
+  setenv("MPA_THREADS", "junk", 1);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);
+  unsetenv("MPA_THREADS");
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> counts(n);
+    pool.parallel_for(n, [&](std::size_t i) { counts[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 50; ++round)
+    pool.parallel_for(20, [&](std::size_t i) { total += static_cast<long>(i); });
+  EXPECT_EQ(total.load(), 50 * (19 * 20 / 2));
+}
+
+TEST(ThreadPool, EdgeSizes) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "n=0 must not run anything"; });
+  std::atomic<int> ran{0};
+  pool.parallel_for(1, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 37) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool survives a failed job.
+  std::atomic<int> ran{0};
+  pool.parallel_for(10, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPool, NestedCallsRunInline) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ParallelForHelper, NullPoolRunsInline) {
+  std::vector<int> out(16, 0);
+  parallel_for(nullptr, out.size(), [&](std::size_t i) { out[i] = static_cast<int>(i); });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], static_cast<int>(i));
+}
+
+TEST(ParallelForHelper, SlotWritesAreOrderIndependent) {
+  ThreadPool pool(8);
+  std::vector<double> serial(200), pooled(200);
+  auto body = [](std::size_t i) { return static_cast<double>(i) * 1.5 + 1; };
+  parallel_for(nullptr, serial.size(), [&](std::size_t i) { serial[i] = body(i); });
+  parallel_for(&pool, pooled.size(), [&](std::size_t i) { pooled[i] = body(i); });
+  EXPECT_EQ(serial, pooled);
+}
+
+}  // namespace
+}  // namespace mpa

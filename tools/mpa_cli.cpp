@@ -1,6 +1,9 @@
 // mpa_cli — the command-line face of the MPA framework, so an
 // organization can run the paper's full pipeline over a dataset
-// directory (see src/io/dataset_io.hpp for the format).
+// directory (see src/io/dataset_io.hpp for the format). All analysis
+// commands run through the engine's AnalysisSession: one shared
+// thread pool (--threads / MPA_THREADS), memoized artifacts, and
+// deterministic per-artifact RNG streams.
 //
 //   mpa_cli generate <dir> [--networks N] [--months M] [--seed S]
 //       Write a synthetic example dataset (also documents the format).
@@ -16,14 +19,19 @@
 //       Cross-validated accuracy + online month-ahead accuracy (§6).
 //   mpa_cli lint <dir>
 //       Configuration-consistency lint of each network's latest configs.
-#include <cstring>
+//
+// Common flags: --threads N (engine pool size; default MPA_THREADS or
+// the hardware concurrency).
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
 
 #include "config/dialect.hpp"
 #include "config/lint.hpp"
+#include "engine/session.hpp"
 #include "io/dataset_io.hpp"
 #include "mpa/mpa.hpp"
 #include "simulation/osp_generator.hpp"
@@ -34,6 +42,13 @@ namespace {
 
 using namespace mpa;
 
+/// A malformed invocation (unknown flag value etc.): print the
+/// message + usage and exit 2, instead of dying on an uncaught
+/// std::invalid_argument out of std::stoi.
+struct UsageError {
+  std::string message;
+};
+
 struct Args {
   std::string command;
   std::string dir;
@@ -41,11 +56,37 @@ struct Args {
 
   int get_int(const std::string& key, int fallback) const {
     const auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::stoi(it->second);
+    if (it == flags.end()) return fallback;
+    char* end = nullptr;
+    const long v = std::strtol(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+      throw UsageError{"--" + key + " expects an integer, got '" + it->second + "'"};
+    return static_cast<int>(v);
+  }
+  int get_int_min(const std::string& key, int fallback, int min_v) const {
+    const int v = get_int(key, fallback);
+    if (v < min_v)
+      throw UsageError{"--" + key + " must be at least " + std::to_string(min_v) + ", got " +
+                       std::to_string(v)};
+    return v;
+  }
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    const auto it = flags.find(key);
+    if (it == flags.end()) return fallback;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+      throw UsageError{"--" + key + " expects an unsigned integer, got '" + it->second + "'"};
+    return static_cast<std::uint64_t>(v);
   }
   double get_double(const std::string& key, double fallback) const {
     const auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::stod(it->second);
+    if (it == flags.end()) return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+      throw UsageError{"--" + key + " expects a number, got '" + it->second + "'"};
+    return v;
   }
   std::string get(const std::string& key, const std::string& fallback = "") const {
     const auto it = flags.find(key);
@@ -59,11 +100,30 @@ Args parse_args(int argc, char** argv) {
   if (argc >= 3 && argv[2][0] != '-') args.dir = argv[2];
   for (int i = 3; i < argc; ++i) {
     std::string key = argv[i];
-    if (starts_with(key, "--") && i + 1 < argc) {
-      args.flags[key.substr(2)] = argv[++i];
-    }
+    if (!starts_with(key, "--"))
+      throw UsageError{"unexpected argument '" + key + "'"};
+    if (i + 1 >= argc) throw UsageError{"flag '" + key + "' is missing a value"};
+    args.flags[key.substr(2)] = argv[++i];
   }
   return args;
+}
+
+/// Reject misspelled flags instead of silently ignoring them.
+void check_flags(const Args& args) {
+  static const std::map<std::string, std::set<std::string>> allowed = {
+      {"generate", {"networks", "months", "seed"}},
+      {"summary", {"threads", "delta"}},
+      {"infer", {"threads", "delta", "out"}},
+      {"rank", {"threads", "delta", "top"}},
+      {"causal", {"threads", "delta", "practice", "threshold"}},
+      {"predict", {"threads", "delta", "classes", "history"}},
+      {"lint", {"threads", "delta"}},
+  };
+  const auto it = allowed.find(args.command);
+  if (it == allowed.end()) return;  // unknown command falls through to usage()
+  for (const auto& [key, value] : args.flags)
+    if (!it->second.count(key))
+      throw UsageError{"unknown flag '--" + key + "' for '" + args.command + "'"};
 }
 
 int usage() {
@@ -73,7 +133,8 @@ int usage() {
                "  infer:    --out FILE --delta MINUTES\n"
                "  rank:     --top K\n"
                "  causal:   --practice NAME --threshold P\n"
-               "  predict:  --classes 2|5 --history M\n";
+               "  predict:  --classes 2|5 --history M\n"
+               "common:     --threads N (default MPA_THREADS or hardware)\n";
   return 2;
 }
 
@@ -85,27 +146,21 @@ Practice practice_by_name(const std::string& name) {
   throw DataError("unknown practice '" + name + "'; known practices:\n" + known);
 }
 
-CaseTable infer_from_dir(const Args& args, int* months_out = nullptr) {
-  const DiskDataset data = load_dataset(args.dir);
-  // The observation window length is implied by the data: last month
-  // touched by any ticket or snapshot.
-  int months = 1;
-  for (const auto& t : data.tickets.all()) months = std::max(months, month_of(t.created) + 1);
-  for (const auto& dev : data.snapshots.devices())
-    for (const auto& s : data.snapshots.for_device(dev))
-      months = std::max(months, month_of(s.time) + 1);
-  InferenceOptions opts;
-  opts.num_months = months;
-  opts.event_window = args.get_int("delta", 5);
-  if (months_out != nullptr) *months_out = months;
-  return infer_case_table(data.inventory, data.snapshots, data.tickets, opts);
+/// Open the engine session over the dataset directory, applying the
+/// command-line overrides shared by the analysis commands.
+AnalysisSession session_from_dir(const Args& args) {
+  SessionOptions opts;
+  opts.inference.event_window = args.get_int_min("delta", 5, 0);
+  opts.causal.p_threshold = args.get_double("threshold", 1e-3);
+  opts.threads = args.get_int_min("threads", 0, 0);
+  return AnalysisSession::from_directory(args.dir, std::move(opts));
 }
 
 int cmd_generate(const Args& args) {
   OspOptions opts;
-  opts.num_networks = args.get_int("networks", 50);
-  opts.num_months = args.get_int("months", 12);
-  opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  opts.num_networks = args.get_int_min("networks", 50, 1);
+  opts.num_months = args.get_int_min("months", 12, 1);
+  opts.seed = args.get_u64("seed", 1);
   const OspDataset data = generate_osp(opts);
   save_dataset(DiskDataset{data.inventory, data.snapshots, data.tickets}, args.dir);
   std::cout << "wrote " << args.dir << ": " << data.inventory.num_networks() << " networks, "
@@ -115,26 +170,25 @@ int cmd_generate(const Args& args) {
 }
 
 int cmd_summary(const Args& args) {
-  const DiskDataset data = load_dataset(args.dir);
-  int months = 1, maintenance = 0;
-  for (const auto& t : data.tickets.all()) {
-    months = std::max(months, month_of(t.created) + 1);
+  AnalysisSession session = session_from_dir(args);
+  int maintenance = 0;
+  for (const auto& t : session.tickets().all())
     if (t.origin == TicketOrigin::kMaintenance) ++maintenance;
-  }
   TextTable t({"property", "value"});
-  t.row().add("Months").add(months);
-  t.row().add("Networks").add(data.inventory.num_networks());
-  t.row().add("Devices").add(data.inventory.num_devices());
-  t.row().add("Config snapshots").add(data.snapshots.total_snapshots());
-  t.row().add("Snapshot bytes").add(data.snapshots.total_bytes());
-  t.row().add("Tickets").add(data.tickets.size());
+  t.row().add("Months").add(session.num_months());
+  t.row().add("Networks").add(session.inventory().num_networks());
+  t.row().add("Devices").add(session.inventory().num_devices());
+  t.row().add("Config snapshots").add(session.snapshots().total_snapshots());
+  t.row().add("Snapshot bytes").add(session.snapshots().total_bytes());
+  t.row().add("Tickets").add(session.tickets().size());
   t.row().add("  maintenance").add(maintenance);
   t.print(std::cout);
   return 0;
 }
 
 int cmd_infer(const Args& args) {
-  const CaseTable table = infer_from_dir(args);
+  AnalysisSession session = session_from_dir(args);
+  const CaseTable& table = session.case_table();
   const std::string out = args.get("out");
   if (out.empty()) {
     std::cout << table.to_csv();
@@ -147,9 +201,9 @@ int cmd_infer(const Args& args) {
 }
 
 int cmd_rank(const Args& args) {
-  const CaseTable table = infer_from_dir(args);
-  const DependenceAnalysis dep(table);
-  const auto k = static_cast<std::size_t>(args.get_int("top", 10));
+  AnalysisSession session = session_from_dir(args);
+  const DependenceAnalysis& dep = session.dependence();
+  const auto k = static_cast<std::size_t>(args.get_int_min("top", 10, 1));
 
   std::cout << "-- practices by avg monthly MI with health --\n";
   TextTable mi({"rank", "practice", "cat", "MI"});
@@ -171,15 +225,10 @@ int cmd_rank(const Args& args) {
 
 int cmd_causal(const Args& args) {
   const std::string name = args.get("practice");
-  if (name.empty()) {
-    std::cerr << "causal: --practice NAME required\n";
-    return 2;
-  }
+  if (name.empty()) throw UsageError{"causal: --practice NAME required"};
   const Practice treatment = practice_by_name(name);
-  const CaseTable table = infer_from_dir(args);
-  CausalOptions opts;
-  opts.p_threshold = args.get_double("threshold", 1e-3);
-  const CausalResult res = causal_analysis(table, treatment, opts);
+  AnalysisSession session = session_from_dir(args);
+  const CausalResult& res = session.causal(treatment);
 
   TextTable t({"comparison", "pairs", "+/0/-", "p-value", "balanced", "verdict"});
   for (const auto& cmp : res.comparisons) {
@@ -197,31 +246,30 @@ int cmd_causal(const Args& args) {
 }
 
 int cmd_predict(const Args& args) {
-  int months = 1;
-  const CaseTable table = infer_from_dir(args, &months);
-  const int classes = args.get_int("classes", 2);
-  const int history = args.get_int("history", 3);
-  Rng rng(7);
+  AnalysisSession session = session_from_dir(args);
+  const int classes = args.get_int_min("classes", 2, 2);
+  const int history = args.get_int_min("history", 3, 1);
+  const int months = session.num_months();
 
-  const EvalResult cv = evaluate_model_cv(table, classes, ModelKind::kDtBoostOversample, rng);
+  const EvalResult& cv = session.evaluate_cv(classes, ModelKind::kDtBoostOversample);
   std::cout << "-- " << classes << "-class model, 5-fold CV --\n"
             << cv.to_string(health_class_names(classes));
 
   const int first_t = std::min(months - 1, history);
-  const double online = online_prediction_accuracy(
-      table, classes, history, ModelKind::kDtBoostOversample, rng, first_t, months - 1);
+  const double online = session.online_accuracy(classes, history, ModelKind::kDtBoostOversample,
+                                                first_t, months - 1);
   std::cout << "\nonline month-ahead accuracy (history " << history
             << " months): " << format_double(online * 100, 1) << "%\n";
   return 0;
 }
 
 int cmd_lint(const Args& args) {
-  const DiskDataset data = load_dataset(args.dir);
+  AnalysisSession session = session_from_dir(args);
   std::size_t total = 0;
-  for (const auto& net : data.inventory.networks()) {
+  for (const auto& net : session.inventory().networks()) {
     std::vector<DeviceConfig> configs;
-    for (const auto* dev : data.inventory.devices_in(net.network_id)) {
-      const auto& snaps = data.snapshots.for_device(dev->device_id);
+    for (const auto* dev : session.inventory().devices_in(net.network_id)) {
+      const auto& snaps = session.snapshots().for_device(dev->device_id);
       if (snaps.empty()) continue;
       configs.push_back(parse(snaps.back().text, dialect_of(dev->vendor), dev->device_id));
     }
@@ -231,16 +279,18 @@ int cmd_lint(const Args& args) {
       std::cout << net.network_id << " " << i.device_id << " [" << to_string(i.kind) << "] "
                 << i.detail << "\n";
   }
-  std::cout << total << " issue(s) across " << data.inventory.num_networks() << " networks\n";
+  std::cout << total << " issue(s) across " << session.inventory().num_networks()
+            << " networks\n";
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Args args = parse_args(argc, argv);
-  if (args.command.empty() || args.dir.empty()) return usage();
   try {
+    const Args args = parse_args(argc, argv);
+    if (args.command.empty() || args.dir.empty()) return usage();
+    check_flags(args);
     if (args.command == "generate") return cmd_generate(args);
     if (args.command == "summary") return cmd_summary(args);
     if (args.command == "infer") return cmd_infer(args);
@@ -248,6 +298,9 @@ int main(int argc, char** argv) {
     if (args.command == "causal") return cmd_causal(args);
     if (args.command == "predict") return cmd_predict(args);
     if (args.command == "lint") return cmd_lint(args);
+  } catch (const UsageError& e) {
+    std::cerr << "mpa_cli: " << e.message << "\n";
+    return usage();
   } catch (const std::exception& e) {
     std::cerr << "mpa_cli: " << e.what() << "\n";
     return 1;
