@@ -8,6 +8,7 @@
 
 #include "config/dialect.hpp"
 #include "config/diff.hpp"
+#include "config/lint.hpp"
 #include "learn/decision_tree.hpp"
 #include "metrics/inference.hpp"
 #include "mpa/causal.hpp"
@@ -169,6 +170,48 @@ void BM_EvaluateModelCv(benchmark::State& state) {
   set_mode_label(state, parallel);
 }
 BENCHMARK(BM_EvaluateModelCv)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Latest rendered snapshot text per device, grouped by network — the
+// exact inputs AnalysisSession::lint() fans out over.
+const std::vector<std::vector<DeviceText>>& perf_lint_networks() {
+  static const std::vector<std::vector<DeviceText>> nets = [] {
+    const OspDataset& data = perf_osp();
+    std::vector<std::vector<DeviceText>> out;
+    for (const auto& net : data.inventory.networks()) {
+      std::vector<DeviceText> texts;
+      for (const auto* d : data.inventory.devices_in(net.network_id)) {
+        const auto& snaps = data.snapshots.for_device(d->device_id);
+        if (snaps.empty()) continue;
+        texts.push_back(DeviceText{d->device_id, snaps.back().text, dialect_of(d->vendor)});
+      }
+      out.push_back(std::move(texts));
+    }
+    return out;
+  }();
+  return nets;
+}
+
+void BM_LintNetworks(benchmark::State& state) {
+  const auto& nets = perf_lint_networks();
+  const bool parallel = state.range(0) != 0;
+  std::size_t configs = 0;
+  for (const auto& n : nets) configs += n.size();
+  std::vector<std::size_t> findings(nets.size());
+  for (auto _ : state) {
+    if (parallel) {
+      perf_pool().parallel_for(nets.size(),
+                               [&](std::size_t i) { findings[i] = lint_network_text(nets[i]).size(); });
+    } else {
+      for (std::size_t i = 0; i < nets.size(); ++i)
+        findings[i] = lint_network_text(nets[i]).size();
+    }
+    benchmark::DoNotOptimize(findings.data());
+  }
+  set_mode_label(state, parallel);
+  // items/sec == configs linted per second.
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(configs));
+}
+BENCHMARK(BM_LintNetworks)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_ParallelForOverhead(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

@@ -21,7 +21,8 @@ int main() {
   gen_opts.seed = 31;
   OspDataset data = generate_osp(gen_opts);
   SessionOptions session_opts;
-  session_opts.inference = InferenceOptions{.event_window = 5, .num_months = gen_opts.num_months};
+  session_opts.inference.event_window = 5;
+  session_opts.inference.num_months = gen_opts.num_months;
   AnalysisSession session(std::move(data.inventory), std::move(data.snapshots),
                           std::move(data.tickets), session_opts);
   const CaseTable& table = session.case_table();

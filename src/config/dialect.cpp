@@ -168,6 +168,96 @@ DeviceConfig parse_junos(std::string_view text, std::string device_id) {
   return c;
 }
 
+SourceMap scan_ios(std::string_view text) {
+  SourceMap map;
+  std::vector<std::string> pending_comments;
+  int line_no = 0;
+  int open = -1;  // index into map.stanzas of the stanza being scanned
+  auto close = [&](int end_line) {
+    if (open >= 0) map.stanzas[static_cast<std::size_t>(open)].last_line = end_line;
+    open = -1;
+  };
+  for (const auto& raw : split(text, '\n')) {
+    ++line_no;
+    std::string_view line = trim(raw);
+    if (line.empty()) continue;
+    if (line[0] == '!') {
+      close(line_no);  // "!" terminates the current stanza
+      const std::string comment(trim(line.substr(1)));
+      if (!comment.empty()) {
+        map.all_comments.push_back(comment);
+        pending_comments.push_back(comment);
+      }
+      continue;
+    }
+    if (indent_of(raw) == 0) {
+      close(line_no - 1);
+      Stanza header = parse_ios_header(line);
+      SourceStanza src;
+      src.type = std::move(header.type);
+      src.name = std::move(header.name);
+      src.first_line = line_no;
+      src.last_line = line_no;
+      src.leading_comments = std::move(pending_comments);
+      pending_comments.clear();
+      open = static_cast<int>(map.stanzas.size());
+      map.stanzas.push_back(std::move(src));
+    } else if (open >= 0) {
+      map.stanzas[static_cast<std::size_t>(open)].last_line = line_no;
+    }
+  }
+  close(line_no);
+  return map;
+}
+
+SourceMap scan_junos(std::string_view text) {
+  SourceMap map;
+  std::vector<std::string> pending_comments;
+  int line_no = 0;
+  int open = -1;
+  for (const auto& raw : split(text, '\n')) {
+    ++line_no;
+    std::string_view line = trim(raw);
+    if (line.empty()) continue;
+    if (starts_with(line, "/*")) {
+      std::string_view body = line.substr(2);
+      if (body.size() >= 2 && body.substr(body.size() - 2) == "*/")
+        body = body.substr(0, body.size() - 2);
+      const std::string comment(trim(body));
+      if (!comment.empty()) {
+        map.all_comments.push_back(comment);
+        pending_comments.push_back(comment);
+      }
+      continue;
+    }
+    if (line == "}") {
+      if (open >= 0) map.stanzas[static_cast<std::size_t>(open)].last_line = line_no;
+      open = -1;
+      continue;
+    }
+    if (line.back() == '{') {
+      std::string_view header = trim(line.substr(0, line.size() - 1));
+      const std::size_t sp = header.find(' ');
+      SourceStanza src;
+      if (sp == std::string_view::npos) {
+        src.type = std::string(header);
+      } else {
+        src.type = std::string(header.substr(0, sp));
+        src.name = std::string(trim(header.substr(sp + 1)));
+      }
+      src.first_line = line_no;
+      src.last_line = line_no;
+      src.leading_comments = std::move(pending_comments);
+      pending_comments.clear();
+      open = static_cast<int>(map.stanzas.size());
+      map.stanzas.push_back(std::move(src));
+      continue;
+    }
+    if (open >= 0) map.stanzas[static_cast<std::size_t>(open)].last_line = line_no;
+  }
+  return map;
+}
+
 }  // namespace
 
 Dialect dialect_of(Vendor v) {
@@ -191,6 +281,10 @@ std::string render(const DeviceConfig& config, Dialect d) {
 DeviceConfig parse(std::string_view text, Dialect d, std::string device_id) {
   return d == Dialect::kIosLike ? parse_ios(text, std::move(device_id))
                                 : parse_junos(text, std::move(device_id));
+}
+
+SourceMap scan_source(std::string_view text, Dialect d) {
+  return d == Dialect::kIosLike ? scan_ios(text) : scan_junos(text);
 }
 
 }  // namespace mpa

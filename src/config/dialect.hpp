@@ -40,4 +40,30 @@ std::string render(const DeviceConfig& config, Dialect d);
 /// DataError on structurally malformed text (e.g. unbalanced braces).
 DeviceConfig parse(std::string_view text, Dialect d, std::string device_id);
 
+/// Structural source map of dialect text: where each stanza lives and
+/// which comments precede it. This is what lets the lint engine point
+/// diagnostics at real lines of the rendered config and honor
+/// suppression pragmas, without re-teaching it either dialect's syntax.
+struct SourceStanza {
+  std::string type;  ///< Vendor-native stanza type (as parse() yields).
+  std::string name;
+  int first_line = 0;  ///< 1-based line of the stanza header.
+  int last_line = 0;   ///< 1-based line of the last body/terminator line.
+  /// Comment lines immediately preceding the header, stripped of the
+  /// dialect's comment markers and trimmed.
+  std::vector<std::string> leading_comments;
+};
+
+struct SourceMap {
+  std::vector<SourceStanza> stanzas;
+  /// Every comment in the file (stripped + trimmed), wherever it sits;
+  /// file-scope lint pragmas are fished out of these.
+  std::vector<std::string> all_comments;
+};
+
+/// Scan dialect text without building a DeviceConfig. Tolerant of the
+/// same inputs parse() accepts; stanza (type, name) pairs match what
+/// parse() would produce for them.
+SourceMap scan_source(std::string_view text, Dialect d);
+
 }  // namespace mpa

@@ -1,142 +1,249 @@
+// Lint engine core: rule registry plumbing, source resolution, and the
+// run driver. The rules themselves live in lint_rules.cpp.
 #include "config/lint.hpp"
 
-#include <map>
-#include <set>
+#include <algorithm>
 
-#include "config/addr.hpp"
 #include "config/types.hpp"
+#include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace mpa {
 namespace {
 
-std::set<std::string> names_of(const DeviceConfig& dev, std::string_view agnostic) {
-  std::set<std::string> out;
-  for (const auto& s : dev.stanzas())
-    if (normalize_type(s.type) == agnostic) out.insert(s.name);
-  return out;
+/// Rule ids named by a pragma comment ("lint-disable a b" -> {a, b}),
+/// or nothing when the comment is not a pragma of the given kind.
+std::vector<std::string> pragma_ids(std::string_view comment, std::string_view keyword) {
+  const auto tokens = split_ws(comment);
+  if (tokens.empty() || tokens[0] != keyword) return {};
+  return {tokens.begin() + 1, tokens.end()};
+}
+
+bool disabled_in(const std::set<std::string, std::less<>>& set, std::string_view rule_id) {
+  return set.count(rule_id) > 0 || set.count("all") > 0;
 }
 
 }  // namespace
 
-std::string_view to_string(LintKind k) {
-  switch (k) {
-    case LintKind::kDanglingAclRef: return "dangling-acl-ref";
-    case LintKind::kDanglingVlanRef: return "dangling-vlan-ref";
-    case LintKind::kDanglingPoolRef: return "dangling-pool-ref";
-    case LintKind::kDanglingLagMember: return "dangling-lag-member";
-    case LintKind::kEmptyAcl: return "empty-acl";
-    case LintKind::kDuplicateAddress: return "duplicate-address";
-    case LintKind::kOneSidedBgpSession: return "one-sided-bgp-session";
+// ---------------------------------------------------------------- taxonomy
+
+std::string_view to_string(LintSeverity s) {
+  switch (s) {
+    case LintSeverity::kInfo: return "info";
+    case LintSeverity::kWarning: return "warning";
+    case LintSeverity::kError: return "error";
   }
   return "unknown";
 }
 
-std::vector<LintIssue> lint_device(const DeviceConfig& config) {
-  std::vector<LintIssue> issues;
-  const auto acls = names_of(config, "acl");
-  const auto vlans = names_of(config, "vlan");
-  const auto ifaces = names_of(config, "interface");
-  const auto pools = names_of(config, "pool");
-
-  auto report = [&](LintKind kind, std::string detail) {
-    issues.push_back(LintIssue{kind, config.device_id(), std::move(detail)});
-  };
-
-  for (const auto& s : config.stanzas()) {
-    const std::string agnostic = normalize_type(s.type);
-    if (agnostic == "interface") {
-      for (const auto& o : s.options) {
-        if (o.key == "ip access-group" || o.key == "filter") {
-          const auto tokens = split_ws(o.value);
-          if (!tokens.empty() && !acls.count(tokens[0]))
-            report(LintKind::kDanglingAclRef, s.name + " -> acl '" + tokens[0] + "'");
-        }
-        if (o.key == "switchport access vlan" && !vlans.count(o.value))
-          report(LintKind::kDanglingVlanRef, s.name + " -> vlan '" + o.value + "'");
-      }
-    } else if (agnostic == "vlan") {
-      for (const auto& name : s.get_all("interface"))
-        if (!ifaces.count(name))
-          report(LintKind::kDanglingVlanRef, "vlan " + s.name + " -> interface '" + name + "'");
-    } else if (agnostic == "virtual-server") {
-      for (const auto& name : s.get_all("pool"))
-        if (!pools.count(name))
-          report(LintKind::kDanglingPoolRef, s.name + " -> pool '" + name + "'");
-    } else if (agnostic == "link-aggregation") {
-      for (const auto& name : s.get_all("member"))
-        if (!ifaces.count(name))
-          report(LintKind::kDanglingLagMember, s.name + " -> interface '" + name + "'");
-    } else if (agnostic == "acl") {
-      bool has_term = false;
-      for (const auto& o : s.options)
-        if (o.key == "permit" || o.key == "deny") has_term = true;
-      if (!has_term) report(LintKind::kEmptyAcl, "acl '" + s.name + "' has no terms");
-    }
+std::string_view to_string(LintCategory c) {
+  switch (c) {
+    case LintCategory::kReferential: return "referential";
+    case LintCategory::kAddressing: return "addressing";
+    case LintCategory::kFilter: return "filter";
+    case LintCategory::kProtocol: return "protocol";
+    case LintCategory::kHygiene: return "hygiene";
   }
-  return issues;
+  return "unknown";
 }
 
-std::vector<LintIssue> lint_network(const std::vector<DeviceConfig>& network) {
-  std::vector<LintIssue> issues;
-  for (const auto& dev : network) {
-    auto local = lint_device(dev);
-    issues.insert(issues.end(), local.begin(), local.end());
-  }
+std::optional<LintSeverity> parse_severity(std::string_view s) {
+  if (s == "info") return LintSeverity::kInfo;
+  if (s == "warning") return LintSeverity::kWarning;
+  if (s == "error") return LintSeverity::kError;
+  return std::nullopt;
+}
 
-  // Duplicate addresses across the network.
-  std::map<std::uint32_t, std::string> owners;  // ip -> "device/iface"
-  std::set<std::uint32_t> all_addrs;
-  for (const auto& dev : network) {
-    for (const auto& s : dev.stanzas()) {
-      if (normalize_type(s.type) != "interface") continue;
-      for (const auto& o : s.options) {
-        if (o.key != "ip address" && o.key != "ip-address") continue;
-        const auto p = parse_prefix(o.value);
-        if (!p) continue;
-        all_addrs.insert(p->addr);
-        const std::string here = dev.device_id() + "/" + s.name;
-        const auto [it, inserted] = owners.emplace(p->addr, here);
-        if (!inserted) {
-          issues.push_back(LintIssue{LintKind::kDuplicateAddress, dev.device_id(),
-                                     format_ipv4(p->addr) + " also on " + it->second});
+// ------------------------------------------------------- source resolution
+
+LintSource LintSource::scan(std::string_view text, Dialect d) {
+  LintSource out;
+  const SourceMap map = scan_source(text, d);
+  for (const auto& comment : map.all_comments)
+    for (auto& id : pragma_ids(comment, "lint-disable-file"))
+      out.device_disabled_.insert(std::move(id));
+  for (const auto& s : map.stanzas) {
+    Entry e;
+    e.span = SourceSpan{s.first_line, s.last_line};
+    for (const auto& comment : s.leading_comments)
+      for (auto& id : pragma_ids(comment, "lint-disable")) e.disabled.insert(std::move(id));
+    out.stanzas_.emplace(std::make_pair(s.type, s.name), std::move(e));
+  }
+  return out;
+}
+
+SourceSpan LintSource::span_of(std::string_view type, std::string_view name) const {
+  const auto it = stanzas_.find(std::make_pair(std::string(type), std::string(name)));
+  return it == stanzas_.end() ? SourceSpan{} : it->second.span;
+}
+
+bool LintSource::suppresses(std::string_view rule_id, std::string_view type,
+                            std::string_view name) const {
+  if (disabled_in(device_disabled_, rule_id)) return true;
+  if (type.empty()) return false;
+  const auto it = stanzas_.find(std::make_pair(std::string(type), std::string(name)));
+  return it != stanzas_.end() && disabled_in(it->second.disabled, rule_id);
+}
+
+// ------------------------------------------------------------------ rules
+
+void LintRule::check_device(const DeviceView& /*dev*/, LintSink& /*sink*/) const {}
+void LintRule::check_network(const NetworkView& /*net*/, LintSink& /*sink*/) const {}
+
+void RuleRegistry::add(std::unique_ptr<LintRule> rule) {
+  require(rule != nullptr, "RuleRegistry::add: null rule");
+  const std::string_view id = rule->info().id;
+  require(!id.empty(), "RuleRegistry::add: rule with empty id");
+  require(find(id) == nullptr, "RuleRegistry::add: duplicate rule id '" + std::string(id) + "'");
+  rules_.push_back(std::move(rule));
+}
+
+const LintRule* RuleRegistry::find(std::string_view id) const {
+  for (const auto& r : rules_)
+    if (r->info().id == id) return r.get();
+  return nullptr;
+}
+
+// ----------------------------------------------------------------- views
+
+DeviceView::DeviceView(const DeviceConfig& config, const LintSource* source)
+    : config_(&config), source_(source) {}
+
+const std::set<std::string>& DeviceView::names_of(std::string_view agnostic) const {
+  const auto it = names_.find(agnostic);
+  if (it != names_.end()) return it->second;
+  std::set<std::string> names;
+  for (const auto& s : config_->stanzas())
+    if (normalize_type(s.type) == agnostic) names.insert(s.name);
+  return names_.emplace(std::string(agnostic), std::move(names)).first->second;
+}
+
+bool DeviceView::defines(std::string_view agnostic, std::string_view name) const {
+  const auto& names = names_of(agnostic);
+  return names.find(std::string(name)) != names.end();
+}
+
+NetworkView::NetworkView(const std::vector<LintInput>& inputs) {
+  devices_.reserve(inputs.size());
+  for (const auto& in : inputs) {
+    require(in.config != nullptr, "NetworkView: null config");
+    devices_.emplace_back(*in.config, in.source);
+  }
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    for (const auto& s : devices_[d].config().stanzas()) {
+      if (normalize_type(s.type) == "interface") {
+        for (const auto& o : s.options) {
+          if (o.key != "ip address" && o.key != "ip-address") continue;
+          const auto p = parse_prefix(o.value);
+          if (!p) continue;
+          iface_addrs_.push_back(IfaceAddr{d, &s, *p});
+          addr_owner_.emplace(p->addr, d);  // first owner wins
         }
+      }
+      if (constructs_of(s.type) == std::vector<std::string>{"bgp"}) {
+        bgp_procs_.push_back(BgpProc{d, &s});
+        bgp_devices_.insert(d);
       }
     }
   }
+}
 
-  // One-sided BGP sessions: a neighbor statement pointing at an address
-  // that exists in the network but whose owner has no BGP process.
-  std::set<std::string> bgp_devices;
-  for (const auto& dev : network)
-    for (const auto& s : dev.stanzas())
-      if (constructs_of(s.type) == std::vector<std::string>{"bgp"}) bgp_devices.insert(dev.device_id());
-  std::map<std::uint32_t, std::string> addr_device;
-  for (const auto& dev : network)
-    for (const auto& s : dev.stanzas()) {
-      if (normalize_type(s.type) != "interface") continue;
-      for (const auto& o : s.options)
-        if (o.key == "ip address" || o.key == "ip-address")
-          if (const auto p = parse_prefix(o.value)) addr_device[p->addr] = dev.device_id();
-    }
-  for (const auto& dev : network) {
-    for (const auto& s : dev.stanzas()) {
-      if (constructs_of(s.type) != std::vector<std::string>{"bgp"}) continue;
-      for (const auto& v : s.get_all("neighbor")) {
-        const auto tokens = split_ws(v);
-        if (tokens.empty()) continue;
-        const auto ip = parse_ipv4(tokens[0]);
-        if (!ip) continue;
-        const auto it = addr_device.find(*ip);
-        if (it != addr_device.end() && !bgp_devices.count(it->second)) {
-          issues.push_back(LintIssue{LintKind::kOneSidedBgpSession, dev.device_id(),
-                                     "neighbor " + tokens[0] + " (" + it->second +
-                                         " runs no BGP process)"});
-        }
-      }
-    }
+std::size_t NetworkView::owner_of(std::uint32_t ip) const {
+  const auto it = addr_owner_.find(ip);
+  return it == addr_owner_.end() ? npos : it->second;
+}
+
+bool NetworkView::runs_bgp(std::size_t device) const { return bgp_devices_.count(device) > 0; }
+
+// ------------------------------------------------------------------ sink
+
+LintSink::LintSink(const LintOptions& opts, std::vector<Diagnostic>& out)
+    : opts_(&opts), out_(&out) {}
+
+void LintSink::set_active(const LintRule* rule) {
+  active_ = rule;
+  active_info_ = rule != nullptr ? rule->info() : RuleInfo{};
+}
+
+void LintSink::report(const DeviceView& dev, const Stanza* anchor, std::string message) {
+  require(active_ != nullptr, "LintSink::report outside a rule");
+  Diagnostic d;
+  d.rule_id = std::string(active_info_.id);
+  d.category = active_info_.category;
+  d.severity = active_info_.severity;
+  const auto sev = opts_->severity.find(d.rule_id);
+  if (sev != opts_->severity.end()) d.severity = sev->second;
+  d.device_id = dev.device_id();
+  if (anchor != nullptr) {
+    d.object = anchor->type + (anchor->name.empty() ? "" : " " + anchor->name);
   }
-  return issues;
+  d.message = std::move(message);
+  if (dev.source() != nullptr) {
+    if (anchor != nullptr) d.span = dev.source()->span_of(anchor->type, anchor->name);
+    d.suppressed = dev.source()->suppresses(d.rule_id, anchor != nullptr ? anchor->type : "",
+                                            anchor != nullptr ? anchor->name : "");
+  }
+  if (d.suppressed && !opts_->keep_suppressed) return;
+  out_->push_back(std::move(d));
+}
+
+// ----------------------------------------------------------------- driver
+
+namespace {
+
+bool rule_enabled(const LintOptions& opts, std::string_view id) {
+  const auto it = opts.enable.find(std::string(id));
+  if (it != opts.enable.end()) return it->second;
+  const auto all = opts.enable.find("all");
+  if (all != opts.enable.end()) return all->second;
+  return true;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> run_lint(const std::vector<LintInput>& network, const LintOptions& opts) {
+  const RuleRegistry& registry = opts.registry != nullptr ? *opts.registry
+                                                          : RuleRegistry::builtin();
+  const NetworkView net(network);
+  std::vector<Diagnostic> out;
+  LintSink sink(opts, out);
+  for (const auto& rule : registry.rules()) {
+    if (!rule_enabled(opts, rule->info().id)) continue;
+    sink.set_active(rule.get());
+    for (const auto& dev : net.devices()) rule->check_device(dev, sink);
+    rule->check_network(net, sink);
+  }
+  sink.set_active(nullptr);
+  return out;
+}
+
+std::vector<Diagnostic> lint_device(const DeviceConfig& config, const LintOptions& opts) {
+  return run_lint({LintInput{&config, nullptr}}, opts);
+}
+
+std::vector<Diagnostic> lint_network(const std::vector<DeviceConfig>& network,
+                                     const LintOptions& opts) {
+  std::vector<LintInput> inputs;
+  inputs.reserve(network.size());
+  for (const auto& c : network) inputs.push_back(LintInput{&c, nullptr});
+  return run_lint(inputs, opts);
+}
+
+std::vector<Diagnostic> lint_network_text(const std::vector<DeviceText>& network,
+                                          const LintOptions& opts) {
+  std::vector<DeviceConfig> configs;
+  std::vector<LintSource> sources;
+  configs.reserve(network.size());
+  sources.reserve(network.size());
+  for (const auto& dev : network) {
+    configs.push_back(parse(dev.text, dev.dialect, dev.device_id));
+    sources.push_back(LintSource::scan(dev.text, dev.dialect));
+  }
+  std::vector<LintInput> inputs;
+  inputs.reserve(network.size());
+  for (std::size_t i = 0; i < network.size(); ++i)
+    inputs.push_back(LintInput{&configs[i], &sources[i]});
+  return run_lint(inputs, opts);
 }
 
 }  // namespace mpa

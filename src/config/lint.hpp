@@ -1,44 +1,283 @@
-// Configuration consistency lint.
+// Config static analysis: a rule-engine lint over vendor-dialect
+// configuration snapshots.
 //
-// The reference extractor (refs.hpp) counts references that *resolve*;
-// this module reports the ones that don't — dangling ACL attachments,
-// VLAN memberships without definitions, virtual servers naming missing
-// pools — plus cross-device problems (duplicate addresses, one-sided
-// BGP sessions). These are exactly the inconsistencies the paper's
-// motivation calls error-prone manual management likely to introduce,
-// and the kind of signal an organization would want next to MPA's
-// practice metrics.
+// The paper's motivation is that error-prone manual management
+// introduces config inconsistencies that degrade network health. This
+// module detects those inconsistencies with a registry of LintRule
+// objects — referential integrity (dangling ACL/VLAN/pool/LAG
+// references), addressing (duplicate addresses, overlapping subnets),
+// filter hygiene (empty ACLs, shadowed and unreachable terms),
+// protocol coherence (one-sided or AS-mismatched BGP sessions, OSPF
+// area disagreement, MTU mismatch on inferred links, VLAN span gaps),
+// and housekeeping (unreferenced definitions, unused interfaces left
+// enabled).
+//
+// Diagnostics carry source spans resolved against the rendered dialect
+// text (both IOS-like and JunOS-like flavours), and rules can be
+// suppressed per stanza or per device with comment pragmas:
+//
+//   IOS-like    ! lint-disable <rule-id> [<rule-id>...]     (next stanza)
+//               ! lint-disable-file <rule-id> [...]         (whole device)
+//   JunOS-like  /* lint-disable <rule-id> [...] */          (next block)
+//               /* lint-disable-file <rule-id> [...] */     (whole device)
+//
+// The rule id "all" suppresses every rule. Pragmas live in comments,
+// so they survive parse()/render() round trips untouched.
+//
+// Downstream, findings become per-(network, month) hygiene metrics in
+// the case table (metrics/lint_metrics.hpp), a memoized session
+// artifact (engine/session.hpp), and `mpa_cli lint` output in text,
+// JSON, and SARIF form.
 #pragma once
 
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "config/addr.hpp"
+#include "config/dialect.hpp"
 #include "config/stanza.hpp"
 
 namespace mpa {
 
-enum class LintKind : std::uint8_t {
-  kDanglingAclRef,       ///< Interface attaches an ACL that is not defined.
-  kDanglingVlanRef,      ///< VLAN membership without a vlan definition.
-  kDanglingPoolRef,      ///< Virtual server names a missing pool.
-  kDanglingLagMember,    ///< Port-channel member interface missing.
-  kEmptyAcl,             ///< ACL defined with no permit/deny terms.
-  kDuplicateAddress,     ///< Same IP configured on two interfaces.
-  kOneSidedBgpSession,   ///< Neighbor statement with no reciprocating peer.
+// ---------------------------------------------------------------- taxonomy
+
+enum class LintSeverity : std::uint8_t { kInfo, kWarning, kError };
+inline constexpr int kNumLintSeverities = 3;
+
+enum class LintCategory : std::uint8_t {
+  kReferential,  ///< A reference that does not resolve.
+  kAddressing,   ///< IP addressing inconsistencies.
+  kFilter,       ///< ACL / firewall-filter structure problems.
+  kProtocol,     ///< Cross-device protocol disagreements.
+  kHygiene,      ///< Dead or sloppy configuration.
+};
+inline constexpr int kNumLintCategories = 5;
+
+std::string_view to_string(LintSeverity s);
+std::string_view to_string(LintCategory c);
+std::optional<LintSeverity> parse_severity(std::string_view s);
+
+// ------------------------------------------------------------- diagnostics
+
+/// 1-based line range in the rendered dialect text; {0, 0} when the
+/// finding was produced without source text.
+struct SourceSpan {
+  int first_line = 0;
+  int last_line = 0;
+  bool resolved() const { return first_line > 0; }
+
+  friend bool operator==(const SourceSpan&, const SourceSpan&) = default;
 };
 
-std::string_view to_string(LintKind k);
-
-struct LintIssue {
-  LintKind kind{};
+struct Diagnostic {
+  std::string rule_id;
+  LintSeverity severity{};
+  LintCategory category{};
   std::string device_id;
-  std::string detail;  ///< Human-readable specifics.
+  std::string object;   ///< "type name" of the anchoring stanza ("" = device).
+  std::string message;  ///< Human-readable specifics.
+  SourceSpan span;
+  bool suppressed = false;  ///< Pragma-suppressed (kept only on request).
 };
 
-/// Intra-device checks on one configuration.
-std::vector<LintIssue> lint_device(const DeviceConfig& config);
+// ------------------------------------------------------- source resolution
 
-/// All intra-device checks plus cross-device checks over one network.
-std::vector<LintIssue> lint_network(const std::vector<DeviceConfig>& network);
+/// Per-device source info extracted from dialect text: stanza spans and
+/// suppression pragmas. Cheap line scan; build once per snapshot and
+/// reuse across lint runs.
+class LintSource {
+ public:
+  LintSource() = default;
+  static LintSource scan(std::string_view text, Dialect d);
+
+  /// Span of the stanza with this native (type, name), if the text
+  /// contains it.
+  SourceSpan span_of(std::string_view type, std::string_view name) const;
+
+  /// True if `rule_id` is suppressed for this stanza (stanza pragma or
+  /// device-wide pragma). An empty type/name asks about device scope.
+  bool suppresses(std::string_view rule_id, std::string_view type, std::string_view name) const;
+
+ private:
+  struct Entry {
+    SourceSpan span;
+    std::set<std::string, std::less<>> disabled;
+  };
+  std::map<std::pair<std::string, std::string>, Entry, std::less<>> stanzas_;
+  std::set<std::string, std::less<>> device_disabled_;
+};
+
+// ------------------------------------------------------------------ rules
+
+struct RuleInfo {
+  std::string_view id;       ///< Stable kebab-case identifier.
+  std::string_view summary;  ///< One-line description (SARIF rule help).
+  LintCategory category{};
+  LintSeverity severity{};  ///< Default severity; overridable per run.
+};
+
+class DeviceView;
+class NetworkView;
+class LintSink;
+
+/// One check. Implementations override the scope(s) they need;
+/// device-scope rules see one device at a time, network-scope rules
+/// see the whole network with shared cross-device indexes.
+class LintRule {
+ public:
+  virtual ~LintRule() = default;
+  virtual RuleInfo info() const = 0;
+  virtual void check_device(const DeviceView& dev, LintSink& sink) const;
+  virtual void check_network(const NetworkView& net, LintSink& sink) const;
+};
+
+/// Ordered, id-unique collection of rules. The built-in registry holds
+/// every rule in this module; custom registries can mix in their own.
+class RuleRegistry {
+ public:
+  RuleRegistry() = default;
+  RuleRegistry(RuleRegistry&&) = default;
+  RuleRegistry& operator=(RuleRegistry&&) = default;
+
+  /// Add a rule; its id must not collide with a registered one.
+  void add(std::unique_ptr<LintRule> rule);
+
+  const std::vector<std::unique_ptr<LintRule>>& rules() const { return rules_; }
+  /// Look up by id; nullptr when absent.
+  const LintRule* find(std::string_view id) const;
+
+  /// The built-in rules, constructed once.
+  static const RuleRegistry& builtin();
+
+ private:
+  std::vector<std::unique_ptr<LintRule>> rules_;
+};
+
+// ------------------------------------------------------------ analysis API
+
+struct LintOptions {
+  /// Per-rule enablement; rules absent from the map run. {"all", false}
+  /// disables everything not explicitly re-enabled.
+  std::map<std::string, bool> enable;
+  /// Per-rule severity overrides.
+  std::map<std::string, LintSeverity> severity;
+  /// Keep pragma-suppressed findings, marked suppressed=true, instead
+  /// of dropping them.
+  bool keep_suppressed = false;
+  /// Rule set to run (null = RuleRegistry::builtin()).
+  const RuleRegistry* registry = nullptr;
+};
+
+/// One device of a network under analysis: the parsed config plus its
+/// optional source info (spans + pragmas).
+struct LintInput {
+  const DeviceConfig* config = nullptr;
+  const LintSource* source = nullptr;  ///< May be null (no text available).
+};
+
+/// Run all applicable rules over one network. Diagnostics come out
+/// grouped by rule (registry order), then device, then stanza order —
+/// deterministic for identical inputs.
+std::vector<Diagnostic> run_lint(const std::vector<LintInput>& network,
+                                 const LintOptions& opts = {});
+
+/// Convenience: intra-device checks on one parsed config (no spans).
+std::vector<Diagnostic> lint_device(const DeviceConfig& config, const LintOptions& opts = {});
+
+/// Convenience: all checks over parsed configs (no spans).
+std::vector<Diagnostic> lint_network(const std::vector<DeviceConfig>& network,
+                                     const LintOptions& opts = {});
+
+/// Raw dialect text of one device, for span-resolving runs.
+struct DeviceText {
+  std::string device_id;
+  std::string text;
+  Dialect dialect = Dialect::kIosLike;
+};
+
+/// Parse + scan each device's text, then run all checks with spans
+/// resolved and pragmas honored. Throws DataError on malformed text.
+std::vector<Diagnostic> lint_network_text(const std::vector<DeviceText>& network,
+                                          const LintOptions& opts = {});
+
+// ------------------------------------------------ rule execution contexts
+
+/// Device under analysis with the indexes device-scope rules share.
+class DeviceView {
+ public:
+  DeviceView(const DeviceConfig& config, const LintSource* source);
+
+  const DeviceConfig& config() const { return *config_; }
+  const LintSource* source() const { return source_; }
+  const std::string& device_id() const { return config_->device_id(); }
+
+  /// Names of stanzas whose agnostic type matches.
+  const std::set<std::string>& names_of(std::string_view agnostic) const;
+  bool defines(std::string_view agnostic, std::string_view name) const;
+
+ private:
+  const DeviceConfig* config_;
+  const LintSource* source_;
+  mutable std::map<std::string, std::set<std::string>, std::less<>> names_;
+};
+
+/// Whole network with cross-device indexes shared by network rules.
+class NetworkView {
+ public:
+  explicit NetworkView(const std::vector<LintInput>& inputs);
+
+  const std::vector<DeviceView>& devices() const { return devices_; }
+
+  struct IfaceAddr {
+    std::size_t device = 0;  ///< Index into devices().
+    const Stanza* stanza = nullptr;
+    Ipv4Prefix prefix;
+  };
+  /// Every interface address in the network, in device/stanza order.
+  const std::vector<IfaceAddr>& iface_addrs() const { return iface_addrs_; }
+
+  /// Device index owning `ip` on an interface, or npos.
+  std::size_t owner_of(std::uint32_t ip) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Devices running a BGP process, with the process stanza.
+  struct BgpProc {
+    std::size_t device = 0;
+    const Stanza* stanza = nullptr;
+  };
+  const std::vector<BgpProc>& bgp_procs() const { return bgp_procs_; }
+  bool runs_bgp(std::size_t device) const;
+
+ private:
+  std::vector<DeviceView> devices_;
+  std::vector<IfaceAddr> iface_addrs_;
+  std::map<std::uint32_t, std::size_t> addr_owner_;
+  std::vector<BgpProc> bgp_procs_;
+  std::set<std::size_t> bgp_devices_;
+};
+
+/// Where rules deposit findings. Handles severity overrides, pragma
+/// suppression, and span resolution so rules only say what is wrong
+/// and where.
+class LintSink {
+ public:
+  LintSink(const LintOptions& opts, std::vector<Diagnostic>& out);
+
+  /// Anchor a finding to a stanza of `dev` (null = whole device).
+  void report(const DeviceView& dev, const Stanza* anchor, std::string message);
+
+  /// The rule currently executing (set by the engine).
+  void set_active(const LintRule* rule);
+
+ private:
+  const LintOptions* opts_;
+  std::vector<Diagnostic>* out_;
+  const LintRule* active_ = nullptr;
+  RuleInfo active_info_{};
+};
 
 }  // namespace mpa

@@ -35,9 +35,36 @@ bool ArtifactStore::save_case_table(const std::string& key, const CaseTable& tab
   return static_cast<bool>(out);
 }
 
+std::optional<LintReport> ArtifactStore::load_lint_report(const std::string& key) const {
+  if (!enabled()) return std::nullopt;
+  std::ifstream in(path_for(key + ".lint"));
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    LintReport report = LintReport::from_csv(buf.str());
+    // A real report has one entry per network even when nothing fired;
+    // an empty one is indistinguishable from truncation, so treat it
+    // as a miss like the case-table loader does.
+    if (report.networks.empty()) return std::nullopt;
+    return report;
+  } catch (const DataError&) {
+    return std::nullopt;
+  }
+}
+
+bool ArtifactStore::save_lint_report(const std::string& key, const LintReport& report) const {
+  if (!enabled()) return false;
+  std::ofstream out(path_for(key + ".lint"));
+  if (!out) return false;
+  out << report.to_csv();
+  return static_cast<bool>(out);
+}
+
 void ArtifactStore::remove(const std::string& key) const {
   if (!enabled()) return;
   std::remove(path_for(key).c_str());
+  std::remove(path_for(key + ".lint").c_str());
 }
 
 }  // namespace mpa

@@ -1,7 +1,7 @@
 // Persistent artifact store for the engine: named derived artifacts
-// (today: inferred case tables as CSV) written under a cache
-// directory so they survive process restarts. This is the store the
-// benches use to share one expensive 850x17 case table across ~25
+// (inferred case tables and lint reports, as CSV) written under a
+// cache directory so they survive process restarts. This is the store
+// the benches use to share one expensive 850x17 case table across ~25
 // binaries, and the AnalysisSession uses to skip re-inference when a
 // keyed session is reconstructed over the same data.
 #pragma once
@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 
+#include "engine/lint_report.hpp"
 #include "metrics/case_table.hpp"
 
 namespace mpa {
@@ -36,7 +37,15 @@ class ArtifactStore {
   /// is disabled or the write fails.
   bool save_case_table(const std::string& key, const CaseTable& table) const;
 
-  /// Delete the artifact for `key` (used by explicit invalidation).
+  /// Load a saved lint report (stored under key + ".lint.csv");
+  /// nullopt on disabled store, absence, or corruption.
+  std::optional<LintReport> load_lint_report(const std::string& key) const;
+
+  /// Persist a lint report under `key`. Returns false when the store
+  /// is disabled or the write fails.
+  bool save_lint_report(const std::string& key, const LintReport& report) const;
+
+  /// Delete the artifacts for `key` (used by explicit invalidation).
   void remove(const std::string& key) const;
 
  private:

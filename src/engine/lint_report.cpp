@@ -1,0 +1,281 @@
+#include "engine/lint_report.hpp"
+
+#include <array>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace mpa {
+namespace {
+
+std::optional<LintCategory> parse_category(std::string_view s) {
+  for (int i = 0; i < kNumLintCategories; ++i) {
+    const auto c = static_cast<LintCategory>(i);
+    if (to_string(c) == s) return c;
+  }
+  return std::nullopt;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// SARIF result level for a severity.
+std::string_view sarif_level(LintSeverity s) {
+  switch (s) {
+    case LintSeverity::kInfo: return "note";
+    case LintSeverity::kWarning: return "warning";
+    case LintSeverity::kError: return "error";
+  }
+  return "none";
+}
+
+struct Counts {
+  int total = 0;
+  std::array<int, kNumLintSeverities> by_severity{};
+  std::set<std::string_view> rules;
+
+  void count(const Diagnostic& d) {
+    if (d.suppressed) return;
+    ++total;
+    ++by_severity[static_cast<std::size_t>(d.severity)];
+    rules.insert(d.rule_id);
+  }
+};
+
+int parse_int_cell(std::string_view cell, std::string_view what) {
+  int v = 0;
+  bool any = false;
+  for (char c : cell) {
+    require_data(c >= '0' && c <= '9', "lint report: bad " + std::string(what));
+    v = v * 10 + (c - '0');
+    any = true;
+  }
+  require_data(any, "lint report: empty " + std::string(what));
+  return v;
+}
+
+}  // namespace
+
+std::size_t LintReport::total_findings() const {
+  std::size_t n = 0;
+  for (const auto& net : networks) n += net.diagnostics.size();
+  return n;
+}
+
+LintReport LintReport::at_least(LintSeverity min) const {
+  LintReport out;
+  out.networks.reserve(networks.size());
+  for (const auto& net : networks) {
+    NetworkLint kept;
+    kept.network_id = net.network_id;
+    kept.num_devices = net.num_devices;
+    for (const auto& d : net.diagnostics)
+      if (d.severity >= min) kept.diagnostics.push_back(d);
+    out.networks.push_back(std::move(kept));
+  }
+  return out;
+}
+
+std::string LintReport::to_csv() const {
+  std::ostringstream os;
+  os << "record,network_id,device_id,rule_id,severity,category,first_line,last_line,"
+        "suppressed,object,message\n";
+  for (const auto& net : networks) {
+    os << "net," << net.network_id << "," << net.num_devices << "\n";
+    for (const auto& d : net.diagnostics) {
+      os << "diag," << d.device_id << "," << d.rule_id << "," << to_string(d.severity) << ","
+         << to_string(d.category) << "," << d.span.first_line << "," << d.span.last_line << ","
+         << (d.suppressed ? 1 : 0) << "," << d.object << "," << d.message << "\n";
+    }
+  }
+  return os.str();
+}
+
+LintReport LintReport::from_csv(std::string_view csv) {
+  LintReport out;
+  bool header = true;
+  for (const auto& line : split(csv, '\n')) {
+    if (trim(line).empty()) continue;
+    if (header) {
+      header = false;
+      continue;
+    }
+    const auto cells = split(line, ',');
+    if (cells[0] == "net") {
+      require_data(cells.size() == 3, "lint report: bad network row");
+      NetworkLint net;
+      net.network_id = cells[1];
+      net.num_devices = static_cast<std::size_t>(parse_int_cell(cells[2], "device count"));
+      out.networks.push_back(std::move(net));
+      continue;
+    }
+    require_data(cells[0] == "diag" && cells.size() >= 10, "lint report: bad finding row");
+    require_data(!out.networks.empty(), "lint report: finding before any network");
+    Diagnostic d;
+    d.device_id = cells[1];
+    d.rule_id = cells[2];
+    const auto sev = parse_severity(cells[3]);
+    require_data(sev.has_value(), "lint report: bad severity " + cells[3]);
+    d.severity = *sev;
+    const auto cat = parse_category(cells[4]);
+    require_data(cat.has_value(), "lint report: bad category " + cells[4]);
+    d.category = *cat;
+    d.span.first_line = parse_int_cell(cells[5], "first_line");
+    d.span.last_line = parse_int_cell(cells[6], "last_line");
+    d.suppressed = parse_int_cell(cells[7], "suppressed flag") != 0;
+    d.object = cells[8];
+    // The message is everything after the object column, commas intact.
+    d.message = join(std::vector<std::string>(cells.begin() + 9, cells.end()), ",");
+    out.networks.back().diagnostics.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::string LintReport::to_text() const {
+  std::ostringstream os;
+  Counts overall;
+  for (const auto& net : networks) {
+    Counts local;
+    for (const auto& d : net.diagnostics) {
+      local.count(d);
+      overall.count(d);
+    }
+    if (net.diagnostics.empty()) continue;
+    os << net.network_id << " (" << net.num_devices << " devices): " << local.total
+       << " findings\n";
+    for (const auto& d : net.diagnostics) {
+      os << "  " << d.device_id;
+      if (d.span.resolved()) {
+        os << ":" << d.span.first_line;
+        if (d.span.last_line > d.span.first_line) os << "-" << d.span.last_line;
+      }
+      os << " " << to_string(d.severity) << " " << d.rule_id;
+      if (d.suppressed) os << " (suppressed)";
+      os << ": " << d.message << "\n";
+    }
+  }
+  os << "total: " << overall.total << " findings ("
+     << overall.by_severity[static_cast<std::size_t>(LintSeverity::kError)] << " errors, "
+     << overall.by_severity[static_cast<std::size_t>(LintSeverity::kWarning)] << " warnings, "
+     << overall.by_severity[static_cast<std::size_t>(LintSeverity::kInfo)] << " info) across "
+     << networks.size() << " networks; " << overall.rules.size() << " rules hit\n";
+  return os.str();
+}
+
+std::string LintReport::to_json() const {
+  std::ostringstream os;
+  Counts overall;
+  os << "{\n  \"networks\": [";
+  bool first_net = true;
+  for (const auto& net : networks) {
+    os << (first_net ? "\n" : ",\n");
+    first_net = false;
+    os << "    {\"network\": \"" << json_escape(net.network_id) << "\", \"devices\": "
+       << net.num_devices << ", \"findings\": [";
+    bool first_diag = true;
+    for (const auto& d : net.diagnostics) {
+      overall.count(d);
+      os << (first_diag ? "\n" : ",\n");
+      first_diag = false;
+      os << "      {\"rule\": \"" << json_escape(d.rule_id) << "\", \"severity\": \""
+         << to_string(d.severity) << "\", \"category\": \"" << to_string(d.category)
+         << "\", \"device\": \"" << json_escape(d.device_id) << "\", \"object\": \""
+         << json_escape(d.object) << "\", \"line\": " << d.span.first_line
+         << ", \"endLine\": " << d.span.last_line
+         << ", \"suppressed\": " << (d.suppressed ? "true" : "false") << ", \"message\": \""
+         << json_escape(d.message) << "\"}";
+    }
+    os << (first_diag ? "]}" : "\n    ]}");
+  }
+  os << (first_net ? "],\n" : "\n  ],\n");
+  os << "  \"summary\": {\"total\": " << overall.total << ", \"errors\": "
+     << overall.by_severity[static_cast<std::size_t>(LintSeverity::kError)] << ", \"warnings\": "
+     << overall.by_severity[static_cast<std::size_t>(LintSeverity::kWarning)] << ", \"info\": "
+     << overall.by_severity[static_cast<std::size_t>(LintSeverity::kInfo)]
+     << ", \"rulesHit\": " << overall.rules.size() << "}\n}\n";
+  return os.str();
+}
+
+std::string LintReport::to_sarif(const RuleRegistry* registry) const {
+  const RuleRegistry& reg = registry != nullptr ? *registry : RuleRegistry::builtin();
+  // Rule index in the driver.rules array, for result.ruleIndex.
+  std::map<std::string_view, std::size_t> rule_index;
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"mpa-lint\",\n"
+     << "          \"informationUri\": \"https://example.invalid/mpa\",\n"
+     << "          \"rules\": [";
+  bool first = true;
+  for (const auto& rule : reg.rules()) {
+    const RuleInfo info = rule->info();
+    rule_index.emplace(info.id, rule_index.size());
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "            {\"id\": \"" << json_escape(info.id) << "\", \"shortDescription\": "
+       << "{\"text\": \"" << json_escape(info.summary) << "\"}, \"defaultConfiguration\": "
+       << "{\"level\": \"" << sarif_level(info.severity) << "\"}, \"properties\": "
+       << "{\"category\": \"" << to_string(info.category) << "\"}}";
+  }
+  os << "\n          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [";
+  first = true;
+  for (const auto& net : networks) {
+    for (const auto& d : net.diagnostics) {
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "        {\"ruleId\": \"" << json_escape(d.rule_id) << "\"";
+      const auto idx = rule_index.find(d.rule_id);
+      if (idx != rule_index.end()) os << ", \"ruleIndex\": " << idx->second;
+      os << ", \"level\": \"" << sarif_level(d.severity) << "\", \"message\": {\"text\": \""
+         << json_escape(d.message) << "\"}, \"locations\": [{\"physicalLocation\": "
+         << "{\"artifactLocation\": {\"uri\": \"" << json_escape(net.network_id) << "/"
+         << json_escape(d.device_id) << ".cfg\"}";
+      if (d.span.resolved()) {
+        os << ", \"region\": {\"startLine\": " << d.span.first_line
+           << ", \"endLine\": " << d.span.last_line << "}";
+      }
+      os << "}, \"logicalLocations\": [{\"name\": \"" << json_escape(d.object)
+         << "\", \"kind\": \"object\"}]}]";
+      if (d.suppressed)
+        os << ", \"suppressions\": [{\"kind\": \"inSource\", \"justification\": "
+           << "\"lint-disable pragma\"}]";
+      os << "}";
+    }
+  }
+  os << "\n      ]\n    }\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace mpa

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "config/dialect.hpp"
 #include "io/dataset_io.hpp"
 #include "telemetry/time.hpp"
 
@@ -67,6 +68,39 @@ const CaseTable& AnalysisSession::case_table() {
   return *table_;
 }
 
+const LintReport& AnalysisSession::lint() {
+  if (lint_.has_value()) {
+    ++stats_.hits;
+    return *lint_;
+  }
+  if (!opts_.artifact_key.empty()) {
+    if (auto cached = store_.load_lint_report(opts_.artifact_key)) {
+      ++stats_.lint_loads;
+      lint_ = std::move(*cached);
+      return *lint_;
+    }
+  }
+  const auto& networks = inventory_.networks();
+  LintReport report;
+  report.networks.resize(networks.size());
+  parallel_for(pool_.get(), networks.size(), [&](std::size_t n) {
+    NetworkLint& out = report.networks[n];
+    out.network_id = networks[n].network_id;
+    std::vector<DeviceText> texts;
+    for (const auto* d : inventory_.devices_in(networks[n].network_id)) {
+      const auto& snaps = snapshots_.for_device(d->device_id);
+      if (snaps.empty()) continue;
+      texts.push_back(DeviceText{d->device_id, snaps.back().text, dialect_of(d->vendor)});
+    }
+    out.num_devices = texts.size();
+    out.diagnostics = lint_network_text(texts, opts_.inference.lint);
+  });
+  ++stats_.lint_runs;
+  lint_ = std::move(report);
+  if (!opts_.artifact_key.empty()) store_.save_lint_report(opts_.artifact_key, *lint_);
+  return *lint_;
+}
+
 const DependenceAnalysis& AnalysisSession::dependence() {
   if (dependence_.has_value()) {
     ++stats_.hits;
@@ -118,6 +152,7 @@ double AnalysisSession::online_accuracy(int num_classes, int history_m, ModelKin
 
 void AnalysisSession::invalidate() {
   table_.reset();
+  lint_.reset();
   dependence_.reset();
   causal_.clear();
   cv_.clear();

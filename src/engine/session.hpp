@@ -6,6 +6,8 @@
 //
 //   case_table()    the inferred (network, month) case table (§2),
 //                   optionally persisted through an ArtifactStore
+//   lint()          rule-engine lint findings over each network's
+//                   latest snapshots (config/lint.hpp)
 //   dependence()    MI / CMI rankings (§5.1, Tables 3-4)
 //   causal(p)       matched-design QED per practice (§5.2, Tables 5-8)
 //   evaluate_cv()   cross-validated model evaluation (§6.1, Figure 8)
@@ -81,6 +83,13 @@ class AnalysisSession {
   /// loads from / saves to the artifact store.
   const CaseTable& case_table();
 
+  /// Lint findings over each network's latest config snapshots, with
+  /// source spans and pragmas honored. Fanned out per network on the
+  /// session pool; memoized, and persisted like the case table when
+  /// the session is keyed. Rule selection comes from
+  /// options().inference.lint.
+  const LintReport& lint();
+
   /// MI / CMI dependence rankings over the case table. Memoized.
   const DependenceAnalysis& dependence();
 
@@ -111,6 +120,8 @@ class AnalysisSession {
     std::size_t hits = 0;          ///< Requests served from memory.
     std::size_t table_builds = 0;  ///< infer_case_table executions.
     std::size_t table_loads = 0;   ///< Case tables read from the store.
+    std::size_t lint_runs = 0;     ///< Lint fan-outs executed.
+    std::size_t lint_loads = 0;    ///< Lint reports read from the store.
     std::size_t causal_runs = 0;
     std::size_t cv_runs = 0;
   };
@@ -128,6 +139,7 @@ class AnalysisSession {
   std::unique_ptr<ThreadPool> pool_;
 
   std::optional<CaseTable> table_;
+  std::optional<LintReport> lint_;
   std::optional<DependenceAnalysis> dependence_;
   std::map<Practice, CausalResult> causal_;
   std::map<std::pair<int, int>, EvalResult> cv_;  ///< (kind, classes).

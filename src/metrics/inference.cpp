@@ -5,6 +5,7 @@
 
 #include "config/dialect.hpp"
 #include "metrics/design_metrics.hpp"
+#include "metrics/lint_metrics.hpp"
 #include "util/parallel.hpp"
 
 namespace mpa {
@@ -14,6 +15,7 @@ namespace {
 struct DeviceTimeline {
   std::vector<Timestamp> times;
   std::vector<DeviceConfig> configs;
+  std::vector<LintSource> sources;  ///< Spans + pragmas, per snapshot.
 
   /// Index of the last snapshot strictly before `t`, or -1.
   int state_before(Timestamp t) const {
@@ -47,6 +49,7 @@ std::vector<Case> infer_network_cases(const NetworkRecord& net, const Inventory&
     for (const auto& s : snaps) {
       tl.times.push_back(s.time);
       tl.configs.push_back(parse(s.text, dialect, d->device_id));
+      tl.sources.push_back(LintSource::scan(s.text, dialect));
     }
     for (std::size_t i = 1; i < tl.configs.size(); ++i) {
       auto stanza_changes = diff(tl.configs[i - 1], tl.configs[i]);
@@ -78,12 +81,21 @@ std::vector<Case> infer_network_cases(const NetworkRecord& net, const Inventory&
 
     // Design metrics from the configuration state at month end.
     std::vector<DeviceConfig> state;
+    std::vector<LintInput> lint_inputs;
     state.reserve(timelines.size());
+    lint_inputs.reserve(timelines.size());
     for (const auto& [dev_id, tl] : timelines) {
       const int idx = tl.state_before(m_end);
-      if (idx >= 0) state.push_back(tl.configs[static_cast<std::size_t>(idx)]);
+      if (idx < 0) continue;
+      state.push_back(tl.configs[static_cast<std::size_t>(idx)]);
+      lint_inputs.push_back(LintInput{&tl.configs[static_cast<std::size_t>(idx)],
+                                      &tl.sources[static_cast<std::size_t>(idx)]});
     }
     compute_design_metrics(net, devices, state, row);
+
+    // Hygiene metrics from linting the same month-end state.
+    const auto diags = run_lint(lint_inputs, opts.lint);
+    apply_lint_metrics(LintSummary::of(diags, lint_inputs.size()), row);
 
     // Operational metrics from this month's changes.
     std::vector<const ChangeRecord*> month_changes;

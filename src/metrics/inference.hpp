@@ -7,6 +7,7 @@
 // non-maintenance ticket count.
 #pragma once
 
+#include "config/lint.hpp"
 #include "metrics/case_table.hpp"
 #include "metrics/change_analysis.hpp"
 #include "model/inventory.hpp"
@@ -25,6 +26,10 @@ struct InferenceOptions {
   int num_months = 17;
   /// Login classifier for change modality (O2).
   AutomationClassifier automation = default_automation_classifier;
+  /// Lint configuration for the hygiene metrics (kLint*). The rule set
+  /// runs over each month-end config state; suppression pragmas in the
+  /// snapshot text are honored.
+  LintOptions lint;
   /// Fan inference out per network on this pool (null = serial). Each
   /// network's rows are computed independently and concatenated in
   /// inventory order, so the result is bit-identical at any thread

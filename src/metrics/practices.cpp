@@ -35,18 +35,29 @@ std::string_view practice_name(Practice p) {
     case Practice::kFracEventsVlan: return "Frac. events w/ VLAN change";
     case Practice::kFracEventsMbox: return "Frac. events w/ mbox change";
     case Practice::kFracEventsPool: return "Frac. events w/ pool change";
+    case Practice::kLintIssues: return "No. of lint issues";
+    case Practice::kLintErrors: return "No. of lint errors";
+    case Practice::kLintRulesHit: return "No. of lint rules hit";
+    case Practice::kLintDensity: return "Lint issues per device";
   }
   return "unknown";
 }
 
 PracticeCategory practice_category(Practice p) {
-  return static_cast<int>(p) < static_cast<int>(Practice::kNumConfigChanges)
-             ? PracticeCategory::kDesign
-             : PracticeCategory::kOperational;
+  if (static_cast<int>(p) < static_cast<int>(Practice::kNumConfigChanges))
+    return PracticeCategory::kDesign;
+  if (static_cast<int>(p) < static_cast<int>(Practice::kLintIssues))
+    return PracticeCategory::kOperational;
+  return PracticeCategory::kHygiene;
 }
 
 std::string_view category_tag(Practice p) {
-  return practice_category(p) == PracticeCategory::kDesign ? "D" : "O";
+  switch (practice_category(p)) {
+    case PracticeCategory::kDesign: return "D";
+    case PracticeCategory::kOperational: return "O";
+    case PracticeCategory::kHygiene: return "H";
+  }
+  return "?";
 }
 
 std::array<Practice, kNumPractices> all_practices() {
@@ -58,7 +69,10 @@ std::array<Practice, kNumPractices> all_practices() {
 std::vector<Practice> analysis_practices() {
   std::vector<Practice> out;
   for (Practice p : all_practices()) {
-    if (p == Practice::kFracDevicesChanged || p == Practice::kNumProtocols) continue;
+    if (p == Practice::kFracDevicesChanged || p == Practice::kNumProtocols ||
+        p == Practice::kLintDensity) {
+      continue;
+    }
     out.push_back(p);
   }
   return out;

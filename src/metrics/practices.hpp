@@ -48,19 +48,25 @@ enum class Practice : std::uint8_t {
   kFracEventsVlan,        // O3
   kFracEventsMbox,        // O3: event touches a middlebox device
   kFracEventsPool,        // O3
+  // --- Hygiene practices (lint-derived) ----------------------------------
+  kLintIssues,            // H1: total unsuppressed lint findings
+  kLintErrors,            // H1: error-severity findings
+  kLintRulesHit,          // H2: distinct rule ids that fired
+  kLintDensity,           // H1: findings per device
 };
 
-inline constexpr int kNumPractices = 31;
+inline constexpr int kNumPractices = 35;
 
-enum class PracticeCategory : std::uint8_t { kDesign, kOperational };
+enum class PracticeCategory : std::uint8_t { kDesign, kOperational, kHygiene };
 
 /// Human-readable name matching the paper's tables ("No. of devices").
 std::string_view practice_name(Practice p);
 
-/// D or O classification (the parenthetical annotations in Tables 3-4).
+/// D / O / H classification (the parenthetical annotations in Tables
+/// 3-4, extended with the lint-derived hygiene metrics).
 PracticeCategory practice_category(Practice p);
 
-/// "D" / "O" suffix used in table printouts.
+/// "D" / "O" / "H" suffix used in table printouts.
 std::string_view category_tag(Practice p);
 
 /// All practices, in enum order.
@@ -68,11 +74,12 @@ std::array<Practice, kNumPractices> all_practices();
 
 /// The practices used by the dependence and causal analyses. Excludes
 /// metrics that are *exact arithmetic identities* of other included
-/// metrics (kFracDevicesChanged = kNumDevicesChanged / kNumDevices and
-/// kNumProtocols = kNumL2Protocols + kNumL3Protocols): an exact
-/// identity lets the propensity model reconstruct any treatment from
-/// its confounders perfectly, which makes matched designs impossible by
-/// construction. They remain available for characterization figures.
+/// metrics (kFracDevicesChanged = kNumDevicesChanged / kNumDevices,
+/// kNumProtocols = kNumL2Protocols + kNumL3Protocols, and
+/// kLintDensity = kLintIssues / kNumDevices): an exact identity lets
+/// the propensity model reconstruct any treatment from its confounders
+/// perfectly, which makes matched designs impossible by construction.
+/// They remain available for characterization figures.
 std::vector<Practice> analysis_practices();
 
 }  // namespace mpa

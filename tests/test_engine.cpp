@@ -126,6 +126,86 @@ TEST(Session, CvIndependentOfRequestOrder) {
             b.evaluate_cv(2, ModelKind::kDecisionTree).accuracy);
 }
 
+TEST(Session, LintMemoizedAndInvalidated) {
+  AnalysisSession session = make_session(2);
+  const LintReport* first = &session.lint();
+  EXPECT_EQ(first, &session.lint());
+  EXPECT_EQ(session.stats().lint_runs, 1u);
+  EXPECT_EQ(session.stats().hits, 1u);
+  EXPECT_EQ(first->networks.size(), static_cast<std::size_t>(kNetworks));
+  EXPECT_GT(first->total_findings(), 0u);  // hygiene findings exist by design
+  for (const auto& net : first->networks) EXPECT_GT(net.num_devices, 0u);
+
+  session.invalidate();
+  session.lint();
+  EXPECT_EQ(session.stats().lint_runs, 2u);
+}
+
+TEST(Session, LintBitIdenticalAcrossThreadCounts) {
+  AnalysisSession serial = make_session(1);
+  const std::string expected = serial.lint().to_csv();
+  for (int threads : {2, 8}) {
+    AnalysisSession session = make_session(threads);
+    EXPECT_EQ(session.lint().to_csv(), expected) << threads << " threads";
+  }
+}
+
+TEST(Session, LintFindingsResolveSpans) {
+  AnalysisSession session = make_session(2);
+  std::size_t resolved = 0, total = 0;
+  for (const auto& net : session.lint().networks) {
+    for (const auto& d : net.diagnostics) {
+      ++total;
+      if (d.span.resolved()) ++resolved;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  // Every finding anchored to a stanza of rendered text has a span.
+  EXPECT_EQ(resolved, total);
+}
+
+TEST(Session, PersistsLintReportThroughArtifactStore) {
+  SessionOptions opts;
+  opts.artifact_dir = testing::TempDir();
+  opts.artifact_key = "mpa_engine_test_lint";
+  ArtifactStore(opts.artifact_dir).remove(opts.artifact_key);
+
+  AnalysisSession first = make_session(2, opts);
+  const std::string csv = first.lint().to_csv();
+  EXPECT_EQ(first.stats().lint_runs, 1u);
+  EXPECT_EQ(first.stats().lint_loads, 0u);
+
+  AnalysisSession second = make_session(2, opts);
+  EXPECT_EQ(second.lint().to_csv(), csv);
+  EXPECT_EQ(second.stats().lint_runs, 0u);
+  EXPECT_EQ(second.stats().lint_loads, 1u);
+
+  second.invalidate();
+  EXPECT_FALSE(ArtifactStore(opts.artifact_dir).load_lint_report(opts.artifact_key).has_value());
+}
+
+TEST(ArtifactStore, LintReportRoundTripAndCorruptionMiss) {
+  const std::string dir = testing::TempDir();
+  const ArtifactStore store(dir);
+  const std::string key = "mpa_engine_test_lint_artifact";
+  store.remove(key);
+
+  AnalysisSession session = make_session(1);
+  const LintReport& report = session.lint();
+  ASSERT_TRUE(store.save_lint_report(key, report));
+  const auto loaded = store.load_lint_report(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->to_csv(), report.to_csv());
+
+  {
+    std::ofstream out(store.path_for(key + ".lint"));
+    out << "record,network_id\nnet,broken\n";
+  }
+  EXPECT_FALSE(store.load_lint_report(key).has_value());
+  store.remove(key);
+  EXPECT_FALSE(store.load_lint_report(key).has_value());
+}
+
 TEST(ArtifactStore, DisabledStoreMissesAndIgnoresSaves) {
   const ArtifactStore store;
   EXPECT_FALSE(store.enabled());

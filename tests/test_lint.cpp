@@ -1,0 +1,696 @@
+// Rule-engine lint tests: every built-in rule with a positive and a
+// negative case in each dialect, suppression pragmas, source spans,
+// registry behavior, and the LintSummary / LintReport aggregation.
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "config/lint.hpp"
+#include "engine/lint_report.hpp"
+#include "metrics/lint_metrics.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace mpa {
+namespace {
+
+constexpr Dialect kBothDialects[] = {Dialect::kIosLike, Dialect::kJunosLike};
+
+/// Vendor-native vocabulary per dialect, so each rule is exercised
+/// through genuine IOS-like and JunOS-like text.
+struct Vocab {
+  const char* iface;
+  const char* vlan;
+  const char* acl;
+  const char* bgp;
+  const char* ospf;
+  const char* lag;
+  const char* ip_key;        // interface address option
+  const char* attach_key;    // ACL attachment option
+  const char* vlan_ref_key;  // access-VLAN membership option
+  const char* down_key;      // administratively-down flag
+};
+
+Vocab vocab(Dialect d) {
+  if (d == Dialect::kIosLike) {
+    return {"interface", "vlan",        "ip access-list",        "router bgp",
+            "router ospf", "port-channel", "ip address",          "ip access-group",
+            "switchport access vlan", "shutdown"};
+  }
+  return {"interfaces", "vlans",       "firewall-filter", "protocols-bgp",
+          "protocols-ospf", "lag",     "ip-address",      "filter",
+          "vlan-members", "disable"};
+}
+
+Stanza make(std::string type, std::string name,
+            std::initializer_list<std::pair<const char*, const char*>> options = {}) {
+  Stanza s;
+  s.type = std::move(type);
+  s.name = std::move(name);
+  for (const auto& [k, v] : options) s.set(k, v);
+  return s;
+}
+
+/// Render each config to dialect text and lint through the text path,
+/// so every assertion also covers render -> scan -> parse fidelity.
+std::vector<Diagnostic> lint_texts(const std::vector<DeviceConfig>& configs, Dialect d,
+                                   const LintOptions& opts = {}) {
+  std::vector<DeviceText> texts;
+  texts.reserve(configs.size());
+  for (const auto& c : configs) texts.push_back(DeviceText{c.device_id(), render(c, d), d});
+  return lint_network_text(texts, opts);
+}
+
+int count_rule(const std::vector<Diagnostic>& diags, std::string_view id) {
+  int n = 0;
+  for (const auto& d : diags)
+    if (d.rule_id == id) ++n;
+  return n;
+}
+
+const Diagnostic* find_rule(const std::vector<Diagnostic>& diags, std::string_view id) {
+  for (const auto& d : diags)
+    if (d.rule_id == id) return &d;
+  return nullptr;
+}
+
+// ----------------------------------------------------- referential rules
+
+TEST(LintRules, DanglingAclRef) {
+  for (Dialect d : kBothDialects) {
+    const Vocab v = vocab(d);
+    DeviceConfig bad("dev");
+    bad.add(make(v.iface, "Eth0", {{v.attach_key, "ghost"}}));
+    EXPECT_EQ(count_rule(lint_texts({bad}, d), "dangling-acl-ref"), 1) << v.iface;
+
+    DeviceConfig good("dev");
+    good.add(make(v.acl, "edge", {{"permit", "tcp any any eq 443"}}));
+    good.add(make(v.iface, "Eth0", {{v.attach_key, "edge"}}));
+    EXPECT_EQ(count_rule(lint_texts({good}, d), "dangling-acl-ref"), 0) << v.iface;
+  }
+}
+
+TEST(LintRules, DanglingVlanRef) {
+  for (Dialect d : kBothDialects) {
+    const Vocab v = vocab(d);
+    DeviceConfig bad("dev");
+    bad.add(make(v.iface, "Eth0", {{v.vlan_ref_key, "404"}}));
+    bad.add(make(v.vlan, "10", {{"interface", "Eth9"}}));  // member iface missing
+    EXPECT_EQ(count_rule(lint_texts({bad}, d), "dangling-vlan-ref"), 2) << v.iface;
+
+    DeviceConfig good("dev");
+    good.add(make(v.iface, "Eth0", {{v.vlan_ref_key, "10"}}));
+    good.add(make(v.vlan, "10", {{"interface", "Eth0"}}));
+    EXPECT_EQ(count_rule(lint_texts({good}, d), "dangling-vlan-ref"), 0) << v.iface;
+  }
+}
+
+TEST(LintRules, DanglingPoolRef) {
+  // "pool" / "virtual-server" share one native spelling in both dialects.
+  for (Dialect d : kBothDialects) {
+    DeviceConfig bad("lb");
+    bad.add(make("virtual-server", "vip", {{"pool", "ghost"}}));
+    EXPECT_EQ(count_rule(lint_texts({bad}, d), "dangling-pool-ref"), 1);
+
+    DeviceConfig good("lb");
+    good.add(make("pool", "web", {{"member", "10.0.0.5"}}));
+    good.add(make("virtual-server", "vip", {{"pool", "web"}}));
+    EXPECT_EQ(count_rule(lint_texts({good}, d), "dangling-pool-ref"), 0);
+  }
+}
+
+TEST(LintRules, DanglingLagMember) {
+  for (Dialect d : kBothDialects) {
+    const Vocab v = vocab(d);
+    DeviceConfig bad("dev");
+    bad.add(make(v.lag, "ae0", {{"member", "Eth9"}}));
+    EXPECT_EQ(count_rule(lint_texts({bad}, d), "dangling-lag-member"), 1) << v.lag;
+
+    DeviceConfig good("dev");
+    good.add(make(v.iface, "Eth9", {{"description", "uplink"}}));
+    good.add(make(v.lag, "ae0", {{"member", "Eth9"}}));
+    EXPECT_EQ(count_rule(lint_texts({good}, d), "dangling-lag-member"), 0) << v.lag;
+  }
+}
+
+// ---------------------------------------------------------- filter rules
+
+TEST(LintRules, EmptyAcl) {
+  for (Dialect d : kBothDialects) {
+    const Vocab v = vocab(d);
+    DeviceConfig bad("dev");
+    bad.add(make(v.acl, "hollow", {{"remark", "todo"}}));
+    EXPECT_EQ(count_rule(lint_texts({bad}, d), "empty-acl"), 1) << v.acl;
+
+    DeviceConfig good("dev");
+    good.add(make(v.acl, "edge", {{"deny", "udp any any eq 53"}}));
+    EXPECT_EQ(count_rule(lint_texts({good}, d), "empty-acl"), 0) << v.acl;
+  }
+}
+
+TEST(LintRules, AclShadowedTerm) {
+  for (Dialect d : kBothDialects) {
+    const Vocab v = vocab(d);
+    DeviceConfig bad("dev");
+    bad.add(make(v.acl, "edge",
+                 {{"permit", "tcp any any eq 80"}, {"permit", "tcp any any eq 80"}}));
+    EXPECT_EQ(count_rule(lint_texts({bad}, d), "acl-shadowed-term"), 1) << v.acl;
+
+    DeviceConfig good("dev");
+    good.add(make(v.acl, "edge",
+                  {{"permit", "tcp any any eq 80"}, {"deny", "tcp any any eq 80"}}));
+    EXPECT_EQ(count_rule(lint_texts({good}, d), "acl-shadowed-term"), 0) << v.acl;
+  }
+}
+
+TEST(LintRules, AclUnreachableTerm) {
+  for (Dialect d : kBothDialects) {
+    const Vocab v = vocab(d);
+    DeviceConfig bad("dev");
+    bad.add(make(v.acl, "edge", {{"permit", "any"}, {"deny", "tcp any any eq 22"}}));
+    const auto diags = lint_texts({bad}, d);
+    EXPECT_EQ(count_rule(diags, "acl-unreachable-term"), 1) << v.acl;
+    // The dead term is unreachable, not a duplicate.
+    EXPECT_EQ(count_rule(diags, "acl-shadowed-term"), 0) << v.acl;
+
+    DeviceConfig good("dev");
+    good.add(make(v.acl, "edge", {{"deny", "tcp any any eq 22"}, {"permit", "any"}}));
+    EXPECT_EQ(count_rule(lint_texts({good}, d), "acl-unreachable-term"), 0) << v.acl;
+  }
+}
+
+// --------------------------------------------------------- hygiene rules
+
+TEST(LintRules, UnreferencedAcl) {
+  for (Dialect d : kBothDialects) {
+    const Vocab v = vocab(d);
+    DeviceConfig bad("dev");
+    bad.add(make(v.acl, "lonely", {{"permit", "tcp any any eq 443"}}));
+    EXPECT_EQ(count_rule(lint_texts({bad}, d), "unreferenced-acl"), 1) << v.acl;
+
+    DeviceConfig good("dev");
+    good.add(make(v.acl, "edge", {{"permit", "tcp any any eq 443"}}));
+    good.add(make(v.iface, "Eth0", {{v.attach_key, "edge"}}));
+    EXPECT_EQ(count_rule(lint_texts({good}, d), "unreferenced-acl"), 0) << v.acl;
+  }
+}
+
+TEST(LintRules, UnreferencedPool) {
+  for (Dialect d : kBothDialects) {
+    DeviceConfig bad("lb");
+    bad.add(make("pool", "idle", {{"member", "10.0.0.5"}}));
+    EXPECT_EQ(count_rule(lint_texts({bad}, d), "unreferenced-pool"), 1);
+
+    DeviceConfig good("lb");
+    good.add(make("pool", "web", {{"member", "10.0.0.5"}}));
+    good.add(make("virtual-server", "vip", {{"pool", "web"}}));
+    EXPECT_EQ(count_rule(lint_texts({good}, d), "unreferenced-pool"), 0);
+  }
+}
+
+TEST(LintRules, UnreferencedVlan) {
+  for (Dialect d : kBothDialects) {
+    const Vocab v = vocab(d);
+    DeviceConfig bad("dev");
+    bad.add(make(v.vlan, "30"));
+    EXPECT_EQ(count_rule(lint_texts({bad}, d), "unreferenced-vlan"), 1) << v.vlan;
+
+    // In use either through an interface reference or an inline member
+    // list (the JunOS-like idiom).
+    DeviceConfig good("dev");
+    good.add(make(v.iface, "Eth0", {{v.vlan_ref_key, "30"}}));
+    good.add(make(v.vlan, "30"));
+    good.add(make(v.vlan, "40", {{"interface", "Eth0"}}));
+    EXPECT_EQ(count_rule(lint_texts({good}, d), "unreferenced-vlan"), 0) << v.vlan;
+  }
+}
+
+TEST(LintRules, UnusedInterfaceUp) {
+  for (Dialect d : kBothDialects) {
+    const Vocab v = vocab(d);
+    DeviceConfig bad("dev");
+    bad.add(make(v.iface, "Eth5", {{"description", "spare"}}));
+    EXPECT_EQ(count_rule(lint_texts({bad}, d), "unused-interface-up"), 1) << v.iface;
+
+    DeviceConfig good("dev");
+    good.add(make(v.iface, "Eth5", {{"description", "spare"}, {v.down_key, ""}}));
+    good.add(make(v.iface, "Eth6", {{v.ip_key, "10.0.0.1/30"}}));
+    good.add(make(v.iface, "Eth7", {{"description", "lag member"}}));
+    good.add(make(v.lag, "ae0", {{"member", "Eth7"}}));
+    EXPECT_EQ(count_rule(lint_texts({good}, d), "unused-interface-up"), 0) << v.iface;
+  }
+}
+
+// ------------------------------------------------------ addressing rules
+
+TEST(LintRules, DuplicateAddress) {
+  for (Dialect d : kBothDialects) {
+    const Vocab v = vocab(d);
+    DeviceConfig a("a"), b("b");
+    a.add(make(v.iface, "Eth0", {{v.ip_key, "10.0.0.1/24"}}));
+    b.add(make(v.iface, "Eth0", {{v.ip_key, "10.0.0.1/24"}}));
+    const auto diags = lint_texts({a, b}, d);
+    EXPECT_EQ(count_rule(diags, "duplicate-address"), 1) << v.ip_key;
+    const Diagnostic* diag = find_rule(diags, "duplicate-address");
+    ASSERT_NE(diag, nullptr);
+    EXPECT_EQ(diag->device_id, "b");  // reported on the second owner
+
+    DeviceConfig c("c");
+    c.add(make(v.iface, "Eth0", {{v.ip_key, "10.0.0.2/24"}}));
+    EXPECT_EQ(count_rule(lint_texts({a, c}, d), "duplicate-address"), 0) << v.ip_key;
+  }
+}
+
+TEST(LintRules, SubnetOverlap) {
+  for (Dialect d : kBothDialects) {
+    const Vocab v = vocab(d);
+    DeviceConfig a("a"), b("b");
+    a.add(make(v.iface, "Eth0", {{v.ip_key, "10.1.0.1/16"}}));
+    b.add(make(v.iface, "Eth0", {{v.ip_key, "10.1.2.1/24"}}));  // inside 10.1/16
+    EXPECT_EQ(count_rule(lint_texts({a, b}, d), "subnet-overlap"), 1) << v.ip_key;
+
+    DeviceConfig c("c");
+    c.add(make(v.iface, "Eth0", {{v.ip_key, "10.2.0.1/24"}}));
+    EXPECT_EQ(count_rule(lint_texts({a, c}, d), "subnet-overlap"), 0) << v.ip_key;
+  }
+}
+
+// -------------------------------------------------------- protocol rules
+
+TEST(LintRules, OneSidedBgpSession) {
+  for (Dialect d : kBothDialects) {
+    const Vocab v = vocab(d);
+    DeviceConfig rt("rt"), peer("peer");
+    rt.add(make(v.bgp, "65001", {{"neighbor", "10.0.0.2 remote-as 65002"}}));
+    peer.add(make(v.iface, "Eth0", {{v.ip_key, "10.0.0.2/30"}}));  // no BGP process
+    EXPECT_EQ(count_rule(lint_texts({rt, peer}, d), "one-sided-bgp-session"), 1) << v.bgp;
+
+    peer.add(make(v.bgp, "65002", {{"neighbor", "10.0.0.1 remote-as 65001"}}));
+    EXPECT_EQ(count_rule(lint_texts({rt, peer}, d), "one-sided-bgp-session"), 0) << v.bgp;
+  }
+}
+
+TEST(LintRules, BgpAsMismatch) {
+  for (Dialect d : kBothDialects) {
+    const Vocab v = vocab(d);
+    DeviceConfig rt("rt"), peer("peer");
+    rt.add(make(v.bgp, "65001", {{"neighbor", "10.0.0.2 remote-as 65999"}}));
+    peer.add(make(v.iface, "Eth0", {{v.ip_key, "10.0.0.2/30"}}));
+    peer.add(make(v.bgp, "65002", {{"neighbor", "10.0.0.1 remote-as 65001"}}));
+    const auto diags = lint_texts({rt, peer}, d);
+    EXPECT_EQ(count_rule(diags, "bgp-as-mismatch"), 1) << v.bgp;
+    const Diagnostic* diag = find_rule(diags, "bgp-as-mismatch");
+    ASSERT_NE(diag, nullptr);
+    EXPECT_EQ(diag->device_id, "rt");
+    EXPECT_EQ(diag->severity, LintSeverity::kError);
+
+    DeviceConfig ok("rt");
+    ok.add(make(v.bgp, "65001", {{"neighbor", "10.0.0.2 remote-as 65002"}}));
+    ok.add(make(v.iface, "Eth1", {{v.ip_key, "10.0.0.1/30"}}));
+    EXPECT_EQ(count_rule(lint_texts({ok, peer}, d), "bgp-as-mismatch"), 0) << v.bgp;
+  }
+}
+
+TEST(LintRules, OspfAreaMismatch) {
+  for (Dialect d : kBothDialects) {
+    const Vocab v = vocab(d);
+    DeviceConfig a("a"), b("b");
+    a.add(make(v.ospf, "1", {{"network", "10.0.0.0/24 area 0"}}));
+    b.add(make(v.ospf, "1", {{"network", "10.0.0.0/24 area 7"}}));
+    // Both claimants are flagged.
+    EXPECT_EQ(count_rule(lint_texts({a, b}, d), "ospf-area-mismatch"), 2) << v.ospf;
+
+    DeviceConfig c("c");
+    c.add(make(v.ospf, "1", {{"network", "10.0.0.0/24 area 0"}}));
+    EXPECT_EQ(count_rule(lint_texts({a, c}, d), "ospf-area-mismatch"), 0) << v.ospf;
+  }
+}
+
+TEST(LintRules, MtuMismatch) {
+  for (Dialect d : kBothDialects) {
+    const Vocab v = vocab(d);
+    DeviceConfig a("a"), b("b");
+    a.add(make(v.iface, "Eth0", {{v.ip_key, "10.0.0.1/30"}, {"mtu", "9000"}}));
+    b.add(make(v.iface, "Eth0", {{v.ip_key, "10.0.0.2/30"}, {"mtu", "1500"}}));
+    // Both link ends are flagged.
+    EXPECT_EQ(count_rule(lint_texts({a, b}, d), "mtu-mismatch"), 2) << v.ip_key;
+
+    DeviceConfig c("c");
+    c.add(make(v.iface, "Eth0", {{v.ip_key, "10.0.0.2/30"}, {"mtu", "9000"}}));
+    EXPECT_EQ(count_rule(lint_texts({a, c}, d), "mtu-mismatch"), 0) << v.ip_key;
+  }
+}
+
+TEST(LintRules, VlanSpanUndefined) {
+  for (Dialect d : kBothDialects) {
+    const Vocab v = vocab(d);
+    DeviceConfig a("a"), b("b");
+    a.add(make(v.vlan, "30", {{"interface", "Eth1"}}));
+    a.add(make(v.iface, "Eth1"));
+    b.add(make(v.iface, "Eth0", {{v.vlan_ref_key, "30"}}));  // 30 defined only on a
+    EXPECT_EQ(count_rule(lint_texts({a, b}, d), "vlan-span-undefined"), 1) << v.vlan;
+
+    b.add(make(v.vlan, "30"));
+    EXPECT_EQ(count_rule(lint_texts({a, b}, d), "vlan-span-undefined"), 0) << v.vlan;
+  }
+}
+
+// ------------------------------------------------------------ suppression
+
+TEST(LintSuppression, StanzaPragmaSuppressesOneRule) {
+  const std::string ios =
+      "! device dev\n"
+      "! lint-disable unreferenced-acl\n"
+      "ip access-list lonely\n"
+      "  permit tcp any any eq 443\n"
+      "!\n";
+  const std::string junos =
+      "/* device dev */\n"
+      "/* lint-disable unreferenced-acl */\n"
+      "firewall-filter lonely {\n"
+      "    permit tcp any any eq 443;\n"
+      "}\n";
+  for (const auto& [text, d] : {std::pair{ios, Dialect::kIosLike},
+                                std::pair{junos, Dialect::kJunosLike}}) {
+    const auto diags = lint_network_text({DeviceText{"dev", text, d}});
+    EXPECT_EQ(count_rule(diags, "unreferenced-acl"), 0);
+  }
+}
+
+TEST(LintSuppression, PragmaOnlyCoversItsStanza) {
+  const std::string ios =
+      "! device dev\n"
+      "! lint-disable unreferenced-acl\n"
+      "ip access-list first\n"
+      "  permit tcp any any eq 443\n"
+      "!\n"
+      "ip access-list second\n"
+      "  permit tcp any any eq 80\n"
+      "!\n";
+  const auto diags = lint_network_text({DeviceText{"dev", ios, Dialect::kIosLike}});
+  ASSERT_EQ(count_rule(diags, "unreferenced-acl"), 1);
+  EXPECT_EQ(find_rule(diags, "unreferenced-acl")->object, "ip access-list second");
+}
+
+TEST(LintSuppression, FilePragmaSuppressesWholeDevice) {
+  const std::string junos =
+      "/* device dev */\n"
+      "vlans 30 {\n"
+      "}\n"
+      "/* lint-disable-file unreferenced-vlan unused-interface-up */\n"
+      "interfaces Eth0 {\n"
+      "    description spare;\n"
+      "}\n";
+  const auto diags = lint_network_text({DeviceText{"dev", junos, Dialect::kJunosLike}});
+  // The file pragma applies everywhere, even to stanzas above it.
+  EXPECT_EQ(count_rule(diags, "unreferenced-vlan"), 0);
+  EXPECT_EQ(count_rule(diags, "unused-interface-up"), 0);
+}
+
+TEST(LintSuppression, AllDisablesEveryRule) {
+  const std::string ios =
+      "! device dev\n"
+      "! lint-disable-file all\n"
+      "interface Eth0\n"
+      "  ip access-group ghost\n"
+      "!\n";
+  EXPECT_TRUE(lint_network_text({DeviceText{"dev", ios, Dialect::kIosLike}}).empty());
+}
+
+TEST(LintSuppression, KeepSuppressedRetainsMarkedFindings) {
+  const std::string ios =
+      "! device dev\n"
+      "! lint-disable dangling-acl-ref\n"
+      "interface Eth0\n"
+      "  ip access-group ghost\n"
+      "!\n";
+  LintOptions opts;
+  opts.keep_suppressed = true;
+  const auto diags = lint_network_text({DeviceText{"dev", ios, Dialect::kIosLike}}, opts);
+  const Diagnostic* diag = find_rule(diags, "dangling-acl-ref");
+  ASSERT_NE(diag, nullptr);
+  EXPECT_TRUE(diag->suppressed);
+}
+
+TEST(LintSuppression, PragmasSurviveRenderParseRoundTrip) {
+  const std::string ios =
+      "! device dev\n"
+      "! lint-disable unreferenced-acl\n"
+      "ip access-list lonely\n"
+      "  permit tcp any any eq 443\n"
+      "!\n";
+  // parse() keeps the config; the pragma lives in the comment stream,
+  // invisible to the stanza model but honored by the scanner.
+  const DeviceConfig parsed = parse(ios, Dialect::kIosLike, "dev");
+  EXPECT_NE(parsed.find("ip access-list", "lonely"), nullptr);
+  const LintSource src = LintSource::scan(ios, Dialect::kIosLike);
+  EXPECT_TRUE(src.suppresses("unreferenced-acl", "ip access-list", "lonely"));
+  EXPECT_FALSE(src.suppresses("empty-acl", "ip access-list", "lonely"));
+}
+
+// ----------------------------------------------------------- source spans
+
+TEST(LintSpans, DiagnosticsCarryRenderedLineRanges) {
+  for (Dialect d : kBothDialects) {
+    const Vocab v = vocab(d);
+    DeviceConfig c("dev");
+    c.add(make(v.iface, "Eth0", {{"description", "up front"}}));
+    c.add(make(v.acl, "lonely", {{"permit", "tcp any any eq 443"}}));
+    const std::string text = render(c, d);
+    const auto diags = lint_network_text({DeviceText{"dev", text, d}});
+    const Diagnostic* diag = find_rule(diags, "unreferenced-acl");
+    ASSERT_NE(diag, nullptr);
+    ASSERT_TRUE(diag->span.resolved());
+    // The span's first line must be the ACL header in the text.
+    const auto lines = split(text, '\n');
+    ASSERT_LE(static_cast<std::size_t>(diag->span.first_line), lines.size());
+    const std::string& header = lines[static_cast<std::size_t>(diag->span.first_line - 1)];
+    EXPECT_NE(header.find("lonely"), std::string::npos) << header;
+    EXPECT_GE(diag->span.last_line, diag->span.first_line);
+  }
+}
+
+TEST(LintSpans, ScanSourceAgreesWithParse) {
+  for (Dialect d : kBothDialects) {
+    const Vocab v = vocab(d);
+    DeviceConfig c("dev");
+    c.add(make(v.iface, "Eth0", {{v.ip_key, "10.0.0.1/24"}}));
+    c.add(make(v.bgp, "65001", {{"neighbor", "10.0.0.2 remote-as 65002"}}));
+    const std::string text = render(c, d);
+    const SourceMap map = scan_source(text, d);
+    const DeviceConfig parsed = parse(text, d, "dev");
+    ASSERT_EQ(map.stanzas.size(), parsed.stanzas().size());
+    for (std::size_t i = 0; i < map.stanzas.size(); ++i) {
+      EXPECT_EQ(map.stanzas[i].type, parsed.stanzas()[i].type);
+      EXPECT_EQ(map.stanzas[i].name, parsed.stanzas()[i].name);
+      EXPECT_GT(map.stanzas[i].first_line, 0);
+      EXPECT_GE(map.stanzas[i].last_line, map.stanzas[i].first_line);
+    }
+  }
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(LintRegistry, BuiltinHasUniqueIdsAndFullCoverage) {
+  const RuleRegistry& reg = RuleRegistry::builtin();
+  EXPECT_GE(reg.rules().size(), 15u);
+  std::set<std::string_view> ids;
+  std::set<LintCategory> categories;
+  for (const auto& rule : reg.rules()) {
+    const RuleInfo info = rule->info();
+    EXPECT_TRUE(ids.insert(info.id).second) << "duplicate id " << info.id;
+    EXPECT_FALSE(info.summary.empty()) << info.id;
+    categories.insert(info.category);
+  }
+  EXPECT_EQ(static_cast<int>(categories.size()), kNumLintCategories);
+  EXPECT_NE(reg.find("dangling-acl-ref"), nullptr);
+  EXPECT_EQ(reg.find("no-such-rule"), nullptr);
+}
+
+TEST(LintRegistry, RejectsDuplicateIds) {
+  class FakeRule : public LintRule {
+   public:
+    RuleInfo info() const override {
+      return {"fake-rule", "a fake", LintCategory::kHygiene, LintSeverity::kInfo};
+    }
+  };
+  RuleRegistry reg;
+  reg.add(std::make_unique<FakeRule>());
+  EXPECT_THROW(reg.add(std::make_unique<FakeRule>()), PreconditionError);
+}
+
+TEST(LintOptionsTest, PerRuleDisableAndGlobalDisable) {
+  DeviceConfig c("dev");
+  c.add(make("interface", "Eth0", {{"ip access-group", "ghost"}}));
+  c.add(make("ip access-list", "lonely", {{"permit", "tcp any any eq 443"}}));
+
+  LintOptions off_one;
+  off_one.enable["dangling-acl-ref"] = false;
+  EXPECT_EQ(count_rule(lint_device(c, off_one), "dangling-acl-ref"), 0);
+  EXPECT_GT(lint_device(c, off_one).size(), 0u);  // other rules still run
+
+  LintOptions only_one;
+  only_one.enable["all"] = false;
+  only_one.enable["dangling-acl-ref"] = true;
+  const auto diags = lint_device(c, only_one);
+  EXPECT_EQ(count_rule(diags, "dangling-acl-ref"), 1);
+  EXPECT_EQ(diags.size(), 1u);
+}
+
+TEST(LintOptionsTest, SeverityOverride) {
+  DeviceConfig c("dev");
+  c.add(make("ip access-list", "lonely", {{"permit", "tcp any any eq 443"}}));
+  LintOptions opts;
+  opts.severity["unreferenced-acl"] = LintSeverity::kError;
+  const auto diags = lint_device(c, opts);
+  const Diagnostic* diag = find_rule(diags, "unreferenced-acl");
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->severity, LintSeverity::kError);
+}
+
+TEST(LintOptionsTest, CustomRegistry) {
+  class CountingRule : public LintRule {
+   public:
+    RuleInfo info() const override {
+      return {"every-device", "flags every device", LintCategory::kHygiene,
+              LintSeverity::kInfo};
+    }
+    void check_device(const DeviceView& dev, LintSink& sink) const override {
+      sink.report(dev, nullptr, "seen");
+    }
+  };
+  RuleRegistry reg;
+  reg.add(std::make_unique<CountingRule>());
+  LintOptions opts;
+  opts.registry = &reg;
+  DeviceConfig c("dev");
+  const auto diags = lint_device(c, opts);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule_id, "every-device");
+  EXPECT_TRUE(diags[0].object.empty());
+}
+
+// ------------------------------------------------- summary + report forms
+
+TEST(LintSummaryTest, CountsAndDensity) {
+  std::vector<Diagnostic> diags(3);
+  diags[0].rule_id = "a";
+  diags[0].severity = LintSeverity::kError;
+  diags[0].category = LintCategory::kReferential;
+  diags[1].rule_id = "a";
+  diags[1].severity = LintSeverity::kInfo;
+  diags[1].category = LintCategory::kHygiene;
+  diags[2].rule_id = "b";
+  diags[2].severity = LintSeverity::kWarning;
+  diags[2].category = LintCategory::kProtocol;
+  diags[2].suppressed = true;
+  const LintSummary s = LintSummary::of(diags, 4);
+  EXPECT_EQ(s.total, 2);
+  EXPECT_EQ(s.suppressed, 1);
+  EXPECT_EQ(s.rules_hit, 1);  // only "a" fired unsuppressed
+  EXPECT_EQ(s.by_severity[static_cast<std::size_t>(LintSeverity::kError)], 1);
+  EXPECT_DOUBLE_EQ(s.density, 0.5);
+
+  Case c;
+  apply_lint_metrics(s, c);
+  EXPECT_DOUBLE_EQ(c[Practice::kLintIssues], 2);
+  EXPECT_DOUBLE_EQ(c[Practice::kLintErrors], 1);
+  EXPECT_DOUBLE_EQ(c[Practice::kLintRulesHit], 1);
+  EXPECT_DOUBLE_EQ(c[Practice::kLintDensity], 0.5);
+}
+
+LintReport sample_report() {
+  LintReport report;
+  NetworkLint net;
+  net.network_id = "net0";
+  net.num_devices = 3;
+  Diagnostic d;
+  d.rule_id = "bgp-as-mismatch";
+  d.severity = LintSeverity::kError;
+  d.category = LintCategory::kProtocol;
+  d.device_id = "rt-0";
+  d.object = "router bgp 65001";
+  d.message = "neighbor 10.0.0.2 remote-as 65999, but peer runs AS 65002";
+  d.span = SourceSpan{12, 15};
+  net.diagnostics.push_back(d);
+  d.rule_id = "unreferenced-acl";
+  d.severity = LintSeverity::kInfo;
+  d.category = LintCategory::kHygiene;
+  d.message = "acl 'x' is never attached";
+  d.suppressed = true;
+  net.diagnostics.push_back(d);
+  report.networks.push_back(std::move(net));
+  NetworkLint clean;
+  clean.network_id = "net1";
+  clean.num_devices = 2;
+  report.networks.push_back(std::move(clean));
+  return report;
+}
+
+TEST(LintReportTest, CsvRoundTripPreservesEverything) {
+  const LintReport report = sample_report();
+  const LintReport back = LintReport::from_csv(report.to_csv());
+  ASSERT_EQ(back.networks.size(), 2u);
+  EXPECT_EQ(back.networks[0].network_id, "net0");
+  EXPECT_EQ(back.networks[0].num_devices, 3u);
+  EXPECT_EQ(back.networks[1].num_devices, 2u);
+  ASSERT_EQ(back.networks[0].diagnostics.size(), 2u);
+  const Diagnostic& d = back.networks[0].diagnostics[0];
+  EXPECT_EQ(d.rule_id, "bgp-as-mismatch");
+  EXPECT_EQ(d.severity, LintSeverity::kError);
+  EXPECT_EQ(d.category, LintCategory::kProtocol);
+  EXPECT_EQ(d.device_id, "rt-0");
+  EXPECT_EQ(d.object, "router bgp 65001");
+  // The comma inside the message survives the round trip.
+  EXPECT_EQ(d.message, "neighbor 10.0.0.2 remote-as 65999, but peer runs AS 65002");
+  EXPECT_EQ(d.span, (SourceSpan{12, 15}));
+  EXPECT_TRUE(back.networks[0].diagnostics[1].suppressed);
+}
+
+TEST(LintReportTest, SeverityFloorFilters) {
+  const LintReport errors_only = sample_report().at_least(LintSeverity::kError);
+  ASSERT_EQ(errors_only.networks.size(), 2u);
+  EXPECT_EQ(errors_only.networks[0].diagnostics.size(), 1u);
+  EXPECT_EQ(errors_only.total_findings(), 1u);
+}
+
+TEST(LintReportTest, TextListsFindingsAndTotals) {
+  const std::string text = sample_report().to_text();
+  EXPECT_NE(text.find("net0"), std::string::npos);
+  EXPECT_NE(text.find("rt-0:12-15 error bgp-as-mismatch"), std::string::npos) << text;
+  EXPECT_NE(text.find("total:"), std::string::npos);
+}
+
+TEST(LintReportTest, JsonAndSarifAreWellFormed) {
+  const std::string json = sample_report().to_json();
+  EXPECT_NE(json.find("\"summary\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"bgp-as-mismatch\""), std::string::npos);
+
+  const std::string sarif = sample_report().to_sarif();
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"bgp-as-mismatch\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 12"), std::string::npos);
+  EXPECT_NE(sarif.find("\"suppressions\""), std::string::npos);
+  // The driver advertises the whole registry even for sparse findings.
+  for (const auto& rule : RuleRegistry::builtin().rules())
+    EXPECT_NE(sarif.find("\"id\": \"" + std::string(rule->info().id) + "\""),
+              std::string::npos)
+        << rule->info().id;
+}
+
+TEST(LintReportTest, SarifListsAtLeastFifteenRules) {
+  std::size_t count = 0;
+  const std::string sarif = LintReport{}.to_sarif();
+  for (std::size_t pos = sarif.find("\"id\": \""); pos != std::string::npos;
+       pos = sarif.find("\"id\": \"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_GE(count, 15u);
+}
+
+}  // namespace
+}  // namespace mpa

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 
+#include "engine/session.hpp"
 #include "mpa/mpa.hpp"
 #include "simulation/osp_generator.hpp"
 #include "stats/descriptive.hpp"
@@ -151,6 +152,74 @@ TEST_F(PipelineTest, OversamplingLiftsMinorityRecall) {
   // Allow a small tolerance: at this scale the lift can be modest; the
   // fig08 bench demonstrates the full-scale effect.
   EXPECT_GE(mid_os, mid_plain - 0.03);
+}
+
+TEST_F(PipelineTest, LintMetricsPopulateCaseTable) {
+  bool any_issue = false;
+  for (const auto& c : table_->cases()) {
+    const double issues = c[Practice::kLintIssues];
+    const double errors = c[Practice::kLintErrors];
+    const double rules = c[Practice::kLintRulesHit];
+    const double density = c[Practice::kLintDensity];
+    EXPECT_GE(issues, 0.0);
+    EXPECT_LE(errors, issues);
+    EXPECT_LE(rules, issues);
+    if (issues > 0) {
+      any_issue = true;
+      EXPECT_GT(density, 0.0);
+      EXPECT_GE(rules, 1.0);
+    }
+    // The generator wires consistent references and routing, so the
+    // only expected findings are hygiene/info; nothing at error level.
+    EXPECT_DOUBLE_EQ(errors, 0.0);
+  }
+  EXPECT_TRUE(any_issue) << "lint metrics never fired on the synthetic fleet";
+}
+
+TEST_F(PipelineTest, LintMetricsSurviveCsvRoundTrip) {
+  const CaseTable parsed = CaseTable::from_csv(table_->to_csv());
+  ASSERT_EQ(parsed.size(), table_->size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed[i][Practice::kLintIssues], (*table_)[i][Practice::kLintIssues]);
+    EXPECT_DOUBLE_EQ(parsed[i][Practice::kLintRulesHit], (*table_)[i][Practice::kLintRulesHit]);
+    // Densities are ratios, so they round-trip at CSV precision only.
+    EXPECT_NEAR(parsed[i][Practice::kLintDensity], (*table_)[i][Practice::kLintDensity], 1e-5);
+  }
+}
+
+TEST_F(PipelineTest, LintMetricsSurviveSessionMemoizationAndInvalidation) {
+  OspOptions gopts;
+  gopts.num_networks = 30;
+  gopts.num_months = 4;
+  gopts.seed = 77;
+  OspDataset data = generate_osp(gopts);
+  SessionOptions sopts;
+  sopts.threads = 2;
+  sopts.inference.num_months = gopts.num_months;
+  AnalysisSession session(std::move(data.inventory), std::move(data.snapshots),
+                          std::move(data.tickets), std::move(sopts));
+  const std::string before = session.case_table().to_csv();
+  EXPECT_NE(before.find("No._of_lint_issues"), std::string::npos);
+  bool any = false;
+  for (const auto& c : session.case_table().cases())
+    if (c[Practice::kLintIssues] > 0) any = true;
+  EXPECT_TRUE(any);
+  // Rebuilding after invalidation reproduces the lint columns exactly.
+  session.invalidate();
+  EXPECT_EQ(session.case_table().to_csv(), before);
+}
+
+TEST_F(PipelineTest, LintMetricsFeedDependenceAndCausal) {
+  const DependenceAnalysis dep(*table_);
+  bool ranked = false;
+  for (const PracticeMi& pm : dep.mi_ranking()) {
+    if (pm.practice != Practice::kLintIssues) continue;
+    ranked = true;
+    EXPECT_GE(pm.avg_monthly_mi, 0.0);
+  }
+  EXPECT_TRUE(ranked) << "dependence analysis skipped the lint-issue practice";
+  const CausalResult res = causal_analysis(*table_, Practice::kLintIssues);
+  EXPECT_FALSE(res.comparisons.empty());
 }
 
 TEST_F(PipelineTest, OnlinePredictionReasonable) {

@@ -1,6 +1,8 @@
 // Tests for the practice catalogue and case table.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "metrics/case_table.hpp"
 #include "util/error.hpp"
 
@@ -12,7 +14,7 @@ TEST(Practices, CatalogueComplete) {
   EXPECT_EQ(all.size(), static_cast<std::size_t>(kNumPractices));
   for (Practice p : all) {
     EXPECT_NE(practice_name(p), "unknown");
-    EXPECT_TRUE(category_tag(p) == "D" || category_tag(p) == "O");
+    EXPECT_TRUE(category_tag(p) == "D" || category_tag(p) == "O" || category_tag(p) == "H");
   }
 }
 
@@ -21,6 +23,10 @@ TEST(Practices, CategorySplit) {
   EXPECT_EQ(practice_category(Practice::kHardwareEntropy), PracticeCategory::kDesign);
   EXPECT_EQ(practice_category(Practice::kNumChangeEvents), PracticeCategory::kOperational);
   EXPECT_EQ(practice_category(Practice::kFracEventsAcl), PracticeCategory::kOperational);
+  EXPECT_EQ(practice_category(Practice::kFracEventsPool), PracticeCategory::kOperational);
+  EXPECT_EQ(practice_category(Practice::kLintIssues), PracticeCategory::kHygiene);
+  EXPECT_EQ(practice_category(Practice::kLintDensity), PracticeCategory::kHygiene);
+  EXPECT_EQ(category_tag(Practice::kLintErrors), "H");
 }
 
 TEST(Practices, PaperNames) {
@@ -31,11 +37,15 @@ TEST(Practices, PaperNames) {
 
 TEST(Practices, AnalysisSetExcludesIdentities) {
   const auto set = analysis_practices();
-  EXPECT_EQ(set.size(), static_cast<std::size_t>(kNumPractices) - 2);
+  EXPECT_EQ(set.size(), static_cast<std::size_t>(kNumPractices) - 3);
   for (Practice p : set) {
     EXPECT_NE(p, Practice::kFracDevicesChanged);
     EXPECT_NE(p, Practice::kNumProtocols);
+    EXPECT_NE(p, Practice::kLintDensity);
   }
+  // The absolute lint counts do participate.
+  EXPECT_NE(std::find(set.begin(), set.end(), Practice::kLintIssues), set.end());
+  EXPECT_NE(std::find(set.begin(), set.end(), Practice::kLintRulesHit), set.end());
 }
 
 Case make_case(const std::string& net, int month, double devices, double tickets) {
@@ -100,7 +110,9 @@ TEST(CaseTable, CsvRoundTrip) {
 
 TEST(CaseTable, FromCsvRejectsMalformed) {
   EXPECT_THROW(CaseTable::from_csv("header\nn1,0,1\n"), DataError);
-  EXPECT_THROW(CaseTable::from_csv("header\nn1,zero" + std::string(32, ',') + "\n"), DataError);
+  EXPECT_THROW(
+      CaseTable::from_csv("header\nn1,zero" + std::string(1 + kNumPractices, ',') + "\n"),
+      DataError);
   EXPECT_TRUE(CaseTable::from_csv("").empty());
   EXPECT_TRUE(CaseTable::from_csv("just-a-header\n").empty());
 }

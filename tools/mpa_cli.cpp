@@ -17,8 +17,11 @@
 //       Matched-design QED for one practice (Tables 5-8 per practice).
 //   mpa_cli predict <dir> [--classes 2|5] [--history M]
 //       Cross-validated accuracy + online month-ahead accuracy (§6).
-//   mpa_cli lint <dir>
-//       Configuration-consistency lint of each network's latest configs.
+//   mpa_cli lint <dir> [--format text|json|sarif] [--out FILE]
+//              [--min-severity SEV] [--fail-on SEV]
+//       Rule-engine lint of each network's latest configs. SARIF output
+//       is suitable for code-review tooling; --fail-on exits 3 when a
+//       finding at or above SEV exists (CI gate).
 //
 // Common flags: --threads N (engine pool size; default MPA_THREADS or
 // the hardware concurrency).
@@ -117,7 +120,7 @@ void check_flags(const Args& args) {
       {"rank", {"threads", "delta", "top"}},
       {"causal", {"threads", "delta", "practice", "threshold"}},
       {"predict", {"threads", "delta", "classes", "history"}},
-      {"lint", {"threads", "delta"}},
+      {"lint", {"threads", "delta", "format", "out", "min-severity", "fail-on"}},
   };
   const auto it = allowed.find(args.command);
   if (it == allowed.end()) return;  // unknown command falls through to usage()
@@ -134,6 +137,9 @@ int usage() {
                "  rank:     --top K\n"
                "  causal:   --practice NAME --threshold P\n"
                "  predict:  --classes 2|5 --history M\n"
+               "  lint:     --format text|json|sarif --out FILE\n"
+               "            --min-severity info|warning|error (report floor)\n"
+               "            --fail-on info|warning|error (exit 3 when hit)\n"
                "common:     --threads N (default MPA_THREADS or hardware)\n";
   return 2;
 }
@@ -263,24 +269,44 @@ int cmd_predict(const Args& args) {
   return 0;
 }
 
+LintSeverity severity_flag(const Args& args, const std::string& key, LintSeverity fallback) {
+  const std::string v = args.get(key);
+  if (v.empty()) return fallback;
+  const auto sev = parse_severity(v);
+  if (!sev) throw UsageError{"--" + key + " expects info|warning|error, got '" + v + "'"};
+  return *sev;
+}
+
 int cmd_lint(const Args& args) {
+  const std::string format = args.get("format").empty() ? "text" : args.get("format");
+  if (format != "text" && format != "json" && format != "sarif")
+    throw UsageError{"--format expects text|json|sarif, got '" + format + "'"};
+
   AnalysisSession session = session_from_dir(args);
-  std::size_t total = 0;
-  for (const auto& net : session.inventory().networks()) {
-    std::vector<DeviceConfig> configs;
-    for (const auto* dev : session.inventory().devices_in(net.network_id)) {
-      const auto& snaps = session.snapshots().for_device(dev->device_id);
-      if (snaps.empty()) continue;
-      configs.push_back(parse(snaps.back().text, dialect_of(dev->vendor), dev->device_id));
-    }
-    const auto issues = lint_network(configs);
-    total += issues.size();
-    for (const auto& i : issues)
-      std::cout << net.network_id << " " << i.device_id << " [" << to_string(i.kind) << "] "
-                << i.detail << "\n";
+  const LintReport report =
+      session.lint().at_least(severity_flag(args, "min-severity", LintSeverity::kInfo));
+
+  std::string rendered;
+  if (format == "text") rendered = report.to_text();
+  if (format == "json") rendered = report.to_json();
+  if (format == "sarif") rendered = report.to_sarif();
+
+  const std::string out = args.get("out");
+  if (out.empty()) {
+    std::cout << rendered;
+  } else {
+    std::ofstream f(out);
+    f << rendered;
+    std::cout << "wrote " << report.total_findings() << " finding(s) to " << out << "\n";
   }
-  std::cout << total << " issue(s) across " << session.inventory().num_networks()
-            << " networks\n";
+
+  const std::string fail_on = args.get("fail-on");
+  if (!fail_on.empty()) {
+    const LintSeverity gate = severity_flag(args, "fail-on", LintSeverity::kError);
+    for (const auto& net : report.networks)
+      for (const auto& d : net.diagnostics)
+        if (d.severity >= gate) return 3;
+  }
   return 0;
 }
 
