@@ -2,7 +2,11 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mpa::bench {
 namespace {
@@ -10,6 +14,35 @@ namespace {
 int env_int(const char* name, int fallback) {
   const char* v = std::getenv(name);
   return v == nullptr ? fallback : std::atoi(v);
+}
+
+/// When MPA_BENCH_METRICS_OUT is set, every bench records obs metrics
+/// and spans and dumps them as one JSON object at exit — the hook for
+/// tracking a perf trajectory across BENCH_*.json runs.
+void dump_observability() {
+  const char* path = std::getenv("MPA_BENCH_METRICS_OUT");
+  if (path == nullptr) return;
+  std::ofstream f(path);
+  f << "{\"metrics\":" << obs::Registry::global().to_json()
+    << ",\"trace\":" << obs::Tracer::global().to_json() << "}\n";
+  std::cerr << "[bench] wrote obs metrics to " << path << "\n";
+}
+
+void maybe_enable_observability() {
+  static const bool once = [] {
+    if (std::getenv("MPA_BENCH_METRICS_OUT") != nullptr) {
+      obs::set_enabled(true);
+      // atexit handlers and static destructors interleave in reverse
+      // registration order, so the registry/tracer singletons must be
+      // constructed (= their destructors registered) before the dump
+      // handler or they would be gone by the time it runs.
+      obs::Registry::global();
+      obs::Tracer::global();
+      std::atexit(dump_observability);
+    }
+    return true;
+  }();
+  (void)once;
 }
 
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
@@ -23,6 +56,7 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
 }  // namespace
 
 BenchConfig config_from_env() {
+  maybe_enable_observability();
   BenchConfig cfg;
   cfg.networks = env_int("MPA_BENCH_NETWORKS", cfg.networks);
   cfg.months = env_int("MPA_BENCH_MONTHS", cfg.months);

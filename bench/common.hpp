@@ -10,6 +10,8 @@
 //   MPA_BENCH_SEED      generator seed     (default 42; full uint64)
 //   MPA_BENCH_CACHE_DIR cache directory    (default /tmp)
 //   MPA_THREADS         engine thread count (default: hardware)
+//   MPA_BENCH_METRICS_OUT  enable the obs layer and write its metrics
+//                          + trace spans as JSON to this file at exit
 #pragma once
 
 #include <string>

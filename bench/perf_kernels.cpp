@@ -13,6 +13,8 @@
 #include "metrics/inference.hpp"
 #include "mpa/causal.hpp"
 #include "mpa/modeling.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simulation/osp_generator.hpp"
 #include "stats/info.hpp"
 #include "stats/matching.hpp"
@@ -212,6 +214,42 @@ void BM_LintNetworks(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<long>(configs));
 }
 BENCHMARK(BM_LintNetworks)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// --- observability overhead: spans / counters on vs off ---------------
+//
+// The obs contract is zero-overhead-when-disabled: a disabled Span
+// costs one relaxed atomic load (arg 0). Arg 1 measures the enabled
+// recording cost (clock reads + per-thread buffer push). Fixed
+// iteration count keeps the enabled run's span buffer bounded.
+
+void BM_SpanOverhead(benchmark::State& state) {
+  const bool on = state.range(0) != 0;
+  obs::set_enabled(on);
+  for (auto _ : state) {
+    obs::Span span("bench_overhead");
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::set_enabled(false);
+  obs::Tracer::global().clear();
+  state.SetLabel(on ? "spans on" : "spans off");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanOverhead)->Arg(0)->Arg(1)->Iterations(200000);
+
+void BM_CounterOverhead(benchmark::State& state) {
+  const bool on = state.range(0) != 0;
+  obs::set_enabled(on);
+  obs::Counter& counter = obs::Registry::global().counter("bench_overhead_total");
+  for (auto _ : state) {
+    if (obs::enabled()) counter.add(1);  // the engine's gating idiom
+    benchmark::DoNotOptimize(&counter);
+  }
+  obs::set_enabled(false);
+  counter.reset();
+  state.SetLabel(on ? "counters on" : "counters off");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterOverhead)->Arg(0)->Arg(1)->Iterations(200000);
 
 void BM_ParallelForOverhead(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

@@ -4,9 +4,19 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace mpa {
+namespace {
+
+/// Hit/miss/save accounting for the obs registry. Disabled stores are
+/// not counted — a no-op lookup is not a miss.
+void note(const char* counter) {
+  if (obs::enabled()) obs::Registry::global().counter(counter).add(1);
+}
+
+}  // namespace
 
 std::string ArtifactStore::path_for(const std::string& key) const {
   return dir_ + "/" + key + ".csv";
@@ -15,14 +25,22 @@ std::string ArtifactStore::path_for(const std::string& key) const {
 std::optional<CaseTable> ArtifactStore::load_case_table(const std::string& key) const {
   if (!enabled()) return std::nullopt;
   std::ifstream in(path_for(key));
-  if (!in) return std::nullopt;
+  if (!in) {
+    note("mpa_artifact_store_misses_total");
+    return std::nullopt;
+  }
   std::ostringstream buf;
   buf << in.rdbuf();
   try {
     CaseTable table = CaseTable::from_csv(buf.str());
-    if (table.empty()) return std::nullopt;
+    if (table.empty()) {
+      note("mpa_artifact_store_misses_total");
+      return std::nullopt;
+    }
+    note("mpa_artifact_store_hits_total");
     return table;
   } catch (const DataError&) {
+    note("mpa_artifact_store_misses_total");
     return std::nullopt;
   }
 }
@@ -32,13 +50,17 @@ bool ArtifactStore::save_case_table(const std::string& key, const CaseTable& tab
   std::ofstream out(path_for(key));
   if (!out) return false;
   out << table.to_csv();
+  note("mpa_artifact_store_saves_total");
   return static_cast<bool>(out);
 }
 
 std::optional<LintReport> ArtifactStore::load_lint_report(const std::string& key) const {
   if (!enabled()) return std::nullopt;
   std::ifstream in(path_for(key + ".lint"));
-  if (!in) return std::nullopt;
+  if (!in) {
+    note("mpa_artifact_store_misses_total");
+    return std::nullopt;
+  }
   std::ostringstream buf;
   buf << in.rdbuf();
   try {
@@ -46,9 +68,14 @@ std::optional<LintReport> ArtifactStore::load_lint_report(const std::string& key
     // A real report has one entry per network even when nothing fired;
     // an empty one is indistinguishable from truncation, so treat it
     // as a miss like the case-table loader does.
-    if (report.networks.empty()) return std::nullopt;
+    if (report.networks.empty()) {
+      note("mpa_artifact_store_misses_total");
+      return std::nullopt;
+    }
+    note("mpa_artifact_store_hits_total");
     return report;
   } catch (const DataError&) {
+    note("mpa_artifact_store_misses_total");
     return std::nullopt;
   }
 }
@@ -58,6 +85,7 @@ bool ArtifactStore::save_lint_report(const std::string& key, const LintReport& r
   std::ofstream out(path_for(key + ".lint"));
   if (!out) return false;
   out << report.to_csv();
+  note("mpa_artifact_store_saves_total");
   return static_cast<bool>(out);
 }
 

@@ -4,6 +4,8 @@
 
 #include "config/dialect.hpp"
 #include "io/dataset_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "telemetry/time.hpp"
 
 namespace mpa {
@@ -17,6 +19,39 @@ std::uint64_t mix(std::uint64_t z) {
   return z ^ (z >> 31);
 }
 
+/// Mirror a per-session CacheStats increment into the obs registry.
+void bump(const char* counter) {
+  if (obs::enabled()) obs::Registry::global().counter(counter).add(1);
+}
+
+/// The wall-time histogram for one pipeline stage, or null when obs is
+/// disabled (which makes the ScopedTimer inert — no clock reads).
+obs::Histogram* stage_seconds(const char* stage) {
+  if (!obs::enabled()) return nullptr;
+  return &obs::Registry::global().histogram(std::string("mpa_stage_seconds_") + stage);
+}
+
+/// Pre-register the engine's full metric schema so every export
+/// contains the same names, including zero-valued ones — consumers
+/// (the CI schema check, dashboards) never see a shifting key set.
+void register_engine_metrics() {
+  auto& reg = obs::Registry::global();
+  for (const char* name :
+       {"mpa_session_memo_hits_total", "mpa_session_table_builds_total",
+        "mpa_session_table_loads_total", "mpa_session_lint_runs_total",
+        "mpa_session_lint_loads_total", "mpa_session_causal_runs_total",
+        "mpa_session_cv_runs_total", "mpa_session_online_runs_total",
+        "mpa_session_invalidations_total", "mpa_artifact_store_hits_total",
+        "mpa_artifact_store_misses_total", "mpa_artifact_store_saves_total",
+        "mpa_pool_jobs_total", "mpa_pool_tasks_total", "mpa_pool_inline_jobs_total",
+        "mpa_pool_worker_joins_total", "mpa_pool_queue_wait_ns_total"}) {
+    reg.counter(name);
+  }
+  for (const char* stage : {"case_table", "lint", "dependence", "causal", "cv", "online"}) {
+    reg.histogram(std::string("mpa_stage_seconds_") + stage);
+  }
+}
+
 }  // namespace
 
 AnalysisSession::AnalysisSession(Inventory inventory, SnapshotStore snapshots, TicketLog tickets,
@@ -28,6 +63,20 @@ AnalysisSession::AnalysisSession(Inventory inventory, SnapshotStore snapshots, T
       store_(opts_.artifact_dir),
       pool_(std::make_unique<ThreadPool>(opts_.threads > 0 ? opts_.threads
                                                            : ThreadPool::default_thread_count())) {
+  if (obs::enabled()) register_engine_metrics();
+}
+
+AnalysisSession::~AnalysisSession() {
+  // pool_ is null only in the moved-from shell, which must not publish
+  // the stats a second time.
+  if (pool_ == nullptr || !obs::enabled()) return;
+  const ThreadPool::Stats s = pool_->stats();
+  auto& reg = obs::Registry::global();
+  reg.counter("mpa_pool_jobs_total").add(s.jobs);
+  reg.counter("mpa_pool_tasks_total").add(s.tasks);
+  reg.counter("mpa_pool_inline_jobs_total").add(s.inline_jobs);
+  reg.counter("mpa_pool_worker_joins_total").add(s.worker_joins);
+  reg.counter("mpa_pool_queue_wait_ns_total").add(s.queue_wait_ns);
 }
 
 AnalysisSession AnalysisSession::from_directory(const std::string& dir, SessionOptions opts) {
@@ -51,19 +100,24 @@ Rng AnalysisSession::stream_for(std::uint64_t tag) const {
 const CaseTable& AnalysisSession::case_table() {
   if (table_.has_value()) {
     ++stats_.hits;
+    bump("mpa_session_memo_hits_total");
     return *table_;
   }
   if (!opts_.artifact_key.empty()) {
     if (auto cached = store_.load_case_table(opts_.artifact_key)) {
       ++stats_.table_loads;
+      bump("mpa_session_table_loads_total");
       table_ = std::move(*cached);
       return *table_;
     }
   }
+  obs::Span span("case_table");
+  obs::ScopedTimer timer(stage_seconds("case_table"));
   InferenceOptions iopts = opts_.inference;
   iopts.pool = pool_.get();
   table_ = infer_case_table(inventory_, snapshots_, tickets_, iopts);
   ++stats_.table_builds;
+  bump("mpa_session_table_builds_total");
   if (!opts_.artifact_key.empty()) store_.save_case_table(opts_.artifact_key, *table_);
   return *table_;
 }
@@ -71,19 +125,29 @@ const CaseTable& AnalysisSession::case_table() {
 const LintReport& AnalysisSession::lint() {
   if (lint_.has_value()) {
     ++stats_.hits;
+    bump("mpa_session_memo_hits_total");
     return *lint_;
   }
   if (!opts_.artifact_key.empty()) {
     if (auto cached = store_.load_lint_report(opts_.artifact_key)) {
       ++stats_.lint_loads;
+      bump("mpa_session_lint_loads_total");
       lint_ = std::move(*cached);
       return *lint_;
     }
   }
+  obs::Span span("lint");
+  obs::ScopedTimer timer(stage_seconds("lint"));
+  // Per-task spans run on pool workers, whose thread-local span stack
+  // is empty; adopt this stage's path explicitly so the fan-out nests
+  // under it with deterministic names and counts at any thread count.
+  const std::string task_path =
+      obs::enabled() ? obs::Tracer::current_path() + "/network" : std::string();
   const auto& networks = inventory_.networks();
   LintReport report;
   report.networks.resize(networks.size());
   parallel_for(pool_.get(), networks.size(), [&](std::size_t n) {
+    obs::Span task = obs::Span::with_path(task_path);
     NetworkLint& out = report.networks[n];
     out.network_id = networks[n].network_id;
     std::vector<DeviceText> texts;
@@ -96,6 +160,7 @@ const LintReport& AnalysisSession::lint() {
     out.diagnostics = lint_network_text(texts, opts_.inference.lint);
   });
   ++stats_.lint_runs;
+  bump("mpa_session_lint_runs_total");
   lint_ = std::move(report);
   if (!opts_.artifact_key.empty()) store_.save_lint_report(opts_.artifact_key, *lint_);
   return *lint_;
@@ -104,9 +169,16 @@ const LintReport& AnalysisSession::lint() {
 const DependenceAnalysis& AnalysisSession::dependence() {
   if (dependence_.has_value()) {
     ++stats_.hits;
+    bump("mpa_session_memo_hits_total");
     return *dependence_;
   }
-  dependence_.emplace(case_table(), opts_.dependence);
+  // The case table is a prerequisite, not part of this stage's cost:
+  // materialize it before the span opens so a cold dependence() call
+  // reports dependence time, with any table build as a sibling span.
+  const CaseTable& table = case_table();
+  obs::Span span("dependence");
+  obs::ScopedTimer timer(stage_seconds("dependence"));
+  dependence_.emplace(table, opts_.dependence);
   return *dependence_;
 }
 
@@ -114,13 +186,17 @@ const CausalResult& AnalysisSession::causal(Practice treatment) {
   const auto it = causal_.find(treatment);
   if (it != causal_.end()) {
     ++stats_.hits;
+    bump("mpa_session_memo_hits_total");
     return it->second;
   }
+  const CaseTable& table = case_table();
+  obs::Span span("causal");
+  obs::ScopedTimer timer(stage_seconds("causal"));
   CausalOptions copts = opts_.causal;
   copts.pool = pool_.get();
   ++stats_.causal_runs;
-  return causal_.emplace(treatment, causal_analysis(case_table(), treatment, copts))
-      .first->second;
+  bump("mpa_session_causal_runs_total");
+  return causal_.emplace(treatment, causal_analysis(table, treatment, copts)).first->second;
 }
 
 const EvalResult& AnalysisSession::evaluate_cv(int num_classes, ModelKind kind) {
@@ -128,26 +204,36 @@ const EvalResult& AnalysisSession::evaluate_cv(int num_classes, ModelKind kind) 
   const auto it = cv_.find(key);
   if (it != cv_.end()) {
     ++stats_.hits;
+    bump("mpa_session_memo_hits_total");
     return it->second;
   }
+  const CaseTable& table = case_table();
+  obs::Span span("cv");
+  obs::ScopedTimer timer(stage_seconds("cv"));
   ModelingOptions mopts = opts_.modeling;
   mopts.pool = pool_.get();
   Rng rng = stream_for(0x5cf00ULL + static_cast<std::uint64_t>(kind) * 64 +
                        static_cast<std::uint64_t>(num_classes));
   ++stats_.cv_runs;
-  return cv_.emplace(key, evaluate_model_cv(case_table(), num_classes, kind, rng, mopts))
+  bump("mpa_session_cv_runs_total");
+  return cv_.emplace(key, evaluate_model_cv(table, num_classes, kind, rng, mopts))
       .first->second;
 }
 
 double AnalysisSession::online_accuracy(int num_classes, int history_m, ModelKind kind,
                                         int first_t, int last_t) {
+  const CaseTable& table = case_table();
+  obs::Span span("online");
+  obs::ScopedTimer timer(stage_seconds("online"));
   ModelingOptions mopts = opts_.modeling;
   mopts.pool = pool_.get();
   Rng rng = stream_for(0x0911eULL + static_cast<std::uint64_t>(kind) * 4096 +
                        static_cast<std::uint64_t>(num_classes) * 128 +
                        static_cast<std::uint64_t>(history_m));
-  return online_prediction_accuracy(case_table(), num_classes, history_m, kind, rng, first_t,
-                                    last_t, mopts);
+  ++stats_.online_runs;
+  bump("mpa_session_online_runs_total");
+  return online_prediction_accuracy(table, num_classes, history_m, kind, rng, first_t, last_t,
+                                    mopts);
 }
 
 void AnalysisSession::invalidate() {
@@ -156,6 +242,7 @@ void AnalysisSession::invalidate() {
   dependence_.reset();
   causal_.clear();
   cv_.clear();
+  bump("mpa_session_invalidations_total");
   if (!opts_.artifact_key.empty()) store_.remove(opts_.artifact_key);
 }
 

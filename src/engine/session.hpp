@@ -62,6 +62,11 @@ class AnalysisSession {
  public:
   AnalysisSession(Inventory inventory, SnapshotStore snapshots, TicketLog tickets,
                   SessionOptions opts = {});
+  AnalysisSession(AnalysisSession&&) = default;
+
+  /// Publishes the pool's execution counters to the obs registry
+  /// (when obs::enabled()) before tearing the pool down.
+  ~AnalysisSession();
 
   /// Open a session over a dataset directory (io/dataset_io.hpp
   /// format). The observation-window length is implied by the data —
@@ -115,7 +120,10 @@ class AnalysisSession {
   /// Swap in new data sources; implies invalidate().
   void replace_data(Inventory inventory, SnapshotStore snapshots, TicketLog tickets);
 
-  /// Cache observability (tests + tooling).
+  /// Cache observability (tests + tooling). These per-session counts
+  /// are mirrored into the process-wide obs registry (src/obs/) as
+  /// mpa_session_* counters whenever obs::enabled(); the registry adds
+  /// stage wall-time histograms and trace spans on top (DESIGN.md §8).
   struct CacheStats {
     std::size_t hits = 0;          ///< Requests served from memory.
     std::size_t table_builds = 0;  ///< infer_case_table executions.
@@ -124,6 +132,7 @@ class AnalysisSession {
     std::size_t lint_loads = 0;    ///< Lint reports read from the store.
     std::size_t causal_runs = 0;
     std::size_t cv_runs = 0;
+    std::size_t online_runs = 0;   ///< online_accuracy evaluations.
   };
   const CacheStats& stats() const { return stats_; }
 

@@ -1,5 +1,6 @@
 #include "io/dataset_io.hpp"
 
+#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -29,9 +30,25 @@ void write_file(const fs::path& path, const std::string& content) {
 
 // CSV field escaping: our ids/names never contain commas, but symptom
 // strings could; forbid rather than quote (keeps the format trivial).
+// Stray '\r' is rejected too — the loader strips one trailing '\r' per
+// line to accept CRLF files, so a carriage return inside a field would
+// not survive the round trip.
 void check_field(const std::string& s, const char* what) {
-  require_data(s.find(',') == std::string::npos && s.find('\n') == std::string::npos,
-               std::string("dataset field contains ',' or newline: ") + what + ": " + s);
+  require_data(s.find(',') == std::string::npos && s.find('\n') == std::string::npos &&
+                   s.find('\r') == std::string::npos,
+               std::string("dataset field contains ',', newline, or carriage return: ") + what +
+                   ": " + s);
+}
+
+// snapshots.log headers are whitespace-delimited ("@snapshot <device>
+// <time> <login> <length>"), so a device_id or login containing
+// whitespace would change the token count and corrupt every record
+// after it. Validate on save, like check_field does for the CSVs.
+void check_header_token(const std::string& s, const char* what) {
+  require_data(!s.empty(), std::string("snapshot header field is empty: ") + what);
+  for (const char c : s)
+    require_data(std::isspace(static_cast<unsigned char>(c)) == 0,
+                 std::string("snapshot header field contains whitespace: ") + what + ": " + s);
 }
 
 std::int64_t parse_int(const std::string& s, const char* what) {
@@ -122,6 +139,8 @@ void save_dataset(const DiskDataset& data, const std::string& dir) {
     std::ostringstream os;
     for (const auto& device_id : data.snapshots.devices()) {
       for (const auto& snap : data.snapshots.for_device(device_id)) {
+        check_header_token(snap.device_id, "snapshot device_id");
+        check_header_token(snap.login, "snapshot login");
         os << "@snapshot " << snap.device_id << ' ' << snap.time << ' ' << snap.login << ' '
            << snap.text.size() << '\n'
            << snap.text;
@@ -137,7 +156,7 @@ DiskDataset load_dataset(const std::string& dir) {
 
   // networks.csv
   {
-    const auto lines = split(read_file(base / "networks.csv"), '\n');
+    const auto lines = split_lines(read_file(base / "networks.csv"));
     for (std::size_t i = 1; i < lines.size(); ++i) {
       if (trim(lines[i]).empty()) continue;
       const auto cells = split(lines[i], ',');
@@ -157,7 +176,7 @@ DiskDataset load_dataset(const std::string& dir) {
 
   // devices.csv
   {
-    const auto lines = split(read_file(base / "devices.csv"), '\n');
+    const auto lines = split_lines(read_file(base / "devices.csv"));
     for (std::size_t i = 1; i < lines.size(); ++i) {
       if (trim(lines[i]).empty()) continue;
       const auto cells = split(lines[i], ',');
@@ -175,7 +194,7 @@ DiskDataset load_dataset(const std::string& dir) {
 
   // tickets.csv
   {
-    const auto lines = split(read_file(base / "tickets.csv"), '\n');
+    const auto lines = split_lines(read_file(base / "tickets.csv"));
     for (std::size_t i = 1; i < lines.size(); ++i) {
       if (trim(lines[i]).empty()) continue;
       const auto cells = split(lines[i], ',');
@@ -185,6 +204,9 @@ DiskDataset load_dataset(const std::string& dir) {
       t.network_id = cells[1];
       t.created = parse_int(cells[2], "ticket created");
       t.resolved = parse_int(cells[3], "ticket resolved");
+      require_data(t.resolved >= t.created,
+                   "tickets.csv: resolved time " + cells[3] + " precedes created time " +
+                       cells[2] + " for ticket " + t.ticket_id);
       t.origin = origin_from_string(cells[4]);
       t.symptom = cells[5];
       if (!cells[6].empty()) t.devices = split(cells[6], ';');
@@ -203,7 +225,12 @@ DiskDataset load_dataset(const std::string& dir) {
       const auto tokens = split_ws(header);
       require_data(tokens.size() == 5 && tokens[0] == "@snapshot",
                    "snapshots.log: bad header: " + header);
-      const auto length = static_cast<std::size_t>(parse_int(tokens[4], "snapshot length"));
+      // A negative length cast straight to size_t would become a huge
+      // offset and misreport as "truncated body"; reject it by name.
+      const std::int64_t declared = parse_int(tokens[4], "snapshot length");
+      require_data(declared >= 0,
+                   "snapshots.log: negative snapshot length in header: " + header);
+      const auto length = static_cast<std::size_t>(declared);
       require_data(eol + 1 + length <= log.size(), "snapshots.log: truncated body");
       ConfigSnapshot snap;
       snap.device_id = tokens[1];

@@ -1,0 +1,237 @@
+#include "obs/metrics.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace mpa::obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+double bits_to_double(std::uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof d);
+  return d;
+}
+
+std::uint64_t double_to_bits(double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof bits);
+  return bits;
+}
+
+void atomic_add_double(std::atomic<std::uint64_t>& bits, double delta) {
+  std::uint64_t old = bits.load(std::memory_order_relaxed);
+  while (true) {
+    const std::uint64_t next = double_to_bits(bits_to_double(old) + delta);
+    if (bits.compare_exchange_weak(old, next, std::memory_order_relaxed)) return;
+  }
+}
+
+/// Shortest round-trippable representation, always a valid JSON number.
+std::string format_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  // Normalize "inf"/"nan" (never produced by our instruments, but keep
+  // the output valid JSON regardless).
+  if (std::strchr(buf, 'i') != nullptr || std::strchr(buf, 'n') != nullptr) return "0";
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+std::uint64_t now_ns() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - t0)
+                                        .count());
+}
+
+void Gauge::set(double v) { bits_.store(double_to_bits(v), std::memory_order_relaxed); }
+
+void Gauge::add(double v) { atomic_add_double(bits_, v); }
+
+double Gauge::value() const { return bits_to_double(bits_.load(std::memory_order_relaxed)); }
+
+void Gauge::reset() { bits_.store(0, std::memory_order_relaxed); }
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  std::size_t b = 0;
+  while (b < bounds_.size() && v > bounds_[b]) ++b;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_bits_, v);
+}
+
+double Histogram::sum() const { return bits_to_double(sum_bits_.load(std::memory_order_relaxed)); }
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& latency_buckets_seconds() {
+  static const std::vector<double> buckets = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2,
+                                              0.1,  0.5,  1.0,  5.0,  30.0};
+  return buckets;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+std::map<std::string, std::uint64_t> Registry::counters_snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  return out;
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << format_number(g->value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":{\"count\":" << h->count()
+       << ",\"sum\":" << format_number(h->sum()) << ",\"buckets\":[";
+    const auto counts = h->bucket_counts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      if (i != 0) os << ',';
+      os << "{\"le\":";
+      if (i < h->bounds().size()) {
+        os << format_number(h->bounds()[i]);
+      } else {
+        os << "\"+Inf\"";
+      }
+      os << ",\"count\":" << cumulative << '}';
+    }
+    os << "]}";
+  }
+  os << "}}\n";
+  return os.str();
+}
+
+std::string Registry::to_prometheus() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << "# TYPE " << name << " counter\n" << name << ' ' << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "# TYPE " << name << " gauge\n" << name << ' ' << format_number(g->value()) << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << "# TYPE " << name << " histogram\n";
+    const auto counts = h->bucket_counts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      os << name << "_bucket{le=\"";
+      if (i < h->bounds().size()) {
+        os << format_number(h->bounds()[i]);
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << cumulative << '\n';
+    }
+    os << name << "_sum " << format_number(h->sum()) << '\n'
+       << name << "_count " << h->count() << '\n';
+  }
+  return os.str();
+}
+
+std::string Registry::to_text() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) os << name << " = " << c->value() << '\n';
+  for (const auto& [name, g] : gauges_) os << name << " = " << format_number(g->value()) << '\n';
+  for (const auto& [name, h] : histograms_) {
+    os << name << ": count=" << h->count() << " sum=" << format_number(h->sum()) << "s\n";
+  }
+  return os.str();
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace mpa::obs

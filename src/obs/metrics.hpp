@@ -1,0 +1,138 @@
+// Observability metrics for the MPA engine: a process-wide registry of
+// counters, gauges, and fixed-bucket latency histograms, exported as
+// JSON, Prometheus text, or a human-readable table.
+//
+// Design constraints (see DESIGN.md §8):
+//  - lock-cheap on the hot path: instruments are plain atomics once
+//    looked up; the registry mutex is only taken at lookup/registration
+//    and export time.
+//  - zero-overhead-when-disabled: call sites gate on `obs::enabled()`
+//    (one relaxed atomic load) before touching clocks or instruments.
+//  - deterministic export: instruments are keyed and emitted in name
+//    order, so two runs that record the same events produce the same
+//    metric names and (for counters) the same values regardless of
+//    thread count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mpa::obs {
+
+/// Global observability switch. Off by default: the CLI turns it on for
+/// --metrics-out / --trace-out / --stats, the benches for
+/// MPA_BENCH_METRICS_OUT. Relaxed loads — callers only need a
+/// monotonic-enough view, not an ordering guarantee.
+bool enabled();
+void set_enabled(bool on);
+
+/// Nanoseconds since the first call (steady clock; shared by the span
+/// tracer so span starts and histogram samples are comparable).
+std::uint64_t now_ns();
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v);
+  void add(double v);
+  double value() const;
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};  ///< double stored as bit pattern.
+};
+
+/// Fixed-bucket histogram (cumulative counts at export, Prometheus
+/// style). Bounds are upper edges; an implicit +Inf bucket catches the
+/// rest. observe() is two relaxed atomic adds plus a CAS loop for the
+/// sum — no locks.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1.
+  std::vector<std::uint64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};
+};
+
+/// Default bounds for wall-time histograms, in seconds.
+const std::vector<double>& latency_buckets_seconds();
+
+/// Named instruments, created on first access and stable thereafter
+/// (references never invalidate). One process-wide instance.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` is consulted only on first creation of `name`.
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& bounds = latency_buckets_seconds());
+
+  /// All counter values, keyed by name (tests, summaries).
+  std::map<std::string, std::uint64_t> counters_snapshot() const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}
+  std::string to_json() const;
+  /// Prometheus text exposition format (# TYPE lines, _bucket/_sum/_count).
+  std::string to_prometheus() const;
+  /// Human-readable table for the CLI's --stats summary.
+  std::string to_text() const;
+
+  /// Zero every instrument, keeping registrations (tests).
+  void reset_values();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// RAII wall-time sample into a histogram (seconds). A null histogram
+/// makes the timer inert — the idiom for disabled observability:
+///   obs::ScopedTimer t(obs::enabled() ? &h : nullptr);
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h) : h_(h), start_(h != nullptr ? now_ns() : 0) {}
+  ~ScopedTimer() {
+    if (h_ != nullptr) h_->observe(static_cast<double>(now_ns() - start_) * 1e-9);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  std::uint64_t start_;
+};
+
+}  // namespace mpa::obs

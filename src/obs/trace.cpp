@@ -1,0 +1,156 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace mpa::obs {
+namespace {
+
+std::string& thread_current_path() {
+  thread_local std::string path;
+  return path;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::string Tracer::current_path() { return thread_current_path(); }
+
+Tracer::Buffer& Tracer::local_buffer() {
+  // The tracer co-owns every buffer, so records survive thread exit
+  // (pool teardown) until the next clear().
+  thread_local std::shared_ptr<Buffer> buf;
+  if (buf == nullptr) {
+    buf = std::make_shared<Buffer>();
+    std::lock_guard<std::mutex> lk(mu_);
+    buffers_.push_back(buf);
+  }
+  return *buf;
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::vector<std::shared_ptr<Buffer>> bufs;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    bufs = buffers_;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lk(b->mu);
+    out.insert(out.end(), b->records.begin(), b->records.end());
+  }
+  std::sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.path < b.path;
+  });
+  return out;
+}
+
+std::string Tracer::to_json() const {
+  const auto spans = snapshot();
+  std::ostringstream os;
+  os << "{\"spans\":[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (i != 0) os << ',';
+    os << "{\"path\":\"" << json_escape(spans[i].path) << "\",\"start_ns\":" << spans[i].start_ns
+       << ",\"dur_ns\":" << spans[i].dur_ns << '}';
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+std::string Tracer::summary() const {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+  };
+  std::map<std::string, Agg> by_path;
+  for (const auto& s : snapshot()) {
+    Agg& a = by_path[s.path];
+    ++a.count;
+    a.total_ns += s.dur_ns;
+  }
+  std::ostringstream os;
+  for (const auto& [path, agg] : by_path) {
+    std::size_t depth = 0;
+    std::size_t last_seg = 0;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      if (path[i] == '/') {
+        ++depth;
+        last_seg = i + 1;
+      }
+    }
+    os << std::string(depth * 2, ' ') << path.substr(last_seg) << "  count=" << agg.count
+       << "  total=" << static_cast<double>(agg.total_ns) * 1e-9 << "s\n";
+  }
+  return os.str();
+}
+
+void Tracer::clear() {
+  std::vector<std::shared_ptr<Buffer>> bufs;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    bufs = buffers_;
+  }
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lk(b->mu);
+    b->records.clear();
+  }
+}
+
+Span::Span(std::string_view name) {
+  if (!enabled()) return;
+  const std::string& cur = thread_current_path();
+  path_ = cur.empty() ? std::string(name) : cur + "/" + std::string(name);
+  open();
+}
+
+Span Span::with_path(std::string path) { return Span(AbsolutePath{}, std::move(path)); }
+
+Span::Span(AbsolutePath, std::string path) {
+  if (!enabled()) return;
+  path_ = std::move(path);
+  open();
+}
+
+void Span::open() {
+  active_ = true;
+  prev_path_ = thread_current_path();
+  thread_current_path() = path_;
+  start_ns_ = now_ns();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::uint64_t end = now_ns();
+  thread_current_path() = prev_path_;
+  Tracer::Buffer& buf = Tracer::global().local_buffer();
+  std::lock_guard<std::mutex> lk(buf.mu);
+  buf.records.push_back(SpanRecord{std::move(path_), start_ns_, end - start_ns_});
+}
+
+}  // namespace mpa::obs

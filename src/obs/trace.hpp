@@ -1,0 +1,98 @@
+// Scoped trace spans for the MPA engine: RAII wall-time timers with
+// parent/child nesting, recorded into per-thread buffers that are only
+// merged at export time — so the engine's fork-join thread pool never
+// contends on a shared trace lock.
+//
+// Nesting is thread-local: a Span opened while another Span is live on
+// the same thread becomes its child ("parent/child" paths). Fan-out
+// bodies that run on pool workers (where the thread-local stack is
+// empty) adopt their logical parent explicitly via Span::with_path,
+// keeping the exported tree deterministic in names and counts at any
+// thread count (timings, of course, vary).
+//
+// Zero-overhead-when-disabled: constructing a Span while obs::enabled()
+// is false is a single relaxed atomic load — no clock read, no
+// allocation, no buffer write.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpa::obs {
+
+/// One completed span. `path` is '/'-separated from the root
+/// ("infer/case_table"); times are now_ns() values.
+struct SpanRecord {
+  std::string path;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  /// The calling thread's innermost live span path ("" at top level).
+  /// Capture this before a parallel fan-out and pass it to
+  /// Span::with_path inside the task body.
+  static std::string current_path();
+
+  /// Merge every thread's buffer, ordered by (start_ns, path) — stable
+  /// content (paths and counts) across thread counts.
+  std::vector<SpanRecord> snapshot() const;
+
+  /// {"spans":[{"path":...,"start_ns":...,"dur_ns":...},...]}
+  std::string to_json() const;
+
+  /// Aggregated human-readable tree: per-path call count and total
+  /// wall time, indented by depth.
+  std::string summary() const;
+
+  /// Drop every recorded span (buffers stay registered).
+  void clear();
+
+ private:
+  friend class Span;
+  struct Buffer {
+    std::mutex mu;  ///< Uncontended except at snapshot/clear time.
+    std::vector<SpanRecord> records;
+  };
+
+  Tracer() = default;
+  Buffer& local_buffer();
+
+  mutable std::mutex mu_;  ///< Guards buffers_ (registration + export).
+  std::vector<std::shared_ptr<Buffer>> buffers_;
+};
+
+/// RAII span on the global tracer. Records on destruction.
+class Span {
+ public:
+  /// Nest under the calling thread's current span.
+  explicit Span(std::string_view name);
+
+  /// Absolute path, ignoring the thread-local stack (for pool-worker
+  /// task bodies adopting the fan-out's parent).
+  static Span with_path(std::string path);
+
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  struct AbsolutePath {};
+  Span(AbsolutePath, std::string path);
+
+  void open();
+
+  bool active_ = false;
+  std::string path_;
+  std::string prev_path_;  ///< Thread-current path to restore on close.
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace mpa::obs

@@ -15,7 +15,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <functional>
@@ -61,6 +63,29 @@ class ThreadPool {
   /// Total threads that execute job bodies (workers + caller).
   int size() const { return threads_; }
 
+  /// Lifetime execution counters, maintained with relaxed atomics (a
+  /// handful of adds per job, not per task — negligible overhead).
+  /// `jobs` and `tasks` are structural and therefore identical at any
+  /// thread count; `inline_jobs`, `worker_joins`, and `queue_wait_ns`
+  /// depend on scheduling and are timing-class metrics. The obs layer
+  /// (src/obs/) exports these; the pool itself stays dependency-free.
+  struct Stats {
+    std::uint64_t jobs = 0;           ///< parallel_for invocations (n > 0).
+    std::uint64_t tasks = 0;          ///< Task bodies run (sum of n).
+    std::uint64_t inline_jobs = 0;    ///< Jobs run without pool dispatch.
+    std::uint64_t worker_joins = 0;   ///< Worker wakeups that joined a job.
+    std::uint64_t queue_wait_ns = 0;  ///< Total submit-to-join latency.
+  };
+  Stats stats() const {
+    Stats s;
+    s.jobs = jobs_.load(std::memory_order_relaxed);
+    s.tasks = tasks_.load(std::memory_order_relaxed);
+    s.inline_jobs = inline_jobs_.load(std::memory_order_relaxed);
+    s.worker_joins = worker_joins_.load(std::memory_order_relaxed);
+    s.queue_wait_ns = queue_wait_ns_.load(std::memory_order_relaxed);
+    return s;
+  }
+
   /// Run fn(i) for every i in [0, n), blocking until all complete.
   /// The calling thread participates. The first exception thrown by
   /// any task is rethrown here after the job drains. Nested calls
@@ -68,7 +93,10 @@ class ThreadPool {
   template <typename Fn>
   void parallel_for(std::size_t n, Fn&& fn) {
     if (n == 0) return;
+    jobs_.fetch_add(1, std::memory_order_relaxed);
+    tasks_.fetch_add(n, std::memory_order_relaxed);
     if (threads_ <= 1 || n == 1 || in_region()) {
+      inline_jobs_.fetch_add(1, std::memory_order_relaxed);
       for (std::size_t i = 0; i < n; ++i) fn(i);
       return;
     }
@@ -76,6 +104,7 @@ class ThreadPool {
     Job job;
     job.body = [&fn](std::size_t i) { fn(i); };
     job.limit = n;
+    job.submit_ns = clock_ns();
     {
       std::lock_guard<std::mutex> lk(mu_);
       job_ = &job;
@@ -99,12 +128,20 @@ class ThreadPool {
   struct Job {
     std::function<void(std::size_t)> body;
     std::size_t limit = 0;
+    std::uint64_t submit_ns = 0;  // for queue-wait accounting
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> completed{0};
     std::atomic<int> participants{0};  // workers currently inside run_region
     std::mutex error_mu;
     std::exception_ptr error;
   };
+
+  static std::uint64_t clock_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
 
   static bool& in_region() {
     thread_local bool flag = false;
@@ -139,6 +176,10 @@ class ThreadPool {
       if (stop_) return;
       Job* job = job_;
       job->participants.fetch_add(1, std::memory_order_relaxed);
+      worker_joins_.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t joined = clock_ns();
+      if (joined > job->submit_ns)
+        queue_wait_ns_.fetch_add(joined - job->submit_ns, std::memory_order_relaxed);
       lk.unlock();
       run_region(*job);
       lk.lock();
@@ -157,6 +198,12 @@ class ThreadPool {
   std::condition_variable done_;
   Job* job_ = nullptr;
   bool stop_ = false;
+
+  std::atomic<std::uint64_t> jobs_{0};
+  std::atomic<std::uint64_t> tasks_{0};
+  std::atomic<std::uint64_t> inline_jobs_{0};
+  std::atomic<std::uint64_t> worker_joins_{0};
+  std::atomic<std::uint64_t> queue_wait_ns_{0};
 };
 
 /// Convenience wrapper: run on `pool` when provided, inline otherwise.

@@ -20,6 +20,13 @@ std::vector<std::string> split(std::string_view s, char sep) {
   }
 }
 
+std::vector<std::string> split_lines(std::string_view s) {
+  std::vector<std::string> lines = split(s, '\n');
+  for (auto& line : lines)
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+  return lines;
+}
+
 std::vector<std::string> split_ws(std::string_view s) {
   std::vector<std::string> out;
   std::size_t i = 0;

@@ -10,6 +10,11 @@ namespace mpa {
 /// Split `s` on `sep`, keeping empty fields.
 std::vector<std::string> split(std::string_view s, char sep);
 
+/// Split `s` into lines, accepting both LF and CRLF endings: splits on
+/// '\n' and strips one trailing '\r' per line, so Windows-authored
+/// files parse identically to Unix ones.
+std::vector<std::string> split_lines(std::string_view s);
+
 /// Split `s` on runs of whitespace, dropping empty tokens.
 std::vector<std::string> split_ws(std::string_view s);
 

@@ -1,8 +1,14 @@
-// Tests for the on-disk dataset format and CLI plumbing.
+// Tests for the on-disk dataset format and CLI plumbing, including the
+// round-trip property (save -> load -> save is byte-identical) and the
+// malformed-input rejections that protect it.
 #include <gtest/gtest.h>
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "io/dataset_io.hpp"
 #include "simulation/osp_generator.hpp"
@@ -12,6 +18,33 @@ namespace mpa {
 namespace {
 
 namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void spit(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+}
+
+std::string replace_all_copy(std::string s, const std::string& from, const std::string& to) {
+  std::string out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t hit = s.find(from, pos);
+    if (hit == std::string::npos) {
+      out += s.substr(pos);
+      return out;
+    }
+    out += s.substr(pos, hit - pos);
+    out += to;
+    pos = hit + from.size();
+  }
+}
 
 class DatasetIoTest : public ::testing::Test {
  protected:
@@ -76,6 +109,126 @@ TEST_F(DatasetIoTest, RoundTripPreservesEverything) {
     ASSERT_NE(ln, nullptr);
     EXPECT_EQ(ln->workloads.size(), net.workloads.size());
   }
+}
+
+TEST_F(DatasetIoTest, SaveLoadSaveIsByteIdentical) {
+  save_dataset(small_dataset(), dir_.string());
+  const DiskDataset loaded = load_dataset(dir_.string());
+  const fs::path dir2 = dir_.string() + "_roundtrip";
+  fs::remove_all(dir2);
+  save_dataset(loaded, dir2.string());
+  for (const char* file : {"networks.csv", "devices.csv", "tickets.csv", "snapshots.log"}) {
+    EXPECT_EQ(slurp(dir_ / file), slurp(dir2 / file)) << file;
+  }
+  fs::remove_all(dir2);
+}
+
+TEST_F(DatasetIoTest, WhitespaceInSnapshotHeaderFieldsRejectedOnSave) {
+  // A device_id or login containing whitespace would change the header
+  // token count and corrupt every record after it — save must refuse.
+  for (const auto& [device_id, login] : std::vector<std::pair<std::string, std::string>>{
+           {"dev 1", "alice"}, {"dev\t1", "alice"}, {"dev1", "al ice"}, {"dev1", ""}}) {
+    DiskDataset data = small_dataset();
+    ConfigSnapshot snap;
+    snap.device_id = device_id;
+    snap.time = 10;
+    snap.login = login;
+    snap.text = "hostname x\n";
+    data.snapshots.add(std::move(snap));
+    fs::remove_all(dir_);
+    EXPECT_THROW(save_dataset(data, dir_.string()), DataError)
+        << "device_id='" << device_id << "' login='" << login << "'";
+  }
+}
+
+TEST_F(DatasetIoTest, CrlfAuthoredCsvFilesLoadClean) {
+  const DiskDataset original = small_dataset();
+  save_dataset(original, dir_.string());
+  // Re-author the CSVs the way a Windows tool would (snapshots.log is
+  // length-prefixed binary, so only the CSVs get line endings).
+  for (const char* file : {"networks.csv", "devices.csv", "tickets.csv"}) {
+    spit(dir_ / file, replace_all_copy(slurp(dir_ / file), "\n", "\r\n"));
+  }
+  const DiskDataset loaded = load_dataset(dir_.string());
+
+  // The last cell of each row is the one a stray '\r' corrupts.
+  for (const auto& d : original.inventory.devices()) {
+    const auto* ld = loaded.inventory.find_device(d.device_id);
+    ASSERT_NE(ld, nullptr);
+    EXPECT_EQ(ld->firmware, d.firmware);
+  }
+  ASSERT_EQ(loaded.tickets.size(), original.tickets.size());
+  for (std::size_t i = 0; i < original.tickets.all().size(); ++i) {
+    EXPECT_EQ(loaded.tickets.all()[i].symptom, original.tickets.all()[i].symptom);
+    EXPECT_EQ(loaded.tickets.all()[i].devices, original.tickets.all()[i].devices);
+  }
+  for (const auto& net : original.inventory.networks()) {
+    const auto* ln = loaded.inventory.find_network(net.network_id);
+    ASSERT_NE(ln, nullptr);
+    ASSERT_EQ(ln->workloads.size(), net.workloads.size());
+    for (std::size_t i = 0; i < net.workloads.size(); ++i)
+      EXPECT_EQ(ln->workloads[i].name, net.workloads[i].name);
+  }
+
+  // And the CRLF load round-trips back to the canonical LF bytes.
+  const fs::path dir2 = dir_.string() + "_crlf";
+  fs::remove_all(dir2);
+  save_dataset(loaded, dir2.string());
+  fs::remove_all(dir_);
+  save_dataset(original, dir_.string());
+  for (const char* file : {"networks.csv", "devices.csv", "tickets.csv"}) {
+    EXPECT_EQ(slurp(dir2 / file), slurp(dir_ / file)) << file;
+  }
+  fs::remove_all(dir2);
+}
+
+TEST_F(DatasetIoTest, CarriageReturnInsideFieldRejectedOnSave) {
+  DiskDataset data = small_dataset();
+  Ticket t = data.tickets.all().front();
+  t.ticket_id = "tkt-cr";
+  t.symptom = "link\rflap";
+  data.tickets.add(std::move(t));
+  EXPECT_THROW(save_dataset(data, dir_.string()), DataError);
+}
+
+TEST_F(DatasetIoTest, NegativeSnapshotLengthRejectedByName) {
+  save_dataset(small_dataset(), dir_.string());
+  {
+    std::ofstream f(dir_ / "snapshots.log", std::ios::app);
+    f << "@snapshot devX 10 alice -5\n";
+  }
+  try {
+    load_dataset(dir_.string());
+    FAIL() << "negative length accepted";
+  } catch (const DataError& e) {
+    // The precise complaint, not the misleading "truncated body" a
+    // size_t cast used to produce.
+    EXPECT_NE(std::string(e.what()).find("negative snapshot length"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(DatasetIoTest, ResolvedBeforeCreatedRejected) {
+  save_dataset(small_dataset(), dir_.string());
+  {
+    std::ofstream f(dir_ / "tickets.csv", std::ios::app);
+    f << "tkt-bad,net0,100,50," << to_string(TicketOrigin::kUserReport) << ",boom,\n";
+  }
+  try {
+    load_dataset(dir_.string());
+    FAIL() << "resolved < created accepted";
+  } catch (const DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("precedes created"), std::string::npos) << e.what();
+  }
+}
+
+TEST_F(DatasetIoTest, MalformedSnapshotHeaderRejected) {
+  save_dataset(small_dataset(), dir_.string());
+  {
+    std::ofstream f(dir_ / "snapshots.log", std::ios::app);
+    f << "@snapshot devX 10 9\n";  // four tokens, not five
+  }
+  EXPECT_THROW(load_dataset(dir_.string()), DataError);
 }
 
 TEST_F(DatasetIoTest, MissingDirectoryThrows) {

@@ -1,0 +1,258 @@
+// Tests for the observability layer (src/obs/): metric instruments and
+// exports, span nesting and per-thread recording, the
+// zero-overhead-when-disabled contract, and the determinism pin — an
+// instrumented pipeline run must record identical span names/counts
+// and structural counters at 1, 2, and 8 threads.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/session.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "simulation/osp_generator.hpp"
+#include "util/parallel.hpp"
+
+namespace mpa {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::Registry::global().reset_values();
+    obs::Tracer::global().clear();
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::Registry::global().reset_values();
+    obs::Tracer::global().clear();
+  }
+};
+
+TEST_F(ObsTest, CounterAndGaugeBasics) {
+  obs::Counter& c = obs::Registry::global().counter("obs_test_total");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&obs::Registry::global().counter("obs_test_total"), &c);
+
+  obs::Gauge& g = obs::Registry::global().gauge("obs_test_gauge");
+  g.set(2.5);
+  g.add(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+}
+
+TEST_F(ObsTest, HistogramBucketsAndSum) {
+  obs::Histogram& h = obs::Registry::global().histogram("obs_test_hist", {0.1, 1.0});
+  h.observe(0.05);   // bucket 0 (le 0.1)
+  h.observe(0.5);    // bucket 1 (le 1.0)
+  h.observe(100.0);  // +Inf bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.sum(), 100.55, 1e-9);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST_F(ObsTest, PrometheusExportShape) {
+  obs::Registry::global().counter("obs_prom_total").add(7);
+  obs::Registry::global().histogram("obs_prom_hist", {0.5}).observe(0.1);
+  const std::string text = obs::Registry::global().to_prometheus();
+  EXPECT_NE(text.find("# TYPE obs_prom_total counter"), std::string::npos);
+  EXPECT_NE(text.find("obs_prom_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_prom_hist histogram"), std::string::npos);
+  EXPECT_NE(text.find("obs_prom_hist_bucket{le=\"0.5\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("obs_prom_hist_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("obs_prom_hist_count 1"), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonExportShape) {
+  obs::Registry::global().counter("obs_json_total").add(3);
+  obs::Registry::global().histogram("obs_json_hist", {0.5}).observe(2.0);
+  const std::string json = obs::Registry::global().to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_json_total\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\":\"+Inf\""), std::string::npos);
+}
+
+TEST_F(ObsTest, SpanNestingBuildsPaths) {
+  {
+    obs::Span outer("outer");
+    EXPECT_EQ(obs::Tracer::current_path(), "outer");
+    {
+      obs::Span inner("inner");
+      EXPECT_EQ(obs::Tracer::current_path(), "outer/inner");
+    }
+    EXPECT_EQ(obs::Tracer::current_path(), "outer");
+  }
+  EXPECT_EQ(obs::Tracer::current_path(), "");
+  std::multiset<std::string> paths;
+  for (const auto& s : obs::Tracer::global().snapshot()) paths.insert(s.path);
+  EXPECT_EQ(paths, (std::multiset<std::string>{"outer", "outer/inner"}));
+}
+
+TEST_F(ObsTest, WithPathAdoptsParentAcrossThreads) {
+  {
+    obs::Span stage("stage");
+    const std::string task_path = obs::Tracer::current_path() + "/task";
+    std::thread worker([&] {
+      // A pool worker has no thread-local parent; with_path adopts one.
+      obs::Span task = obs::Span::with_path(task_path);
+      EXPECT_EQ(obs::Tracer::current_path(), "stage/task");
+    });
+    worker.join();
+  }
+  std::multiset<std::string> paths;
+  for (const auto& s : obs::Tracer::global().snapshot()) paths.insert(s.path);
+  EXPECT_EQ(paths, (std::multiset<std::string>{"stage", "stage/task"}));
+}
+
+TEST_F(ObsTest, DisabledSpansRecordNothing) {
+  obs::set_enabled(false);
+  {
+    obs::Span span("ghost");
+    EXPECT_EQ(obs::Tracer::current_path(), "");
+  }
+  EXPECT_TRUE(obs::Tracer::global().snapshot().empty());
+}
+
+TEST_F(ObsTest, ScopedTimerObservesAndNullIsInert) {
+  obs::Histogram& h = obs::Registry::global().histogram("obs_timer_hist");
+  { obs::ScopedTimer t(&h); }
+  EXPECT_EQ(h.count(), 1u);
+  { obs::ScopedTimer t(nullptr); }  // the disabled idiom
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST_F(ObsTest, SummaryAggregatesByPath) {
+  { obs::Span a("alpha"); }
+  { obs::Span a("alpha"); }
+  {
+    obs::Span a("alpha");
+    obs::Span b("beta");
+  }
+  const std::string summary = obs::Tracer::global().summary();
+  EXPECT_NE(summary.find("alpha  count=3"), std::string::npos);
+  EXPECT_NE(summary.find("beta  count=1"), std::string::npos);
+}
+
+TEST_F(ObsTest, PoolStatsCountJobsAndTasks) {
+  ThreadPool pool(4);
+  pool.parallel_for(10, [](std::size_t) {});
+  pool.parallel_for(3, [](std::size_t) {});
+  const ThreadPool::Stats s = pool.stats();
+  EXPECT_EQ(s.jobs, 2u);
+  EXPECT_EQ(s.tasks, 13u);
+}
+
+TEST_F(ObsTest, PoolStructuralCountsThreadCountInvariant) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> observed;  // (jobs, tasks)
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    pool.parallel_for(16, [&](std::size_t) {
+      // Nested fan-out runs inline on workers but still counts.
+      pool.parallel_for(2, [](std::size_t) {});
+    });
+    const ThreadPool::Stats s = pool.stats();
+    observed.emplace_back(s.jobs, s.tasks);
+  }
+  EXPECT_EQ(observed[0], observed[1]);
+  EXPECT_EQ(observed[0], observed[2]);
+  EXPECT_EQ(observed[0].first, 17u);   // 1 outer + 16 nested
+  EXPECT_EQ(observed[0].second, 48u);  // 16 outer + 16*2 nested
+}
+
+// --- pipeline determinism pin -----------------------------------------
+
+struct PipelineObservation {
+  std::multiset<std::string> span_paths;
+  std::map<std::string, std::uint64_t> counters;
+};
+
+/// Run every session stage instrumented by the engine and return what
+/// the obs layer recorded. Only structural counters — identical by the
+/// PR 1 determinism contract — are kept; timing-class ones
+/// (queue wait, worker joins, inline split) depend on scheduling.
+PipelineObservation run_pipeline(int threads) {
+  obs::Registry::global().reset_values();
+  obs::Tracer::global().clear();
+
+  OspOptions gen;
+  gen.num_networks = 12;
+  gen.num_months = 4;
+  gen.seed = 17;
+  OspDataset data = generate_osp(gen);
+  {
+    SessionOptions opts;
+    opts.threads = threads;
+    opts.inference.num_months = gen.num_months;
+    AnalysisSession session(std::move(data.inventory), std::move(data.snapshots),
+                            std::move(data.tickets), std::move(opts));
+    session.case_table();
+    session.lint();
+    session.dependence();
+    session.causal(Practice::kNumChangeEvents);
+    session.evaluate_cv(2, ModelKind::kDecisionTree);
+    session.online_accuracy(2, 1, ModelKind::kDecisionTree, 1, gen.num_months - 1);
+  }  // session dtor publishes pool counters
+
+  PipelineObservation obs_out;
+  for (const auto& s : obs::Tracer::global().snapshot()) obs_out.span_paths.insert(s.path);
+  static const std::set<std::string> structural = {
+      "mpa_session_memo_hits_total",    "mpa_session_table_builds_total",
+      "mpa_session_table_loads_total",  "mpa_session_lint_runs_total",
+      "mpa_session_lint_loads_total",   "mpa_session_causal_runs_total",
+      "mpa_session_cv_runs_total",      "mpa_session_online_runs_total",
+      "mpa_artifact_store_hits_total",  "mpa_artifact_store_misses_total",
+      "mpa_artifact_store_saves_total", "mpa_pool_jobs_total",
+      "mpa_pool_tasks_total"};
+  for (const auto& [name, value] : obs::Registry::global().counters_snapshot())
+    if (structural.count(name)) obs_out.counters[name] = value;
+  return obs_out;
+}
+
+TEST_F(ObsTest, PipelineSpansAndCountersDeterministicAcrossThreadCounts) {
+  const PipelineObservation serial = run_pipeline(1);
+
+  // The taxonomy the engine promises (DESIGN.md §8).
+  EXPECT_EQ(serial.span_paths.count("case_table"), 1u);
+  EXPECT_EQ(serial.span_paths.count("lint"), 1u);
+  EXPECT_EQ(serial.span_paths.count("lint/network"), 12u);
+  EXPECT_EQ(serial.span_paths.count("dependence"), 1u);
+  EXPECT_EQ(serial.span_paths.count("causal"), 1u);
+  EXPECT_EQ(serial.span_paths.count("cv"), 1u);
+  EXPECT_EQ(serial.span_paths.count("online"), 1u);
+
+  EXPECT_EQ(serial.counters.at("mpa_session_table_builds_total"), 1u);
+  EXPECT_EQ(serial.counters.at("mpa_session_lint_runs_total"), 1u);
+  // dependence/causal/cv/online each re-request the memoized table.
+  EXPECT_EQ(serial.counters.at("mpa_session_memo_hits_total"), 4u);
+  EXPECT_GT(serial.counters.at("mpa_pool_tasks_total"), 0u);
+
+  for (int threads : {2, 8}) {
+    const PipelineObservation parallel = run_pipeline(threads);
+    EXPECT_EQ(parallel.span_paths, serial.span_paths) << threads << " threads";
+    EXPECT_EQ(parallel.counters, serial.counters) << threads << " threads";
+  }
+}
+
+TEST_F(ObsTest, StageHistogramsRecordWallTime) {
+  run_pipeline(2);
+  auto& reg = obs::Registry::global();
+  for (const char* stage : {"case_table", "lint", "dependence", "causal", "cv", "online"}) {
+    EXPECT_EQ(reg.histogram(std::string("mpa_stage_seconds_") + stage).count(), 1u) << stage;
+  }
+}
+
+}  // namespace
+}  // namespace mpa

@@ -24,7 +24,11 @@
 //       finding at or above SEV exists (CI gate).
 //
 // Common flags: --threads N (engine pool size; default MPA_THREADS or
-// the hardware concurrency).
+// the hardware concurrency). Observability (any subcommand):
+//   --metrics-out FILE  write the metrics registry after the command
+//                       (JSON; Prometheus text when FILE ends in .prom)
+//   --trace-out FILE    write the recorded trace spans as JSON
+//   --stats             print a counter/span summary to stderr
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -37,6 +41,8 @@
 #include "engine/session.hpp"
 #include "io/dataset_io.hpp"
 #include "mpa/mpa.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simulation/osp_generator.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -97,6 +103,12 @@ struct Args {
   }
 };
 
+/// Flags that take no value.
+const std::set<std::string>& bool_flags() {
+  static const std::set<std::string> flags = {"stats"};
+  return flags;
+}
+
 Args parse_args(int argc, char** argv) {
   Args args;
   if (argc >= 2) args.command = argv[1];
@@ -105,8 +117,13 @@ Args parse_args(int argc, char** argv) {
     std::string key = argv[i];
     if (!starts_with(key, "--"))
       throw UsageError{"unexpected argument '" + key + "'"};
+    const std::string name = key.substr(2);
+    if (bool_flags().count(name)) {
+      args.flags[name] = "1";
+      continue;
+    }
     if (i + 1 >= argc) throw UsageError{"flag '" + key + "' is missing a value"};
-    args.flags[key.substr(2)] = argv[++i];
+    args.flags[name] = argv[++i];
   }
   return args;
 }
@@ -122,10 +139,12 @@ void check_flags(const Args& args) {
       {"predict", {"threads", "delta", "classes", "history"}},
       {"lint", {"threads", "delta", "format", "out", "min-severity", "fail-on"}},
   };
+  // Observability flags ride along with every subcommand.
+  static const std::set<std::string> common = {"metrics-out", "trace-out", "stats"};
   const auto it = allowed.find(args.command);
   if (it == allowed.end()) return;  // unknown command falls through to usage()
   for (const auto& [key, value] : args.flags)
-    if (!it->second.count(key))
+    if (!it->second.count(key) && !common.count(key))
       throw UsageError{"unknown flag '--" + key + "' for '" + args.command + "'"};
 }
 
@@ -140,7 +159,10 @@ int usage() {
                "  lint:     --format text|json|sarif --out FILE\n"
                "            --min-severity info|warning|error (report floor)\n"
                "            --fail-on info|warning|error (exit 3 when hit)\n"
-               "common:     --threads N (default MPA_THREADS or hardware)\n";
+               "common:     --threads N (default MPA_THREADS or hardware)\n"
+               "            --metrics-out FILE (JSON; Prometheus if *.prom)\n"
+               "            --trace-out FILE (span JSON)\n"
+               "            --stats (counter/span summary on stderr)\n";
   return 2;
 }
 
@@ -310,6 +332,50 @@ int cmd_lint(const Args& args) {
   return 0;
 }
 
+/// True when any observability flag asks for metric/span recording.
+bool wants_observability(const Args& args) {
+  return args.flags.count("metrics-out") != 0 || args.flags.count("trace-out") != 0 ||
+         args.flags.count("stats") != 0;
+}
+
+/// Run the subcommand under a root trace span named after it, so every
+/// stage span nests as "<command>/<stage>".
+int dispatch(const Args& args) {
+  obs::Span root(args.command);
+  if (args.command == "generate") return cmd_generate(args);
+  if (args.command == "summary") return cmd_summary(args);
+  if (args.command == "infer") return cmd_infer(args);
+  if (args.command == "rank") return cmd_rank(args);
+  if (args.command == "causal") return cmd_causal(args);
+  if (args.command == "predict") return cmd_predict(args);
+  if (args.command == "lint") return cmd_lint(args);
+  throw UsageError{"unknown command '" + args.command + "'"};
+}
+
+/// After the command (sessions destroyed, pool stats published): write
+/// the requested export files and/or print the human summary.
+void write_observability(const Args& args) {
+  if (!obs::enabled()) return;
+  const std::string metrics_path = args.get("metrics-out");
+  if (!metrics_path.empty()) {
+    std::ofstream f(metrics_path);
+    const bool prometheus = metrics_path.size() >= 5 &&
+                            metrics_path.compare(metrics_path.size() - 5, 5, ".prom") == 0;
+    f << (prometheus ? obs::Registry::global().to_prometheus()
+                     : obs::Registry::global().to_json());
+  }
+  const std::string trace_path = args.get("trace-out");
+  if (!trace_path.empty()) {
+    std::ofstream f(trace_path);
+    f << obs::Tracer::global().to_json();
+  }
+  if (args.flags.count("stats") != 0) {
+    std::cerr << "\n-- engine stats --\n"
+              << obs::Registry::global().to_text() << "\n-- trace spans --\n"
+              << obs::Tracer::global().summary();
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -317,13 +383,10 @@ int main(int argc, char** argv) {
     const Args args = parse_args(argc, argv);
     if (args.command.empty() || args.dir.empty()) return usage();
     check_flags(args);
-    if (args.command == "generate") return cmd_generate(args);
-    if (args.command == "summary") return cmd_summary(args);
-    if (args.command == "infer") return cmd_infer(args);
-    if (args.command == "rank") return cmd_rank(args);
-    if (args.command == "causal") return cmd_causal(args);
-    if (args.command == "predict") return cmd_predict(args);
-    if (args.command == "lint") return cmd_lint(args);
+    if (wants_observability(args)) obs::set_enabled(true);
+    const int rc = dispatch(args);
+    write_observability(args);
+    return rc;
   } catch (const UsageError& e) {
     std::cerr << "mpa_cli: " << e.message << "\n";
     return usage();
@@ -331,5 +394,4 @@ int main(int argc, char** argv) {
     std::cerr << "mpa_cli: " << e.what() << "\n";
     return 1;
   }
-  return usage();
 }
