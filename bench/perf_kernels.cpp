@@ -12,6 +12,7 @@
 #include "learn/decision_tree.hpp"
 #include "metrics/inference.hpp"
 #include "mpa/causal.hpp"
+#include "mpa/dependence.hpp"
 #include "mpa/modeling.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -60,6 +61,8 @@ void BM_Diff(benchmark::State& state) {
 }
 BENCHMARK(BM_Diff)->Arg(16)->Arg(128);
 
+// arg 1: 0 = retained std::map reference kernel, 1 = dense contingency
+// kernel (the production path for binned data).
 void BM_MutualInformation(benchmark::State& state) {
   Rng rng(1);
   std::vector<int> x, y;
@@ -67,10 +70,47 @@ void BM_MutualInformation(benchmark::State& state) {
     x.push_back(static_cast<int>(rng.uniform_int(0, 9)));
     y.push_back(static_cast<int>(rng.uniform_int(0, 9)));
   }
-  for (auto _ : state) benchmark::DoNotOptimize(mutual_information(x, y));
+  const bool dense = state.range(1) != 0;
+  if (dense) {
+    for (auto _ : state) benchmark::DoNotOptimize(mutual_information(x, y));
+  } else {
+    for (auto _ : state) benchmark::DoNotOptimize(reference::mutual_information(x, y));
+  }
+  state.SetLabel(dense ? "dense" : "map");
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_MutualInformation)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_MutualInformation)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1});
+
+// All-pairs CMI over binned columns — the §5.1 Table 4 inner loop.
+// arg 0: columns (pairs = k*(k-1)/2), arg 1: 0 = map kernel, 1 = dense.
+void BM_CmiPairs(benchmark::State& state) {
+  Rng rng(4);
+  const int k = static_cast<int>(state.range(0));
+  const int n = 2000;
+  std::vector<std::vector<int>> cols(static_cast<std::size_t>(k));
+  std::vector<int> y;
+  for (auto& c : cols)
+    for (int i = 0; i < n; ++i) c.push_back(static_cast<int>(rng.uniform_int(0, 9)));
+  for (int i = 0; i < n; ++i) y.push_back(static_cast<int>(rng.uniform_int(0, 9)));
+  const bool dense = state.range(1) != 0;
+  for (auto _ : state) {
+    double sum = 0;
+    for (int a = 0; a < k; ++a)
+      for (int b = a + 1; b < k; ++b)
+        sum += dense ? conditional_mutual_information(cols[static_cast<std::size_t>(a)],
+                                                      cols[static_cast<std::size_t>(b)], y)
+                     : reference::conditional_mutual_information(
+                           cols[static_cast<std::size_t>(a)], cols[static_cast<std::size_t>(b)], y);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetLabel(dense ? "dense" : "map");
+  state.SetItemsProcessed(state.iterations() * (k * (k - 1) / 2));
+}
+BENCHMARK(BM_CmiPairs)->Args({8, 0})->Args({8, 1})->Unit(benchmark::kMillisecond);
 
 void BM_PropensityMatch(benchmark::State& state) {
   Rng rng(2);
@@ -101,6 +141,30 @@ void BM_DecisionTreeFit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_DecisionTreeFit)->Arg(1000)->Arg(10000);
+
+// Tree fit on a wide feature matrix: split search streams one
+// contiguous FeatureMatrix column per candidate feature, so this
+// scales with cache-friendly column reads rather than strided rows.
+void BM_TreeFitColumnar(benchmark::State& state) {
+  Rng rng(6);
+  Dataset d;
+  d.num_classes = 5;
+  d.feature_bins = 5;
+  const int features = 35;  // the full practice vector
+  for (int j = 0; j < features; ++j) d.feature_names.push_back("f" + std::to_string(j));
+  for (int i = 0; i < state.range(0); ++i) {
+    std::vector<int> x;
+    for (int j = 0; j < features; ++j) x.push_back(static_cast<int>(rng.uniform_int(0, 4)));
+    d.y.push_back((x[0] + x[7] + x[20]) % 5);
+    d.x.push_back(std::move(x));
+    d.w.push_back(1);
+  }
+  TreeOptions opts;
+  opts.max_depth = 6;
+  for (auto _ : state) benchmark::DoNotOptimize(DecisionTree::fit(d, opts));
+  state.SetItemsProcessed(state.iterations() * state.range(0) * features);
+}
+BENCHMARK(BM_TreeFitColumnar)->Arg(2000)->Arg(20000)->Unit(benchmark::kMillisecond);
 
 // --- engine fan-out stages: serial vs parallel ------------------------
 
@@ -147,6 +211,23 @@ void BM_InferCaseTable(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 60);  // networks
 }
 BENCHMARK(BM_InferCaseTable)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Full dependence analysis (view build + MI ranking + all CMI pairs),
+// serial vs pooled fan-out of the pairs.
+void BM_DependenceAnalysis(benchmark::State& state) {
+  const CaseTable& table = perf_table();
+  const bool parallel = state.range(0) != 0;
+  DependenceOptions opts;
+  if (parallel) opts.pool = &perf_pool();
+  for (auto _ : state) {
+    DependenceAnalysis dep(table, opts);
+    benchmark::DoNotOptimize(&dep);
+  }
+  set_mode_label(state, parallel);
+  const std::size_t k = analysis_practices().size();
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(k * (k - 1) / 2));
+}
+BENCHMARK(BM_DependenceAnalysis)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_CausalAnalysis(benchmark::State& state) {
   const CaseTable& table = perf_table();
@@ -201,8 +282,9 @@ void BM_LintNetworks(benchmark::State& state) {
   std::vector<std::size_t> findings(nets.size());
   for (auto _ : state) {
     if (parallel) {
-      perf_pool().parallel_for(nets.size(),
-                               [&](std::size_t i) { findings[i] = lint_network_text(nets[i]).size(); });
+      perf_pool().parallel_for(nets.size(), [&](std::size_t i) {
+        findings[i] = lint_network_text(nets[i]).size();
+      });
     } else {
       for (std::size_t i = 0; i < nets.size(); ++i)
         findings[i] = lint_network_text(nets[i]).size();

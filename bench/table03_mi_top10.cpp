@@ -21,7 +21,7 @@ int main() {
   TextTable t({"rank", "management practice", "cat", "avg monthly MI", "95% bootstrap CI"});
   int rank = 0;
   for (const auto& pm : dep.top_practices(10)) {
-    const auto [lo, hi] = dep.mi_confidence_interval(table, pm.practice, ci_rng, 60);
+    const auto [lo, hi] = dep.mi_confidence_interval(pm.practice, ci_rng, 60);
     t.row()
         .add(++rank)
         .add(std::string(practice_name(pm.practice)))

@@ -41,7 +41,8 @@ void register_engine_metrics() {
         "mpa_session_table_loads_total", "mpa_session_lint_runs_total",
         "mpa_session_lint_loads_total", "mpa_session_causal_runs_total",
         "mpa_session_cv_runs_total", "mpa_session_online_runs_total",
-        "mpa_session_invalidations_total", "mpa_artifact_store_hits_total",
+        "mpa_session_invalidations_total", "mpa_session_cmi_pairs_total",
+        "mpa_artifact_store_hits_total",
         "mpa_artifact_store_misses_total", "mpa_artifact_store_saves_total",
         "mpa_pool_jobs_total", "mpa_pool_tasks_total", "mpa_pool_inline_jobs_total",
         "mpa_pool_worker_joins_total", "mpa_pool_queue_wait_ns_total"}) {
@@ -50,6 +51,7 @@ void register_engine_metrics() {
   for (const char* stage : {"case_table", "lint", "dependence", "causal", "cv", "online"}) {
     reg.histogram(std::string("mpa_stage_seconds_") + stage);
   }
+  reg.histogram("mpa_dependence_pair_seconds");
 }
 
 }  // namespace
@@ -178,7 +180,17 @@ const DependenceAnalysis& AnalysisSession::dependence() {
   const CaseTable& table = case_table();
   obs::Span span("dependence");
   obs::ScopedTimer timer(stage_seconds("dependence"));
-  dependence_.emplace(table, opts_.dependence);
+  DependenceOptions dopts = opts_.dependence;
+  dopts.pool = pool_.get();
+  dopts.record_pair_times = obs::enabled();
+  dependence_.emplace(table, dopts);
+  if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter("mpa_session_cmi_pairs_total")
+        .add(static_cast<std::uint64_t>(dependence_->cmi_ranking().size()));
+    auto& pair_hist = reg.histogram("mpa_dependence_pair_seconds");
+    for (double s : dependence_->pair_compute_seconds()) pair_hist.observe(s);
+  }
   return *dependence_;
 }
 

@@ -8,6 +8,8 @@
 // (<=2, 3-5, 6-8, 9-11, and >=12 tickets, respectively)."
 #pragma once
 
+#include <cstddef>
+#include <initializer_list>
 #include <span>
 #include <string>
 #include <vector>
@@ -19,6 +21,72 @@ namespace mpa {
 
 /// Number of bins per practice feature in learned models.
 inline constexpr int kFeatureBins = 5;
+
+/// Dual-layout feature matrix: rows are stored contiguously (so a
+/// sample still hands models a zero-copy `span<const int>`, preserving
+/// the Predictor API) and every feature column is stored contiguously
+/// as well (so split search streams one cache-friendly column instead
+/// of striding across rows). All rows must share one width, fixed by
+/// the first push_back.
+class FeatureMatrix {
+ public:
+  FeatureMatrix() = default;
+  /// Brace construction/assignment: `x = {{0, 1}, {1, 0}};`.
+  FeatureMatrix(std::initializer_list<std::vector<int>> rows) {
+    for (const auto& r : rows) push_back(r);
+  }
+
+  /// Append one sample (width must match previously pushed rows).
+  void push_back(std::span<const int> row);
+  void push_back(std::initializer_list<int> row) {
+    push_back(std::span<const int>(row.begin(), row.size()));
+  }
+
+  /// Row i as a contiguous span (valid until the next push_back).
+  std::span<const int> operator[](std::size_t i) const {
+    return {row_major_.data() + i * width_, width_};
+  }
+  /// Feature column f, one value per row, contiguous.
+  std::span<const int> col(std::size_t f) const { return cols_[f]; }
+
+  std::size_t size() const { return rows_; }
+  bool empty() const { return rows_ == 0; }
+  /// Features per row (0 until the first push_back).
+  std::size_t width() const { return width_; }
+  void reserve(std::size_t rows) {
+    row_major_.reserve(rows * width_);
+    for (auto& c : cols_) c.reserve(rows);
+  }
+
+  bool operator==(const FeatureMatrix& o) const {
+    return rows_ == o.rows_ && width_ == o.width_ && row_major_ == o.row_major_;
+  }
+
+  /// Row iteration (`for (auto row : x)` yields spans).
+  class const_iterator {
+   public:
+    const_iterator(const FeatureMatrix* m, std::size_t i) : m_(m), i_(i) {}
+    std::span<const int> operator*() const { return (*m_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const FeatureMatrix* m_;
+    std::size_t i_;
+  };
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, rows_}; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t width_ = 0;
+  std::vector<int> row_major_;          ///< rows_ x width_, row-major.
+  std::vector<std::vector<int>> cols_;  ///< width_ columns, each rows_ long.
+};
 
 /// 2-class health label: 0 = healthy (<=1 ticket), 1 = unhealthy.
 int health_class_2(double tickets);
@@ -32,7 +100,7 @@ std::vector<std::string> health_class_names(int num_classes);
 /// A discretized learning dataset: binned features + class labels +
 /// per-sample weights.
 struct Dataset {
-  std::vector<std::vector<int>> x;  ///< n rows x d binned features.
+  FeatureMatrix x;                  ///< n rows x d binned features.
   std::vector<int> y;               ///< n labels in [0, num_classes).
   std::vector<double> w;            ///< n weights (all 1.0 unless reweighted).
   std::vector<std::string> feature_names;

@@ -75,8 +75,10 @@ int DecisionTree::build(const Dataset& data, std::vector<std::size_t>& rows,
       if (used[f]) continue;
       for (auto& v : bin_w) v = 0;
       for (auto& vec : bin_class_w) std::fill(vec.begin(), vec.end(), 0.0);
+      // Stream the contiguous feature column instead of striding rows.
+      const std::span<const int> column = data.x.col(f);
       for (std::size_t i : rows) {
-        const auto b = static_cast<std::size_t>(data.x[i][f]);
+        const auto b = static_cast<std::size_t>(column[i]);
         bin_w[b] += data.w[i];
         bin_class_w[b][static_cast<std::size_t>(data.y[i])] += data.w[i];
       }
@@ -106,9 +108,10 @@ int DecisionTree::build(const Dataset& data, std::vector<std::size_t>& rows,
 
       // Partition rows by bin value of the chosen feature.
       std::vector<std::vector<std::size_t>> parts(static_cast<std::size_t>(data.feature_bins));
+      const std::span<const int> best_column =
+          data.x.col(static_cast<std::size_t>(best_feature));
       for (std::size_t i : rows)
-        parts[static_cast<std::size_t>(data.x[i][static_cast<std::size_t>(best_feature)])]
-            .push_back(i);
+        parts[static_cast<std::size_t>(best_column[i])].push_back(i);
 
       used[static_cast<std::size_t>(best_feature)] = true;
       std::vector<int> children(static_cast<std::size_t>(data.feature_bins), -1);

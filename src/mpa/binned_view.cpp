@@ -1,0 +1,45 @@
+#include "mpa/binned_view.hpp"
+
+#include <map>
+
+#include "util/error.hpp"
+
+namespace mpa {
+
+BinnedCaseView::BinnedCaseView(const CaseTable& table, int bins, double lo_pct, double hi_pct) {
+  require(!table.empty(), "BinnedCaseView: empty case table");
+  n_ = table.size();
+
+  practice_binners_.reserve(kNumPractices);
+  for (Practice p : all_practices())
+    practice_binners_.push_back(Binner::fit(table.column(p), bins, lo_pct, hi_pct));
+  health_binner_ = Binner::fit(table.tickets(), bins, lo_pct, hi_pct);
+
+  // Stable month-major permutation: months ascending, original order
+  // preserved within each month.
+  std::map<int, std::vector<std::size_t>> rows_by_month;
+  for (std::size_t i = 0; i < n_; ++i) rows_by_month[table[i].month].push_back(i);
+  std::vector<std::size_t> perm;
+  perm.reserve(n_);
+  month_begin_.push_back(0);
+  for (const auto& [m, rows] : rows_by_month) {
+    month_ids_.push_back(m);
+    perm.insert(perm.end(), rows.begin(), rows.end());
+    month_begin_.push_back(perm.size());
+  }
+
+  // Bin every column once and scatter through the permutation into the
+  // column-major buffer.
+  data_.resize((kNumPractices + 1) * n_);
+  for (int j = 0; j <= kNumPractices; ++j) {
+    const bool health = j == kNumPractices;
+    const std::vector<int> binned =
+        health ? health_binner_.bin_all(table.tickets())
+               : practice_binners_[static_cast<std::size_t>(j)].bin_all(
+                     table.column(static_cast<Practice>(j)));
+    int* out = data_.data() + static_cast<std::size_t>(j) * n_;
+    for (std::size_t r = 0; r < n_; ++r) out[r] = binned[perm[r]];
+  }
+}
+
+}  // namespace mpa

@@ -1,117 +1,120 @@
 #include "mpa/dependence.hpp"
 
 #include <algorithm>
-#include <map>
+#include <chrono>
 
+#include "stats/contingency.hpp"
 #include "stats/descriptive.hpp"
-#include "stats/info.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace mpa {
+namespace {
 
-DependenceAnalysis::DependenceAnalysis(const CaseTable& table, const DependenceOptions& opts) {
-  require(!table.empty(), "DependenceAnalysis: empty case table");
-
-  // Fit binners on the full table (bounds are global; per-month MI uses
-  // the same discretization so months are comparable).
-  practice_binners_.reserve(kNumPractices);
-  for (Practice p : all_practices()) {
-    practice_binners_.push_back(Binner::fit(table.column(p), opts.bins, opts.lo_pct, opts.hi_pct));
+// Average monthly MI between one binned practice column and health,
+// using a caller-owned scratch table (allocation-free across calls).
+double avg_monthly_mi(const BinnedCaseView& view, Practice p, ContingencyTable& scratch) {
+  const int cx = view.practice_cardinality(p);
+  const int cy = view.health_cardinality();
+  double total = 0;
+  int months = 0;
+  for (std::size_t mi = 0; mi < view.num_months(); ++mi) {
+    if (view.month_size(mi) < 2) continue;
+    scratch.reset(cx, cy);
+    scratch.count(view.practice_month(p, mi), view.health_month(mi));
+    total += scratch.mutual_information();
+    ++months;
   }
-  health_binner_ = Binner::fit(table.tickets(), opts.bins, opts.lo_pct, opts.hi_pct);
+  return months == 0 ? 0 : total / months;
+}
 
-  // Discretize every case once, grouped by month.
-  std::map<int, std::vector<std::size_t>> rows_by_month;
-  for (std::size_t i = 0; i < table.size(); ++i) rows_by_month[table[i].month].push_back(i);
-
-  std::vector<std::vector<int>> binned(kNumPractices);
-  for (int j = 0; j < kNumPractices; ++j) {
-    const auto p = static_cast<Practice>(j);
-    binned[static_cast<std::size_t>(j)] =
-        practice_binners_[static_cast<std::size_t>(j)].bin_all(table.column(p));
+// Average monthly CMI of a practice pair given health.
+double avg_monthly_cmi(const BinnedCaseView& view, Practice a, Practice b,
+                       CmiAccumulator& scratch) {
+  const int c1 = view.practice_cardinality(a);
+  const int c2 = view.practice_cardinality(b);
+  const int cy = view.health_cardinality();
+  double total = 0;
+  int months = 0;
+  for (std::size_t mi = 0; mi < view.num_months(); ++mi) {
+    if (view.month_size(mi) < 2) continue;
+    scratch.reset(c1, c2, cy);
+    scratch.count(view.practice_month(a, mi), view.practice_month(b, mi),
+                  view.health_month(mi));
+    total += scratch.value();
+    ++months;
   }
-  std::vector<int> health = health_binner_.bin_all(table.tickets());
+  return months == 0 ? 0 : total / months;
+}
 
-  auto month_slice = [&](const std::vector<int>& col, const std::vector<std::size_t>& rows) {
-    std::vector<int> out;
-    out.reserve(rows.size());
-    for (std::size_t i : rows) out.push_back(col[i]);
-    return out;
-  };
+}  // namespace
 
+DependenceAnalysis::DependenceAnalysis(const CaseTable& table, const DependenceOptions& opts)
+    : view_((require(!table.empty(), "DependenceAnalysis: empty case table"), table), opts.bins,
+            opts.lo_pct, opts.hi_pct) {
   // Average monthly MI per practice (analysis set only; the excluded
   // identity metrics would just duplicate their parents).
   const auto analysis_set = analysis_practices();
-  for (Practice p : analysis_set) {
-    const int j = static_cast<int>(p);
-    double total = 0;
-    int months = 0;
-    for (const auto& [m, rows] : rows_by_month) {
-      if (rows.size() < 2) continue;
-      const auto x = month_slice(binned[static_cast<std::size_t>(j)], rows);
-      const auto y = month_slice(health, rows);
-      total += mutual_information(x, y);
-      ++months;
-    }
-    mi_.push_back(PracticeMi{p, months == 0 ? 0 : total / months});
-  }
-  std::sort(mi_.begin(), mi_.end(),
-            [](const PracticeMi& a, const PracticeMi& b) {
-              return a.avg_monthly_mi > b.avg_monthly_mi;
-            });
+  ContingencyTable mi_scratch;
+  mi_.reserve(analysis_set.size());
+  for (Practice p : analysis_set)
+    mi_.push_back(PracticeMi{p, avg_monthly_mi(view_, p, mi_scratch)});
+  std::sort(mi_.begin(), mi_.end(), [](const PracticeMi& a, const PracticeMi& b) {
+    return a.avg_monthly_mi > b.avg_monthly_mi;
+  });
 
-  // Average monthly CMI per practice pair, given health.
-  for (std::size_t ai = 0; ai < analysis_set.size(); ++ai) {
-    for (std::size_t bi = ai + 1; bi < analysis_set.size(); ++bi) {
-      const int a = static_cast<int>(analysis_set[ai]);
-      const int b = static_cast<int>(analysis_set[bi]);
-      double total = 0;
-      int months = 0;
-      for (const auto& [m, rows] : rows_by_month) {
-        if (rows.size() < 2) continue;
-        const auto xa = month_slice(binned[static_cast<std::size_t>(a)], rows);
-        const auto xb = month_slice(binned[static_cast<std::size_t>(b)], rows);
-        const auto y = month_slice(health, rows);
-        total += conditional_mutual_information(xa, xb, y);
-        ++months;
-      }
-      cmi_.push_back(PairCmi{analysis_set[ai], analysis_set[bi],
-                             months == 0 ? 0 : total / months});
-    }
-  }
-  std::sort(cmi_.begin(), cmi_.end(),
-            [](const PairCmi& a, const PairCmi& b) {
-              return a.avg_monthly_cmi > b.avg_monthly_cmi;
-            });
+  // Average monthly CMI per practice pair, given health. Pairs are
+  // enumerated in (ai, bi) order, each task writes only its own slot,
+  // and the final sort sees the same sequence at any thread count.
+  std::vector<std::pair<Practice, Practice>> pairs;
+  pairs.reserve(analysis_set.size() * (analysis_set.size() - 1) / 2);
+  for (std::size_t ai = 0; ai < analysis_set.size(); ++ai)
+    for (std::size_t bi = ai + 1; bi < analysis_set.size(); ++bi)
+      pairs.emplace_back(analysis_set[ai], analysis_set[bi]);
+
+  cmi_.resize(pairs.size());
+  if (opts.record_pair_times) pair_seconds_.assign(pairs.size(), 0.0);
+  parallel_for(opts.pool, pairs.size(), [&](std::size_t pi) {
+    const auto start = opts.record_pair_times ? std::chrono::steady_clock::now()
+                                              : std::chrono::steady_clock::time_point{};
+    thread_local CmiAccumulator scratch;
+    const auto [a, b] = pairs[pi];
+    cmi_[pi] = PairCmi{a, b, avg_monthly_cmi(view_, a, b, scratch)};
+    if (opts.record_pair_times)
+      pair_seconds_[pi] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  });
+  std::sort(cmi_.begin(), cmi_.end(), [](const PairCmi& a, const PairCmi& b) {
+    return a.avg_monthly_cmi > b.avg_monthly_cmi;
+  });
 }
 
-std::pair<double, double> DependenceAnalysis::mi_confidence_interval(
-    const CaseTable& table, Practice p, Rng& rng, int rounds, double lo_pct,
-    double hi_pct) const {
-  require(!table.empty(), "mi_confidence_interval: empty case table");
+std::pair<double, double> DependenceAnalysis::mi_confidence_interval(Practice p, Rng& rng,
+                                                                     int rounds, double lo_pct,
+                                                                     double hi_pct) const {
   require(rounds >= 10, "mi_confidence_interval: need at least 10 rounds");
-  const auto col_bins = binner(p).bin_all(table.column(p));
-  const auto health_bins = health_binner().bin_all(table.tickets());
-  std::map<int, std::vector<std::size_t>> rows_by_month;
-  for (std::size_t i = 0; i < table.size(); ++i) rows_by_month[table[i].month].push_back(i);
-
+  const int cx = view_.practice_cardinality(p);
+  const int cy = view_.health_cardinality();
+  ContingencyTable scratch;
   std::vector<double> replicates;
   replicates.reserve(static_cast<std::size_t>(rounds));
-  std::vector<int> x, y;
   for (int r = 0; r < rounds; ++r) {
     double total = 0;
     int months = 0;
-    for (const auto& [m, rows] : rows_by_month) {
-      if (rows.size() < 2) continue;
-      x.clear();
-      y.clear();
-      for (std::size_t k2 = 0; k2 < rows.size(); ++k2) {
-        const std::size_t pick = rows[static_cast<std::size_t>(
-            rng.uniform_int(0, static_cast<std::int64_t>(rows.size()) - 1))];
-        x.push_back(col_bins[pick]);
-        y.push_back(health_bins[pick]);
+    for (std::size_t mi = 0; mi < view_.num_months(); ++mi) {
+      const std::size_t len = view_.month_size(mi);
+      if (len < 2) continue;
+      const std::span<const int> xs = view_.practice_month(p, mi);
+      const std::span<const int> ys = view_.health_month(mi);
+      // Resample with replacement straight into the contingency table —
+      // no intermediate sample vectors.
+      scratch.reset(cx, cy);
+      for (std::size_t k = 0; k < len; ++k) {
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(len) - 1));
+        scratch.add(xs[pick], ys[pick]);
       }
-      total += mutual_information(x, y);
+      total += scratch.mutual_information();
       ++months;
     }
     replicates.push_back(months == 0 ? 0 : total / months);

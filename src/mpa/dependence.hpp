@@ -1,21 +1,37 @@
 // Dependence analysis (§5.1): rank practices by average monthly mutual
 // information with network health (Table 3), and practice pairs by
 // conditional mutual information given health (Table 4).
+//
+// The analysis builds one month-major BinnedCaseView up front (every
+// column binned once, months contiguous) and runs the dense contingency
+// kernels over its zero-copy spans; the ~P^2/2 CMI pairs optionally fan
+// out across a ThreadPool. Each pair's result is written to its own
+// slot in pair-index order, so rankings are bit-identical at any thread
+// count.
 #pragma once
 
 #include <utility>
 #include <vector>
 
 #include "metrics/case_table.hpp"
+#include "mpa/binned_view.hpp"
 #include "stats/binning.hpp"
 #include "util/rng.hpp"
 
 namespace mpa {
 
+class ThreadPool;
+
 struct DependenceOptions {
   int bins = 10;        ///< §5.1.1: 10 equal-width bins.
   double lo_pct = 5.0;  ///< Clamped percentile bounds.
   double hi_pct = 95.0;
+  /// Fan the CMI pairs out on this pool (null = serial). Results are
+  /// bit-identical either way.
+  ThreadPool* pool = nullptr;
+  /// Record per-pair CMI compute time (pair_compute_seconds()); the
+  /// engine enables this when observability is on.
+  bool record_pair_times = false;
 };
 
 /// MI of one practice with health.
@@ -35,7 +51,7 @@ class DependenceAnalysis {
  public:
   /// Bins every column once (bounds fitted on the full table), then
   /// computes per-month MI/CMI and averages across months.
-  DependenceAnalysis(const CaseTable& table, const DependenceOptions& opts = {});
+  explicit DependenceAnalysis(const CaseTable& table, const DependenceOptions& opts = {});
 
   /// All practices, sorted by MI with health, descending.
   const std::vector<PracticeMi>& mi_ranking() const { return mi_; }
@@ -50,24 +66,32 @@ class DependenceAnalysis {
   std::vector<PairCmi> top_pairs(std::size_t k) const;
 
   /// Nonparametric bootstrap confidence interval for one practice's
-  /// avg monthly MI: months are kept fixed; cases are resampled with
-  /// replacement within each month. Returns the (lo_pct, hi_pct)
-  /// percentile interval over `rounds` replicates.
-  std::pair<double, double> mi_confidence_interval(const CaseTable& table, Practice p, Rng& rng,
-                                                   int rounds = 200, double lo_pct = 2.5,
+  /// avg monthly MI over the analysis's own case table: months are
+  /// kept fixed; cases are resampled with replacement within each
+  /// month, directly into a scratch contingency table (no per-round
+  /// copies). Reuses the month-major view built at construction.
+  /// Returns the (lo_pct, hi_pct) percentile interval over `rounds`
+  /// replicates.
+  std::pair<double, double> mi_confidence_interval(Practice p, Rng& rng, int rounds = 200,
+                                                   double lo_pct = 2.5,
                                                    double hi_pct = 97.5) const;
 
+  /// The binned month-major view the analysis computes over.
+  const BinnedCaseView& view() const { return view_; }
+
   /// The fitted binner for a practice (bench code reuses it for plots).
-  const Binner& binner(Practice p) const {
-    return practice_binners_[static_cast<std::size_t>(p)];
-  }
-  const Binner& health_binner() const { return health_binner_; }
+  const Binner& binner(Practice p) const { return view_.binner(p); }
+  const Binner& health_binner() const { return view_.health_binner(); }
+
+  /// Wall-time per CMI pair, in cmi-pair index order (empty unless
+  /// DependenceOptions::record_pair_times was set).
+  const std::vector<double>& pair_compute_seconds() const { return pair_seconds_; }
 
  private:
-  std::vector<Binner> practice_binners_;
-  Binner health_binner_{0, 0, 1};
+  BinnedCaseView view_;
   std::vector<PracticeMi> mi_;
   std::vector<PairCmi> cmi_;
+  std::vector<double> pair_seconds_;
 };
 
 }  // namespace mpa

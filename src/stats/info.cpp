@@ -5,9 +5,33 @@
 #include <set>
 #include <tuple>
 
+#include "stats/contingency.hpp"
 #include "util/error.hpp"
 
 namespace mpa {
+namespace {
+
+// Per-thread scratch tables: the dense kernels are allocation-free in
+// steady state, and pool fan-outs (e.g. the CMI pairs) each count into
+// their own thread's tables.
+ContingencyTable& scratch_table() {
+  thread_local ContingencyTable table;
+  return table;
+}
+
+CmiAccumulator& scratch_cmi() {
+  thread_local CmiAccumulator acc;
+  return acc;
+}
+
+bool dense_pair(std::span<const int> x, std::span<const int> y, int* cx, int* cy) {
+  return small_cardinality(x, kMaxDenseBins, cx) && small_cardinality(y, kMaxDenseBins, cy) &&
+         static_cast<std::size_t>(*cx) * static_cast<std::size_t>(*cy) <= kMaxDenseCells;
+}
+
+}  // namespace
+
+namespace reference {
 namespace {
 
 double plogp_sum(const std::map<int, int>& counts, double n) {
@@ -77,6 +101,71 @@ double conditional_mutual_information(std::span<const int> x1, std::span<const i
     x2y[i] = it->second;
   }
   return conditional_entropy(x1, y) - conditional_entropy(x1, x2y);
+}
+
+}  // namespace reference
+
+double entropy(std::span<const int> x) {
+  if (x.empty()) return 0;
+  int cx = 0;
+  if (!small_cardinality(x, kMaxDenseBins, &cx)) return reference::entropy(x);
+  ContingencyTable& t = scratch_table();
+  t.reset(cx, 1);
+  t.count_values(x);
+  return t.entropy_x();
+}
+
+double conditional_entropy(std::span<const int> y, std::span<const int> x) {
+  require(x.size() == y.size(), "conditional_entropy: length mismatch");
+  if (x.empty()) return 0;
+  int cx = 0, cy = 0;
+  if (!dense_pair(x, y, &cx, &cy)) return reference::conditional_entropy(y, x);
+  ContingencyTable& t = scratch_table();
+  t.reset(cx, cy);
+  t.count(x, y);
+  return t.conditional_entropy_y_given_x();
+}
+
+double mutual_information(std::span<const int> x, std::span<const int> y) {
+  require(x.size() == y.size(), "mutual_information: length mismatch");
+  require(!x.empty(), "mutual_information: empty input");
+  int cx = 0, cy = 0;
+  if (!dense_pair(x, y, &cx, &cy)) return reference::mutual_information(x, y);
+  ContingencyTable& t = scratch_table();
+  t.reset(cx, cy);
+  t.count(x, y);
+  return t.mutual_information();
+}
+
+double mutual_information_mm(std::span<const int> x, std::span<const int> y) {
+  require(x.size() == y.size(), "mutual_information: length mismatch");
+  require(!x.empty(), "mutual_information: empty input");
+  int cx = 0, cy = 0;
+  if (!dense_pair(x, y, &cx, &cy)) return reference::mutual_information_mm(x, y);
+  ContingencyTable& t = scratch_table();
+  t.reset(cx, cy);
+  t.count(x, y);
+  return t.mutual_information_mm();
+}
+
+double conditional_mutual_information(std::span<const int> x1, std::span<const int> x2,
+                                      std::span<const int> y) {
+  require(x1.size() == x2.size() && x1.size() == y.size(),
+          "conditional_mutual_information: length mismatch");
+  require(!x1.empty(), "conditional_mutual_information: empty input");
+  int c1 = 0, c2 = 0, cy = 0;
+  const bool dense =
+      small_cardinality(x1, kMaxDenseBins, &c1) && small_cardinality(x2, kMaxDenseBins, &c2) &&
+      small_cardinality(y, kMaxDenseBins, &cy) &&
+      static_cast<std::size_t>(c2) * static_cast<std::size_t>(cy) <= kMaxDenseCells &&
+      static_cast<std::size_t>(c2) * static_cast<std::size_t>(cy) *
+              static_cast<std::size_t>(c1) <=
+          kMaxDenseCells;
+  if (!dense) return reference::conditional_mutual_information(x1, x2, y);
+  CmiAccumulator& acc = scratch_cmi();
+  acc.reset(c1, c2, cy);
+  acc.count(x1, x2, y);
+  return acc.value();
 }
 
 double entropy_of_counts(std::span<const double> counts) {

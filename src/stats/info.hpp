@@ -6,7 +6,11 @@
 // defined as H(X1|Y) - H(X1|X2, Y)."
 //
 // All quantities operate on discretized (binned) samples and are
-// measured in bits.
+// measured in bits. Small-cardinality non-negative inputs (binned data
+// always qualifies) are computed on the dense, allocation-free
+// contingency kernels in stats/contingency.hpp; other inputs fall back
+// to the std::map-based reference implementations in mpa::reference,
+// which the dense kernels match bit for bit.
 #pragma once
 
 #include <span>
@@ -40,5 +44,19 @@ double mutual_information_mm(std::span<const int> x, std::span<const int> y);
 /// category counts (zero categories are ignored). Returns 0 if the
 /// total count is zero.
 double entropy_of_counts(std::span<const double> counts);
+
+/// The original std::map-based kernels, retained verbatim as the
+/// oracle for the dense contingency kernels: equivalence tests assert
+/// the two paths agree exactly, and the dense-vs-map benchmarks
+/// measure the speedup against them. Also the fallback for inputs the
+/// dense path cannot hold (negative values or huge alphabets).
+namespace reference {
+double entropy(std::span<const int> x);
+double conditional_entropy(std::span<const int> y, std::span<const int> x);
+double mutual_information(std::span<const int> x, std::span<const int> y);
+double conditional_mutual_information(std::span<const int> x1, std::span<const int> x2,
+                                      std::span<const int> y);
+double mutual_information_mm(std::span<const int> x, std::span<const int> y);
+}  // namespace reference
 
 }  // namespace mpa

@@ -1,6 +1,8 @@
 // Tests for learning-dataset construction and health classes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 #include "learn/dataset.hpp"
@@ -91,8 +93,47 @@ TEST(Dataset, Subset) {
   const Dataset s = d.subset(idx);
   EXPECT_EQ(s.size(), 3u);
   EXPECT_EQ(s.y[1], d.y[5]);
-  EXPECT_EQ(s.x[2], d.x[19]);
+  EXPECT_TRUE(std::ranges::equal(s.x[2], d.x[19]));
   EXPECT_THROW(d.subset(std::vector<std::size_t>{99}), PreconditionError);
+}
+
+TEST(FeatureMatrix, RowAndColumnViewsAgree) {
+  FeatureMatrix m;
+  m.push_back({1, 2, 3});
+  m.push_back({4, 5, 6});
+  m.push_back({7, 8, 9});
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.width(), 3u);
+  EXPECT_FALSE(m.empty());
+  for (std::size_t i = 0; i < m.size(); ++i)
+    for (std::size_t f = 0; f < m.width(); ++f) EXPECT_EQ(m[i][f], m.col(f)[i]);
+  EXPECT_EQ(m.col(1)[2], 8);
+  // Row iteration yields the same spans as operator[].
+  std::size_t i = 0;
+  for (const auto& row : m) {
+    EXPECT_TRUE(std::ranges::equal(row, m[i]));
+    ++i;
+  }
+  EXPECT_EQ(i, 3u);
+}
+
+TEST(FeatureMatrix, RejectsInconsistentWidth) {
+  FeatureMatrix m;
+  m.push_back({1, 2});
+  EXPECT_THROW(m.push_back({1, 2, 3}), PreconditionError);
+}
+
+TEST(FeatureMatrix, EqualityAndBraceConstruction) {
+  const FeatureMatrix a = {{0, 1}, {1, 0}};
+  FeatureMatrix b;
+  b.push_back({0, 1});
+  b.push_back({1, 0});
+  EXPECT_TRUE(a == b);
+  b.push_back({1, 1});
+  EXPECT_FALSE(a == b);
+  const FeatureMatrix empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(empty == FeatureMatrix{});
 }
 
 TEST(FeatureSpace, ConsistentDiscretization) {

@@ -104,6 +104,39 @@ TEST(Session, CvBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(Session, DependenceBitIdenticalAcrossThreadCounts) {
+  AnalysisSession serial = make_session(1);
+  const DependenceAnalysis& expected = serial.dependence();
+  ASSERT_FALSE(expected.mi_ranking().empty());
+  ASSERT_FALSE(expected.cmi_ranking().empty());
+  for (int threads : {2, 8}) {
+    AnalysisSession session = make_session(threads);
+    const DependenceAnalysis& got = session.dependence();
+    ASSERT_EQ(got.mi_ranking().size(), expected.mi_ranking().size()) << threads << " threads";
+    for (std::size_t i = 0; i < expected.mi_ranking().size(); ++i) {
+      EXPECT_EQ(got.mi_ranking()[i].practice, expected.mi_ranking()[i].practice);
+      EXPECT_EQ(got.mi_ranking()[i].avg_monthly_mi,
+                expected.mi_ranking()[i].avg_monthly_mi);  // bitwise
+    }
+    ASSERT_EQ(got.cmi_ranking().size(), expected.cmi_ranking().size()) << threads << " threads";
+    for (std::size_t i = 0; i < expected.cmi_ranking().size(); ++i) {
+      EXPECT_EQ(got.cmi_ranking()[i].a, expected.cmi_ranking()[i].a);
+      EXPECT_EQ(got.cmi_ranking()[i].b, expected.cmi_ranking()[i].b);
+      EXPECT_EQ(got.cmi_ranking()[i].avg_monthly_cmi, expected.cmi_ranking()[i].avg_monthly_cmi);
+    }
+  }
+}
+
+TEST(Session, DependenceMemoizedAndPoolWired) {
+  AnalysisSession session = make_session(2);
+  const DependenceAnalysis* first = &session.dependence();
+  EXPECT_EQ(first, &session.dependence());
+  const std::size_t k = analysis_practices().size();
+  EXPECT_EQ(first->cmi_ranking().size(), k * (k - 1) / 2);
+  // The session fanned the pairs out on its pool (jobs counter moved).
+  EXPECT_GT(session.pool().stats().jobs, 0u);
+}
+
 TEST(Session, OnlineAccuracyBitIdenticalAcrossThreadCounts) {
   AnalysisSession serial = make_session(1);
   const double expected =

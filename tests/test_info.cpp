@@ -1,6 +1,9 @@
 // Tests for entropy / mutual information / conditional MI.
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "stats/contingency.hpp"
 #include "stats/info.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -111,6 +114,72 @@ TEST(Info, LengthMismatchRejected) {
   EXPECT_THROW(mutual_information(x, y), PreconditionError);
   EXPECT_THROW(conditional_entropy(x, y), PreconditionError);
   EXPECT_THROW(conditional_mutual_information(x, x, y), PreconditionError);
+}
+
+// The dense contingency kernels must return bit-identical doubles to
+// the retained map-based reference implementations on randomized
+// small-cardinality inputs (the only inputs the dense path accepts).
+TEST(Info, DenseKernelsMatchReferenceExactly) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 2 + static_cast<int>(rng.uniform_int(0, 400));
+    const int cx = 1 + static_cast<int>(rng.uniform_int(0, 11));
+    const int cy = 1 + static_cast<int>(rng.uniform_int(0, 7));
+    const int cz = 1 + static_cast<int>(rng.uniform_int(0, 5));
+    std::vector<int> x, y, z;
+    for (int i = 0; i < n; ++i) {
+      x.push_back(static_cast<int>(rng.uniform_int(0, cx - 1)));
+      y.push_back(static_cast<int>(rng.uniform_int(0, cy - 1)));
+      z.push_back(static_cast<int>(rng.uniform_int(0, cz - 1)));
+    }
+    EXPECT_EQ(entropy(x), reference::entropy(x));
+    EXPECT_EQ(conditional_entropy(y, x), reference::conditional_entropy(y, x));
+    EXPECT_EQ(mutual_information(x, y), reference::mutual_information(x, y));
+    EXPECT_EQ(mutual_information_mm(x, y), reference::mutual_information_mm(x, y));
+    EXPECT_EQ(conditional_mutual_information(x, y, z),
+              reference::conditional_mutual_information(x, y, z));
+  }
+}
+
+// Inputs the dense path cannot hold (negative values, huge alphabets)
+// must silently take the reference fallback and still agree with it.
+TEST(Info, FallbackPathsMatchReference) {
+  const std::vector<int> neg{-3, -1, -3, 0, 2, -1};
+  const std::vector<int> pos{0, 1, 1, 0, 2, 2};
+  EXPECT_EQ(entropy(neg), reference::entropy(neg));
+  EXPECT_EQ(mutual_information(neg, pos), reference::mutual_information(neg, pos));
+  EXPECT_EQ(mutual_information(pos, neg), reference::mutual_information(pos, neg));
+  EXPECT_EQ(conditional_mutual_information(neg, pos, pos),
+            reference::conditional_mutual_information(neg, pos, pos));
+
+  // Values past the dense cardinality cap force the map path.
+  std::vector<int> huge{0, kMaxDenseBins + 5, 7, kMaxDenseBins + 5, 0, 7};
+  EXPECT_EQ(entropy(huge), reference::entropy(huge));
+  EXPECT_EQ(mutual_information(huge, pos), reference::mutual_information(huge, pos));
+  EXPECT_EQ(conditional_mutual_information(pos, huge, pos),
+            reference::conditional_mutual_information(pos, huge, pos));
+}
+
+// Interleave dense calls with different (n, cardinality) shapes: the
+// thread-local scratch tables and the plogp cache must fully reset
+// between calls (stale state would poison later results).
+TEST(Info, ScratchStateDoesNotLeakAcrossCalls) {
+  Rng rng(19);
+  std::vector<std::vector<int>> xs, ys;
+  for (int t = 0; t < 10; ++t) {
+    const int n = 2 + static_cast<int>(rng.uniform_int(0, 50));
+    std::vector<int> x, y;
+    for (int i = 0; i < n; ++i) {
+      x.push_back(static_cast<int>(rng.uniform_int(0, 3 + t)));
+      y.push_back(static_cast<int>(rng.uniform_int(0, 2)));
+    }
+    xs.push_back(std::move(x));
+    ys.push_back(std::move(y));
+  }
+  std::vector<double> first;
+  for (std::size_t t = 0; t < xs.size(); ++t) first.push_back(mutual_information(xs[t], ys[t]));
+  for (std::size_t t = xs.size(); t-- > 0;)
+    EXPECT_EQ(mutual_information(xs[t], ys[t]), first[t]);
 }
 
 }  // namespace

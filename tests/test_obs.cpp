@@ -213,7 +213,8 @@ PipelineObservation run_pipeline(int threads) {
       "mpa_session_table_loads_total",  "mpa_session_lint_runs_total",
       "mpa_session_lint_loads_total",   "mpa_session_causal_runs_total",
       "mpa_session_cv_runs_total",      "mpa_session_online_runs_total",
-      "mpa_artifact_store_hits_total",  "mpa_artifact_store_misses_total",
+      "mpa_session_cmi_pairs_total",    "mpa_artifact_store_hits_total",
+      "mpa_artifact_store_misses_total",
       "mpa_artifact_store_saves_total", "mpa_pool_jobs_total",
       "mpa_pool_tasks_total"};
   for (const auto& [name, value] : obs::Registry::global().counters_snapshot())
@@ -238,6 +239,9 @@ TEST_F(ObsTest, PipelineSpansAndCountersDeterministicAcrossThreadCounts) {
   // dependence/causal/cv/online each re-request the memoized table.
   EXPECT_EQ(serial.counters.at("mpa_session_memo_hits_total"), 4u);
   EXPECT_GT(serial.counters.at("mpa_pool_tasks_total"), 0u);
+  // One CMI pair per unordered pair of analysis practices.
+  const std::size_t k = analysis_practices().size();
+  EXPECT_EQ(serial.counters.at("mpa_session_cmi_pairs_total"), k * (k - 1) / 2);
 
   for (int threads : {2, 8}) {
     const PipelineObservation parallel = run_pipeline(threads);
@@ -252,6 +256,9 @@ TEST_F(ObsTest, StageHistogramsRecordWallTime) {
   for (const char* stage : {"case_table", "lint", "dependence", "causal", "cv", "online"}) {
     EXPECT_EQ(reg.histogram(std::string("mpa_stage_seconds_") + stage).count(), 1u) << stage;
   }
+  // The dependence stage records one timing sample per CMI pair.
+  const std::size_t k = analysis_practices().size();
+  EXPECT_EQ(reg.histogram("mpa_dependence_pair_seconds").count(), k * (k - 1) / 2);
 }
 
 }  // namespace

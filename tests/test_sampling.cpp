@@ -1,6 +1,8 @@
 // Tests for minority-class oversampling.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 #include "learn/decision_tree.hpp"
@@ -59,7 +61,7 @@ TEST(Oversample, PreservesFeatureVectors) {
   for (std::size_t i = 0; i < o.size(); ++i)
     if (o.y[i] == 1) {
       ++copies;
-      EXPECT_TRUE(o.x[i] == d.x[2] || o.x[i] == d.x[3]);
+      EXPECT_TRUE(std::ranges::equal(o.x[i], d.x[2]) || std::ranges::equal(o.x[i], d.x[3]));
     }
   EXPECT_EQ(copies, 6);
   EXPECT_EQ(o.num_classes, d.num_classes);
