@@ -14,6 +14,7 @@
 #include "mpa/causal.hpp"
 #include "mpa/dependence.hpp"
 #include "mpa/modeling.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "simulation/osp_generator.hpp"
@@ -332,6 +333,44 @@ void BM_CounterOverhead(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CounterOverhead)->Arg(0)->Arg(1)->Iterations(200000);
+
+/// Structured event log (obs/log.hpp). Disabled (BM_LogEventDisabled)
+/// pins the zero-overhead contract: constructing a LogEvent while the
+/// log is off is a single relaxed atomic load — no clock, no
+/// allocation. Enabled measures a three-field event committed into the
+/// flight-recorder ring (bounded so the fixed iteration count cannot
+/// grow memory).
+void BM_LogEvent(benchmark::State& state) {
+  obs::set_log_min_level(obs::LogLevel::kDebug);
+  obs::set_log_enabled(true);
+  obs::Logger::global().set_ring_capacity(4096);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    obs::LogEvent(obs::LogLevel::kInfo, "bench_event")
+        .str("stage", "bench")
+        .u64("n", n++)
+        .boolean("ok", true);
+  }
+  obs::set_log_enabled(false);
+  obs::Logger::global().set_ring_capacity(0);
+  obs::Logger::global().clear();
+  state.SetLabel("log on");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogEvent)->Iterations(200000);
+
+void BM_LogEventDisabled(benchmark::State& state) {
+  obs::set_log_enabled(false);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    obs::LogEvent ev(obs::LogLevel::kInfo, "bench_event");
+    ev.str("stage", "bench").u64("n", n++).boolean("ok", true);
+    benchmark::DoNotOptimize(&ev);
+  }
+  state.SetLabel("log off");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogEventDisabled)->Iterations(200000);
 
 void BM_ParallelForOverhead(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 
@@ -14,6 +15,16 @@ namespace {
 /// not counted — a no-op lookup is not a miss.
 void note(const char* counter) {
   if (obs::enabled()) obs::Registry::global().counter(counter).add(1);
+}
+
+/// Debug event alongside the counter bump: which artifact, which key,
+/// what happened. The LogEvent gate makes this free when the log is
+/// off or above debug.
+void log_op(const char* artifact, const std::string& key, const char* op) {
+  obs::LogEvent(obs::LogLevel::kDebug, "artifact_store")
+      .str("artifact", artifact)
+      .str("key", key)
+      .str("op", op);
 }
 
 }  // namespace
@@ -27,6 +38,7 @@ std::optional<CaseTable> ArtifactStore::load_case_table(const std::string& key) 
   std::ifstream in(path_for(key));
   if (!in) {
     note("mpa_artifact_store_misses_total");
+    log_op("case_table", key, "miss");
     return std::nullopt;
   }
   std::ostringstream buf;
@@ -35,12 +47,15 @@ std::optional<CaseTable> ArtifactStore::load_case_table(const std::string& key) 
     CaseTable table = CaseTable::from_csv(buf.str());
     if (table.empty()) {
       note("mpa_artifact_store_misses_total");
+      log_op("case_table", key, "miss");
       return std::nullopt;
     }
     note("mpa_artifact_store_hits_total");
+    log_op("case_table", key, "hit");
     return table;
   } catch (const DataError&) {
     note("mpa_artifact_store_misses_total");
+    log_op("case_table", key, "miss");
     return std::nullopt;
   }
 }
@@ -51,6 +66,7 @@ bool ArtifactStore::save_case_table(const std::string& key, const CaseTable& tab
   if (!out) return false;
   out << table.to_csv();
   note("mpa_artifact_store_saves_total");
+  log_op("case_table", key, "save");
   return static_cast<bool>(out);
 }
 
@@ -59,6 +75,7 @@ std::optional<LintReport> ArtifactStore::load_lint_report(const std::string& key
   std::ifstream in(path_for(key + ".lint"));
   if (!in) {
     note("mpa_artifact_store_misses_total");
+    log_op("lint_report", key, "miss");
     return std::nullopt;
   }
   std::ostringstream buf;
@@ -70,12 +87,15 @@ std::optional<LintReport> ArtifactStore::load_lint_report(const std::string& key
     // as a miss like the case-table loader does.
     if (report.networks.empty()) {
       note("mpa_artifact_store_misses_total");
+      log_op("lint_report", key, "miss");
       return std::nullopt;
     }
     note("mpa_artifact_store_hits_total");
+    log_op("lint_report", key, "hit");
     return report;
   } catch (const DataError&) {
     note("mpa_artifact_store_misses_total");
+    log_op("lint_report", key, "miss");
     return std::nullopt;
   }
 }
@@ -86,6 +106,25 @@ bool ArtifactStore::save_lint_report(const std::string& key, const LintReport& r
   if (!out) return false;
   out << report.to_csv();
   note("mpa_artifact_store_saves_total");
+  log_op("lint_report", key, "save");
+  return static_cast<bool>(out);
+}
+
+std::optional<std::string> ArtifactStore::load_manifest_json(const std::string& key) const {
+  if (!enabled()) return std::nullopt;
+  std::ifstream in(dir_ + "/" + key + ".manifest.json");
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool ArtifactStore::save_manifest_json(const std::string& key, const std::string& json) const {
+  if (!enabled()) return false;
+  std::ofstream out(dir_ + "/" + key + ".manifest.json");
+  if (!out) return false;
+  out << json;
+  log_op("manifest", key, "save");
   return static_cast<bool>(out);
 }
 
@@ -93,6 +132,7 @@ void ArtifactStore::remove(const std::string& key) const {
   if (!enabled()) return;
   std::remove(path_for(key).c_str());
   std::remove(path_for(key + ".lint").c_str());
+  std::remove((dir_ + "/" + key + ".manifest.json").c_str());
 }
 
 }  // namespace mpa

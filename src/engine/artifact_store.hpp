@@ -45,7 +45,17 @@ class ArtifactStore {
   /// is disabled or the write fails.
   bool save_lint_report(const std::string& key, const LintReport& report) const;
 
-  /// Delete the artifacts for `key` (used by explicit invalidation).
+  /// Load the raw run-manifest JSON saved beside the artifacts for
+  /// `key` (<key>.manifest.json); nullopt on disabled store or
+  /// absence. Parsing stays with RunManifest::from_json.
+  std::optional<std::string> load_manifest_json(const std::string& key) const;
+
+  /// Persist a session's run manifest beside its artifacts. Returns
+  /// false when the store is disabled or the write fails.
+  bool save_manifest_json(const std::string& key, const std::string& json) const;
+
+  /// Delete the artifacts for `key` (used by explicit invalidation),
+  /// including its manifest.
   void remove(const std::string& key) const;
 
  private:

@@ -1,0 +1,72 @@
+// RunManifest: per-session provenance. The paper's pipeline is only
+// auditable if every run can say exactly what data, seeds, and code
+// path produced its numbers — so each AnalysisSession accumulates a
+// manifest: a fingerprint of the three data sources, the seed and
+// thread count, every stage execution with its wall time and cache
+// disposition (computed / memo / store), the artifact key, and a final
+// metric snapshot. Keyed sessions persist it next to their
+// ArtifactStore entries (<key>.manifest.json); `mpa_cli report`
+// renders one back as text or JSON.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/inventory.hpp"
+#include "telemetry/snapshots.hpp"
+#include "telemetry/tickets.hpp"
+
+namespace mpa {
+
+/// One stage execution, in request order. `source` records how the
+/// artifact was served: "computed" (work ran), "store" (loaded from
+/// the artifact store), or "memo" (in-memory cache hit, seconds ~ 0).
+struct StageRun {
+  std::string stage;
+  std::string source;
+  double seconds = 0;
+};
+
+struct RunManifest {
+  std::string dataset_fingerprint;  ///< 16-hex-digit FNV-1a of the data sources.
+  std::uint64_t seed = 0;
+  int threads = 0;
+  int months = 0;
+  std::uint64_t networks = 0;
+  std::uint64_t devices = 0;
+  std::uint64_t snapshots = 0;
+  std::uint64_t tickets = 0;
+  std::string artifact_dir;  ///< Empty when the store is disabled.
+  std::string artifact_key;  ///< Empty when the session is unkeyed.
+  std::vector<StageRun> stages;
+  /// Session cache statistics (AnalysisSession::CacheStats by name).
+  std::map<std::string, std::uint64_t> cache;
+  /// Final obs counter snapshot (empty unless obs::enabled()).
+  std::map<std::string, std::uint64_t> counters;
+
+  std::string to_json() const;
+  std::string to_text() const;
+  /// Inverse of to_json(); throws DataError on malformed input.
+  static RunManifest from_json(const std::string& json);
+};
+
+/// Order-insensitive-free FNV-1a over the full identity of the three
+/// data sources (every inventory field, snapshot metadata + text,
+/// ticket fields, in their stored orders). Two sessions over equal
+/// data fingerprint identically; any edit moves the hash.
+std::uint64_t dataset_fingerprint(const Inventory& inventory, const SnapshotStore& snapshots,
+                                  const TicketLog& tickets);
+
+/// 16-hex-digit rendering of a fingerprint.
+std::string fingerprint_hex(std::uint64_t h);
+
+/// The manifest of the most recently destroyed session that ran with
+/// observability on — how the CLI serves --manifest-out and `report`
+/// after the command's sessions have been torn down.
+std::optional<RunManifest> last_run_manifest();
+void set_last_run_manifest(RunManifest manifest);
+
+}  // namespace mpa

@@ -4,6 +4,7 @@
 
 #include "config/dialect.hpp"
 #include "io/dataset_io.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "telemetry/time.hpp"
@@ -29,6 +30,13 @@ void bump(const char* counter) {
 obs::Histogram* stage_seconds(const char* stage) {
   if (!obs::enabled()) return nullptr;
   return &obs::Registry::global().histogram(std::string("mpa_stage_seconds_") + stage);
+}
+
+/// Manifest stage timing. Two steady-clock reads per stage request —
+/// negligible against stage cost, and independent of obs::enabled()
+/// because provenance is recorded whether or not metrics are on.
+double elapsed_seconds(std::uint64_t t0_ns) {
+  return static_cast<double>(obs::now_ns() - t0_ns) * 1e-9;
 }
 
 /// Pre-register the engine's full metric schema so every export
@@ -66,19 +74,48 @@ AnalysisSession::AnalysisSession(Inventory inventory, SnapshotStore snapshots, T
       pool_(std::make_unique<ThreadPool>(opts_.threads > 0 ? opts_.threads
                                                            : ThreadPool::default_thread_count())) {
   if (obs::enabled()) register_engine_metrics();
+  // The open event carries the session's data shape and seed, but not
+  // the thread count: event content must be identical at any thread
+  // count (the manifest records threads instead).
+  obs::LogEvent(obs::LogLevel::kInfo, "session_open")
+      .u64("networks", inventory_.num_networks())
+      .u64("devices", inventory_.num_devices())
+      .i64("months", opts_.inference.num_months)
+      .u64("seed", opts_.seed);
 }
 
 AnalysisSession::~AnalysisSession() {
   // pool_ is null only in the moved-from shell, which must not publish
-  // the stats a second time.
-  if (pool_ == nullptr || !obs::enabled()) return;
-  const ThreadPool::Stats s = pool_->stats();
-  auto& reg = obs::Registry::global();
-  reg.counter("mpa_pool_jobs_total").add(s.jobs);
-  reg.counter("mpa_pool_tasks_total").add(s.tasks);
-  reg.counter("mpa_pool_inline_jobs_total").add(s.inline_jobs);
-  reg.counter("mpa_pool_worker_joins_total").add(s.worker_joins);
-  reg.counter("mpa_pool_queue_wait_ns_total").add(s.queue_wait_ns);
+  // the stats (or the manifest) a second time.
+  if (pool_ == nullptr) return;
+  if (obs::enabled()) {
+    const ThreadPool::Stats s = pool_->stats();
+    auto& reg = obs::Registry::global();
+    reg.counter("mpa_pool_jobs_total").add(s.jobs);
+    reg.counter("mpa_pool_tasks_total").add(s.tasks);
+    reg.counter("mpa_pool_inline_jobs_total").add(s.inline_jobs);
+    reg.counter("mpa_pool_worker_joins_total").add(s.worker_joins);
+    reg.counter("mpa_pool_queue_wait_ns_total").add(s.queue_wait_ns);
+  }
+  if (obs::log_enabled()) {
+    // Structural pool counts only (thread-count-invariant); the
+    // scheduling-dependent ones live in the metrics export.
+    const ThreadPool::Stats s = pool_->stats();
+    obs::LogEvent(obs::LogLevel::kInfo, "session_close")
+        .u64("pool_jobs", s.jobs)
+        .u64("pool_tasks", s.tasks)
+        .u64("stages", stage_runs_.size());
+  }
+  // Keyed sessions leave their provenance beside the artifacts they
+  // wrote; instrumented sessions additionally publish it for the CLI's
+  // --manifest-out / report path. Unkeyed, uninstrumented sessions
+  // skip both (the fingerprint hash is not free).
+  const bool keyed = !opts_.artifact_key.empty() && store_.enabled();
+  if (keyed || obs::enabled() || obs::log_enabled()) {
+    RunManifest m = manifest();
+    if (keyed) store_.save_manifest_json(opts_.artifact_key, m.to_json());
+    if (obs::enabled() || obs::log_enabled()) set_last_run_manifest(std::move(m));
+  }
 }
 
 AnalysisSession AnalysisSession::from_directory(const std::string& dir, SessionOptions opts) {
@@ -103,23 +140,28 @@ const CaseTable& AnalysisSession::case_table() {
   if (table_.has_value()) {
     ++stats_.hits;
     bump("mpa_session_memo_hits_total");
+    record_stage("case_table", "memo", 0);
     return *table_;
   }
   if (!opts_.artifact_key.empty()) {
+    const std::uint64_t t0 = obs::now_ns();
     if (auto cached = store_.load_case_table(opts_.artifact_key)) {
       ++stats_.table_loads;
       bump("mpa_session_table_loads_total");
       table_ = std::move(*cached);
+      record_stage("case_table", "store", elapsed_seconds(t0));
       return *table_;
     }
   }
   obs::Span span("case_table");
   obs::ScopedTimer timer(stage_seconds("case_table"));
+  const std::uint64_t t0 = obs::now_ns();
   InferenceOptions iopts = opts_.inference;
   iopts.pool = pool_.get();
   table_ = infer_case_table(inventory_, snapshots_, tickets_, iopts);
   ++stats_.table_builds;
   bump("mpa_session_table_builds_total");
+  record_stage("case_table", "computed", elapsed_seconds(t0));
   if (!opts_.artifact_key.empty()) store_.save_case_table(opts_.artifact_key, *table_);
   return *table_;
 }
@@ -128,18 +170,22 @@ const LintReport& AnalysisSession::lint() {
   if (lint_.has_value()) {
     ++stats_.hits;
     bump("mpa_session_memo_hits_total");
+    record_stage("lint", "memo", 0);
     return *lint_;
   }
   if (!opts_.artifact_key.empty()) {
+    const std::uint64_t t0 = obs::now_ns();
     if (auto cached = store_.load_lint_report(opts_.artifact_key)) {
       ++stats_.lint_loads;
       bump("mpa_session_lint_loads_total");
       lint_ = std::move(*cached);
+      record_stage("lint", "store", elapsed_seconds(t0));
       return *lint_;
     }
   }
   obs::Span span("lint");
   obs::ScopedTimer timer(stage_seconds("lint"));
+  const std::uint64_t t0 = obs::now_ns();
   // Per-task spans run on pool workers, whose thread-local span stack
   // is empty; adopt this stage's path explicitly so the fan-out nests
   // under it with deterministic names and counts at any thread count.
@@ -160,9 +206,13 @@ const LintReport& AnalysisSession::lint() {
     }
     out.num_devices = texts.size();
     out.diagnostics = lint_network_text(texts, opts_.inference.lint);
+    obs::LogEvent(obs::LogLevel::kDebug, "lint_network")
+        .str("network", out.network_id)
+        .u64("findings", out.diagnostics.size());
   });
   ++stats_.lint_runs;
   bump("mpa_session_lint_runs_total");
+  record_stage("lint", "computed", elapsed_seconds(t0));
   lint_ = std::move(report);
   if (!opts_.artifact_key.empty()) store_.save_lint_report(opts_.artifact_key, *lint_);
   return *lint_;
@@ -172,6 +222,7 @@ const DependenceAnalysis& AnalysisSession::dependence() {
   if (dependence_.has_value()) {
     ++stats_.hits;
     bump("mpa_session_memo_hits_total");
+    record_stage("dependence", "memo", 0);
     return *dependence_;
   }
   // The case table is a prerequisite, not part of this stage's cost:
@@ -180,10 +231,12 @@ const DependenceAnalysis& AnalysisSession::dependence() {
   const CaseTable& table = case_table();
   obs::Span span("dependence");
   obs::ScopedTimer timer(stage_seconds("dependence"));
+  const std::uint64_t t0 = obs::now_ns();
   DependenceOptions dopts = opts_.dependence;
   dopts.pool = pool_.get();
   dopts.record_pair_times = obs::enabled();
   dependence_.emplace(table, dopts);
+  record_stage("dependence", "computed", elapsed_seconds(t0));
   if (obs::enabled()) {
     auto& reg = obs::Registry::global();
     reg.counter("mpa_session_cmi_pairs_total")
@@ -199,16 +252,21 @@ const CausalResult& AnalysisSession::causal(Practice treatment) {
   if (it != causal_.end()) {
     ++stats_.hits;
     bump("mpa_session_memo_hits_total");
+    record_stage("causal", "memo", 0);
     return it->second;
   }
   const CaseTable& table = case_table();
   obs::Span span("causal");
   obs::ScopedTimer timer(stage_seconds("causal"));
+  const std::uint64_t t0 = obs::now_ns();
   CausalOptions copts = opts_.causal;
   copts.pool = pool_.get();
   ++stats_.causal_runs;
   bump("mpa_session_causal_runs_total");
-  return causal_.emplace(treatment, causal_analysis(table, treatment, copts)).first->second;
+  const CausalResult& res =
+      causal_.emplace(treatment, causal_analysis(table, treatment, copts)).first->second;
+  record_stage("causal", "computed", elapsed_seconds(t0));
+  return res;
 }
 
 const EvalResult& AnalysisSession::evaluate_cv(int num_classes, ModelKind kind) {
@@ -217,19 +275,23 @@ const EvalResult& AnalysisSession::evaluate_cv(int num_classes, ModelKind kind) 
   if (it != cv_.end()) {
     ++stats_.hits;
     bump("mpa_session_memo_hits_total");
+    record_stage("cv", "memo", 0);
     return it->second;
   }
   const CaseTable& table = case_table();
   obs::Span span("cv");
   obs::ScopedTimer timer(stage_seconds("cv"));
+  const std::uint64_t t0 = obs::now_ns();
   ModelingOptions mopts = opts_.modeling;
   mopts.pool = pool_.get();
   Rng rng = stream_for(0x5cf00ULL + static_cast<std::uint64_t>(kind) * 64 +
                        static_cast<std::uint64_t>(num_classes));
   ++stats_.cv_runs;
   bump("mpa_session_cv_runs_total");
-  return cv_.emplace(key, evaluate_model_cv(table, num_classes, kind, rng, mopts))
-      .first->second;
+  const EvalResult& res =
+      cv_.emplace(key, evaluate_model_cv(table, num_classes, kind, rng, mopts)).first->second;
+  record_stage("cv", "computed", elapsed_seconds(t0));
+  return res;
 }
 
 double AnalysisSession::online_accuracy(int num_classes, int history_m, ModelKind kind,
@@ -237,6 +299,7 @@ double AnalysisSession::online_accuracy(int num_classes, int history_m, ModelKin
   const CaseTable& table = case_table();
   obs::Span span("online");
   obs::ScopedTimer timer(stage_seconds("online"));
+  const std::uint64_t t0 = obs::now_ns();
   ModelingOptions mopts = opts_.modeling;
   mopts.pool = pool_.get();
   Rng rng = stream_for(0x0911eULL + static_cast<std::uint64_t>(kind) * 4096 +
@@ -244,8 +307,47 @@ double AnalysisSession::online_accuracy(int num_classes, int history_m, ModelKin
                        static_cast<std::uint64_t>(history_m));
   ++stats_.online_runs;
   bump("mpa_session_online_runs_total");
-  return online_prediction_accuracy(table, num_classes, history_m, kind, rng, first_t, last_t,
-                                    mopts);
+  const double acc = online_prediction_accuracy(table, num_classes, history_m, kind, rng, first_t,
+                                                last_t, mopts);
+  record_stage("online", "computed", elapsed_seconds(t0));
+  return acc;
+}
+
+RunManifest AnalysisSession::manifest() const {
+  RunManifest m;
+  m.dataset_fingerprint = fingerprint_hex(fingerprint());
+  m.seed = opts_.seed;
+  m.threads = pool_ != nullptr ? pool_->size() : 0;
+  m.months = opts_.inference.num_months;
+  m.networks = inventory_.num_networks();
+  m.devices = inventory_.num_devices();
+  m.snapshots = snapshots_.total_snapshots();
+  m.tickets = tickets_.size();
+  m.artifact_dir = opts_.artifact_dir;
+  m.artifact_key = opts_.artifact_key;
+  m.stages = stage_runs_;
+  m.cache = {{"hits", stats_.hits},
+             {"table_builds", stats_.table_builds},
+             {"table_loads", stats_.table_loads},
+             {"lint_runs", stats_.lint_runs},
+             {"lint_loads", stats_.lint_loads},
+             {"causal_runs", stats_.causal_runs},
+             {"cv_runs", stats_.cv_runs},
+             {"online_runs", stats_.online_runs}};
+  if (obs::enabled()) m.counters = obs::Registry::global().counters_snapshot();
+  return m;
+}
+
+std::uint64_t AnalysisSession::fingerprint() const {
+  if (!fingerprint_) fingerprint_ = dataset_fingerprint(inventory_, snapshots_, tickets_);
+  return *fingerprint_;
+}
+
+void AnalysisSession::record_stage(const char* stage, const char* source, double seconds) {
+  stage_runs_.push_back(StageRun{stage, source, seconds});
+  // Structural fields only: the event stream stays bit-identical across
+  // thread counts and machines, so seconds live in the manifest alone.
+  obs::LogEvent(obs::LogLevel::kInfo, "stage").str("stage", stage).str("source", source);
 }
 
 void AnalysisSession::invalidate() {
@@ -255,6 +357,8 @@ void AnalysisSession::invalidate() {
   causal_.clear();
   cv_.clear();
   bump("mpa_session_invalidations_total");
+  obs::LogEvent(obs::LogLevel::kInfo, "session_invalidate")
+      .str("artifact_key", opts_.artifact_key);
   if (!opts_.artifact_key.empty()) store_.remove(opts_.artifact_key);
 }
 
@@ -263,6 +367,7 @@ void AnalysisSession::replace_data(Inventory inventory, SnapshotStore snapshots,
   inventory_ = std::move(inventory);
   snapshots_ = std::move(snapshots);
   tickets_ = std::move(tickets);
+  fingerprint_.reset();
   invalidate();
 }
 

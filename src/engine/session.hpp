@@ -29,8 +29,10 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "engine/artifact_store.hpp"
+#include "engine/run_manifest.hpp"
 #include "metrics/inference.hpp"
 #include "mpa/causal.hpp"
 #include "mpa/dependence.hpp"
@@ -65,7 +67,10 @@ class AnalysisSession {
   AnalysisSession(AnalysisSession&&) = default;
 
   /// Publishes the pool's execution counters to the obs registry
-  /// (when obs::enabled()) before tearing the pool down.
+  /// (when obs::enabled()) before tearing the pool down; keyed
+  /// sessions also persist their run manifest beside the artifact
+  /// store entries, and instrumented sessions publish it through
+  /// last_run_manifest() for the CLI.
   ~AnalysisSession();
 
   /// Open a session over a dataset directory (io/dataset_io.hpp
@@ -136,9 +141,25 @@ class AnalysisSession {
   };
   const CacheStats& stats() const { return stats_; }
 
+  /// The run's provenance manifest so far: dataset fingerprint (FNV-1a
+  /// over all three data sources, computed once per data generation),
+  /// seed, thread count, every stage request with wall time and cache
+  /// disposition, cache stats, and — when obs::enabled() — the current
+  /// obs counter snapshot. Keyed sessions persist this JSON beside
+  /// their artifacts on destruction (engine/run_manifest.hpp).
+  RunManifest manifest() const;
+
  private:
   /// Private RNG stream for one artifact identity.
   Rng stream_for(std::uint64_t tag) const;
+
+  /// Append one stage execution to the manifest record and emit the
+  /// matching "stage" log event (structural fields only — timing stays
+  /// out of the event stream to keep it deterministic).
+  void record_stage(const char* stage, const char* source, double seconds);
+
+  /// The cached dataset fingerprint, computed on first use.
+  std::uint64_t fingerprint() const;
 
   Inventory inventory_;
   SnapshotStore snapshots_;
@@ -153,6 +174,8 @@ class AnalysisSession {
   std::map<Practice, CausalResult> causal_;
   std::map<std::pair<int, int>, EvalResult> cv_;  ///< (kind, classes).
   CacheStats stats_;
+  std::vector<StageRun> stage_runs_;  ///< Manifest stage record, request order.
+  mutable std::optional<std::uint64_t> fingerprint_;  ///< Lazy; reset with the data.
 };
 
 }  // namespace mpa

@@ -1,0 +1,250 @@
+#include "obs/log.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace mpa::obs {
+namespace {
+
+/// The gate packs enabled + minimum level into one atomic: values
+/// 0..3 are the minimum level while enabled, kGateOff disables. A
+/// LogEvent passes when its level >= the loaded gate, so the disabled
+/// check and the level filter are the same single relaxed load.
+constexpr int kGateOff = 4;
+
+std::atomic<int> g_gate{kGateOff};
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kDebug)};
+
+/// Shortest round-trippable double, always a valid JSON token.
+std::string format_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  if (std::strchr(buf, 'i') != nullptr || std::strchr(buf, 'n') != nullptr) return "0";
+  return buf;
+}
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+bool parse_log_level(std::string_view name, LogLevel* out) {
+  for (LogLevel l : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn, LogLevel::kError}) {
+    if (name == to_string(l)) {
+      *out = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool log_enabled() { return g_gate.load(std::memory_order_relaxed) != kGateOff; }
+
+void set_log_enabled(bool on) {
+  g_gate.store(on ? g_min_level.load(std::memory_order_relaxed) : kGateOff,
+               std::memory_order_relaxed);
+}
+
+void set_log_min_level(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  if (log_enabled()) g_gate.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_min_level() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+std::string LogField::value_json() const {
+  switch (type) {
+    case Type::kString: return "\"" + json_escape(s) + "\"";
+    case Type::kInt: return std::to_string(i);
+    case Type::kUint: return std::to_string(u);
+    case Type::kDouble: return format_number(d);
+    case Type::kBool: return b ? "true" : "false";
+  }
+  return "null";
+}
+
+std::string LogRecord::to_json(bool with_time) const {
+  std::ostringstream os;
+  os << '{';
+  if (with_time) os << "\"t_ns\":" << t_ns << ',';
+  os << "\"level\":\"" << to_string(level) << "\",\"name\":\"" << json_escape(name)
+     << "\",\"fields\":{";
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '"' << json_escape(fields[i].key) << "\":" << fields[i].value_json();
+  }
+  os << "}}";
+  return os.str();
+}
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_ring_capacity(std::size_t n) {
+  ring_capacity_.store(n, std::memory_order_relaxed);
+}
+
+std::size_t Logger::ring_capacity() const {
+  return ring_capacity_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Logger::dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+Logger::Buffer& Logger::local_buffer() {
+  // The logger co-owns every buffer so records survive thread exit
+  // (pool teardown) until the next clear() — same lifetime rule as
+  // Tracer's span buffers.
+  thread_local std::shared_ptr<Buffer> buf;
+  if (buf == nullptr) {
+    buf = std::make_shared<Buffer>();
+    std::lock_guard<std::mutex> lk(mu_);
+    buffers_.push_back(buf);
+  }
+  return *buf;
+}
+
+void Logger::commit(LogRecord&& rec) {
+  Buffer& buf = local_buffer();
+  const std::size_t cap = ring_capacity_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(buf.mu);
+  if (cap == 0 || buf.records.size() < cap) {
+    buf.records.push_back(std::move(rec));
+    return;
+  }
+  // Flight-recorder mode: overwrite the oldest retained event.
+  if (buf.ring_next >= buf.records.size()) buf.ring_next = 0;
+  buf.records[buf.ring_next] = std::move(rec);
+  ++buf.ring_next;
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<LogRecord> Logger::snapshot() const {
+  std::vector<std::shared_ptr<Buffer>> bufs;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    bufs = buffers_;
+  }
+  std::vector<LogRecord> out;
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lk(b->mu);
+    out.insert(out.end(), b->records.begin(), b->records.end());
+  }
+  std::sort(out.begin(), out.end(), [](const LogRecord& a, const LogRecord& b) {
+    if (a.t_ns != b.t_ns) return a.t_ns < b.t_ns;
+    return a.to_json(false) < b.to_json(false);
+  });
+  return out;
+}
+
+std::string Logger::to_jsonl() const {
+  std::ostringstream os;
+  for (const auto& rec : snapshot()) os << rec.to_json(true) << '\n';
+  return os.str();
+}
+
+std::string Logger::canonical_jsonl() const {
+  std::vector<std::string> lines;
+  for (const auto& rec : snapshot()) lines.push_back(rec.to_json(false));
+  std::sort(lines.begin(), lines.end());
+  std::ostringstream os;
+  for (const auto& line : lines) os << line << '\n';
+  return os.str();
+}
+
+void Logger::clear() {
+  std::vector<std::shared_ptr<Buffer>> bufs;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    bufs = buffers_;
+  }
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lk(b->mu);
+    b->records.clear();
+    b->ring_next = 0;
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+LogEvent::LogEvent(LogLevel level, std::string_view name) {
+  // The zero-overhead gate: one relaxed atomic load covering both the
+  // on/off switch and the level filter. Nothing below touches a clock
+  // or allocates until the event is known to record.
+  if (static_cast<int>(level) < g_gate.load(std::memory_order_relaxed)) return;
+  active_ = true;
+  rec_.level = level;
+  rec_.name = std::string(name);
+}
+
+LogEvent::~LogEvent() {
+  if (!active_) return;
+  rec_.t_ns = now_ns();
+  Logger::global().commit(std::move(rec_));
+}
+
+LogEvent& LogEvent::str(std::string_view key, std::string_view value) {
+  if (!active_) return *this;
+  LogField f;
+  f.key = std::string(key);
+  f.type = LogField::Type::kString;
+  f.s = std::string(value);
+  rec_.fields.push_back(std::move(f));
+  return *this;
+}
+
+LogEvent& LogEvent::i64(std::string_view key, std::int64_t value) {
+  if (!active_) return *this;
+  LogField f;
+  f.key = std::string(key);
+  f.type = LogField::Type::kInt;
+  f.i = value;
+  rec_.fields.push_back(std::move(f));
+  return *this;
+}
+
+LogEvent& LogEvent::u64(std::string_view key, std::uint64_t value) {
+  if (!active_) return *this;
+  LogField f;
+  f.key = std::string(key);
+  f.type = LogField::Type::kUint;
+  f.u = value;
+  rec_.fields.push_back(std::move(f));
+  return *this;
+}
+
+LogEvent& LogEvent::f64(std::string_view key, double value) {
+  if (!active_) return *this;
+  LogField f;
+  f.key = std::string(key);
+  f.type = LogField::Type::kDouble;
+  f.d = value;
+  rec_.fields.push_back(std::move(f));
+  return *this;
+}
+
+LogEvent& LogEvent::boolean(std::string_view key, bool value) {
+  if (!active_) return *this;
+  LogField f;
+  f.key = std::string(key);
+  f.type = LogField::Type::kBool;
+  f.b = value;
+  rec_.fields.push_back(std::move(f));
+  return *this;
+}
+
+}  // namespace mpa::obs

@@ -99,6 +99,33 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return out;
 }
 
+double Histogram::quantile(double q) const {
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const double next = cumulative + static_cast<double>(counts[b]);
+    if (next < target) {
+      cumulative = next;
+      continue;
+    }
+    // The +Inf bucket has no upper edge to interpolate toward: report
+    // the highest finite bound (the best statement the buckets allow).
+    if (b >= bounds_.size()) return bounds_.empty() ? 0 : bounds_.back();
+    const double lower = b == 0 ? 0 : bounds_[b - 1];
+    const double upper = bounds_[b];
+    const double frac = (target - cumulative) / static_cast<double>(counts[b]);
+    return lower + (upper - lower) * frac;
+  }
+  return bounds_.empty() ? 0 : bounds_.back();
+}
+
 void Histogram::reset() {
   for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
   count_.store(0, std::memory_order_relaxed);
@@ -167,7 +194,9 @@ std::string Registry::to_json() const {
     if (!first) os << ',';
     first = false;
     os << '"' << json_escape(name) << "\":{\"count\":" << h->count()
-       << ",\"sum\":" << format_number(h->sum()) << ",\"buckets\":[";
+       << ",\"sum\":" << format_number(h->sum()) << ",\"p50\":" << format_number(h->quantile(0.5))
+       << ",\"p90\":" << format_number(h->quantile(0.9))
+       << ",\"p99\":" << format_number(h->quantile(0.99)) << ",\"buckets\":[";
     const auto counts = h->bucket_counts();
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < counts.size(); ++i) {
@@ -222,7 +251,9 @@ std::string Registry::to_text() const {
   for (const auto& [name, c] : counters_) os << name << " = " << c->value() << '\n';
   for (const auto& [name, g] : gauges_) os << name << " = " << format_number(g->value()) << '\n';
   for (const auto& [name, h] : histograms_) {
-    os << name << ": count=" << h->count() << " sum=" << format_number(h->sum()) << "s\n";
+    os << name << ": count=" << h->count() << " sum=" << format_number(h->sum())
+       << "s p50=" << format_number(h->quantile(0.5)) << "s p90=" << format_number(h->quantile(0.9))
+       << "s p99=" << format_number(h->quantile(0.99)) << "s\n";
   }
   return os.str();
 }

@@ -72,6 +72,11 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1.
   std::vector<std::uint64_t> bucket_counts() const;
+  /// Estimated q-quantile (q in [0,1]) from the bucket boundaries:
+  /// linear interpolation inside the bucket holding the target rank,
+  /// clamped to the highest finite bound for +Inf-bucket hits. 0 when
+  /// empty. Exports surface p50/p90/p99.
+  double quantile(double q) const;
   void reset();
 
  private:

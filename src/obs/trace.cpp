@@ -47,6 +47,7 @@ Tracer::Buffer& Tracer::local_buffer() {
   if (buf == nullptr) {
     buf = std::make_shared<Buffer>();
     std::lock_guard<std::mutex> lk(mu_);
+    buf->tid = static_cast<std::uint32_t>(buffers_.size()) + 1;
     buffers_.push_back(buf);
   }
   return *buf;
@@ -83,13 +84,13 @@ std::string Tracer::to_json() const {
   return os.str();
 }
 
-std::string Tracer::summary() const {
+std::string summarize_spans(const std::vector<SpanRecord>& spans) {
   struct Agg {
     std::uint64_t count = 0;
     std::uint64_t total_ns = 0;
   };
   std::map<std::string, Agg> by_path;
-  for (const auto& s : snapshot()) {
+  for (const auto& s : spans) {
     Agg& a = by_path[s.path];
     ++a.count;
     a.total_ns += s.dur_ns;
@@ -109,6 +110,8 @@ std::string Tracer::summary() const {
   }
   return os.str();
 }
+
+std::string Tracer::summary() const { return summarize_spans(snapshot()); }
 
 void Tracer::clear() {
   std::vector<std::shared_ptr<Buffer>> bufs;
@@ -150,7 +153,7 @@ Span::~Span() {
   thread_current_path() = prev_path_;
   Tracer::Buffer& buf = Tracer::global().local_buffer();
   std::lock_guard<std::mutex> lk(buf.mu);
-  buf.records.push_back(SpanRecord{std::move(path_), start_ns_, end - start_ns_});
+  buf.records.push_back(SpanRecord{std::move(path_), start_ns_, end - start_ns_, buf.tid});
 }
 
 }  // namespace mpa::obs

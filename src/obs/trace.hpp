@@ -25,12 +25,20 @@
 namespace mpa::obs {
 
 /// One completed span. `path` is '/'-separated from the root
-/// ("infer/case_table"); times are now_ns() values.
+/// ("infer/case_table"); times are now_ns() values. `tid` identifies
+/// the recording thread (buffer registration order, 1-based) — it
+/// feeds the Chrome-trace lane layout and is excluded from every
+/// determinism contract, like the timestamps.
 struct SpanRecord {
   std::string path;
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;
 };
+
+/// Aggregated per-path count/total-time tree (indented by depth), for
+/// Tracer::summary() and `mpa_cli trace summarize` over parsed files.
+std::string summarize_spans(const std::vector<SpanRecord>& spans);
 
 class Tracer {
  public:
@@ -60,6 +68,7 @@ class Tracer {
   struct Buffer {
     std::mutex mu;  ///< Uncontended except at snapshot/clear time.
     std::vector<SpanRecord> records;
+    std::uint32_t tid = 0;  ///< Registration-order thread id (1-based).
   };
 
   Tracer() = default;

@@ -1,0 +1,69 @@
+// Minimal JSON document model and recursive-descent parser, for the
+// tooling side of the observability layer: `mpa_cli report` reads run
+// manifests back, `mpa_cli trace summarize` reads span/Chrome trace
+// files, and the tests validate every JSON export structurally.
+//
+// Scope is deliberately small: parse a complete UTF-8 document into an
+// immutable DOM (objects are key-ordered maps, duplicate keys keep the
+// last value). Serialization stays with each producer — exports are
+// hand-written streams so their field order is part of the contract.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpa {
+
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors throw DataError when the value has another type.
+  bool as_bool() const;
+  double as_number() const;
+  /// The number's source text parsed as u64 — exact for integer fields
+  /// (seeds, nanosecond timestamps) that a double would round.
+  std::uint64_t as_u64() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const std::map<std::string, JsonValue>& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+  /// Object member that must exist (throws DataError otherwise).
+  const JsonValue& at(const std::string& key) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string text_;  ///< String payload, or a number's source text.
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parse one complete JSON document; throws DataError with a byte
+/// offset on malformed input or trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+/// Escape `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters).
+std::string json_escape(std::string_view s);
+
+}  // namespace mpa

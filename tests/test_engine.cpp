@@ -289,5 +289,116 @@ TEST(Session, PersistsCaseTableThroughArtifactStore) {
   EXPECT_FALSE(ArtifactStore(opts.artifact_dir).load_case_table(opts.artifact_key).has_value());
 }
 
+// --- run manifests ----------------------------------------------------
+
+TEST(RunManifest, RecordsStagesWithSources) {
+  AnalysisSession session = make_session(2);
+  session.case_table();
+  session.case_table();  // memo hit
+  session.lint();
+  const RunManifest m = session.manifest();
+  ASSERT_EQ(m.stages.size(), 3u);
+  EXPECT_EQ(m.stages[0].stage, "case_table");
+  EXPECT_EQ(m.stages[0].source, "computed");
+  EXPECT_GT(m.stages[0].seconds, 0.0);
+  EXPECT_EQ(m.stages[1].stage, "case_table");
+  EXPECT_EQ(m.stages[1].source, "memo");
+  EXPECT_EQ(m.stages[2].stage, "lint");
+  EXPECT_EQ(m.stages[2].source, "computed");
+  EXPECT_EQ(m.threads, 2);
+  EXPECT_EQ(m.months, kMonths);
+  EXPECT_EQ(m.networks, static_cast<std::uint64_t>(kNetworks));
+  EXPECT_EQ(m.cache.at("hits"), 1u);
+  EXPECT_EQ(m.cache.at("table_builds"), 1u);
+  EXPECT_EQ(m.cache.at("lint_runs"), 1u);
+  EXPECT_EQ(m.dataset_fingerprint.size(), 16u);
+}
+
+TEST(RunManifest, FingerprintStableAndDataSensitive) {
+  const OspDataset a = test_osp();
+  const OspDataset b = test_osp();
+  const std::uint64_t ha = dataset_fingerprint(a.inventory, a.snapshots, a.tickets);
+  EXPECT_EQ(ha, dataset_fingerprint(b.inventory, b.snapshots, b.tickets));
+
+  OspOptions other;
+  other.num_networks = kNetworks;
+  other.num_months = kMonths;
+  other.seed = 100;  // one seed apart: every source differs
+  const OspDataset c = generate_osp(other);
+  EXPECT_NE(ha, dataset_fingerprint(c.inventory, c.snapshots, c.tickets));
+  EXPECT_EQ(fingerprint_hex(ha).size(), 16u);
+}
+
+TEST(RunManifest, JsonRoundTrip) {
+  AnalysisSession session = make_session(1);
+  session.case_table();
+  const RunManifest m = session.manifest();
+  const RunManifest back = RunManifest::from_json(m.to_json());
+  EXPECT_EQ(back.dataset_fingerprint, m.dataset_fingerprint);
+  EXPECT_EQ(back.seed, m.seed);
+  EXPECT_EQ(back.threads, m.threads);
+  EXPECT_EQ(back.months, m.months);
+  EXPECT_EQ(back.networks, m.networks);
+  EXPECT_EQ(back.devices, m.devices);
+  EXPECT_EQ(back.snapshots, m.snapshots);
+  EXPECT_EQ(back.tickets, m.tickets);
+  ASSERT_EQ(back.stages.size(), m.stages.size());
+  for (std::size_t i = 0; i < m.stages.size(); ++i) {
+    EXPECT_EQ(back.stages[i].stage, m.stages[i].stage);
+    EXPECT_EQ(back.stages[i].source, m.stages[i].source);
+    EXPECT_DOUBLE_EQ(back.stages[i].seconds, m.stages[i].seconds);
+  }
+  EXPECT_EQ(back.cache, m.cache);
+  EXPECT_EQ(back.counters, m.counters);
+  // And the round trip is textually a fixed point.
+  EXPECT_EQ(back.to_json(), m.to_json());
+}
+
+TEST(RunManifest, KeyedSessionPersistsManifestBesideArtifacts) {
+  SessionOptions opts;
+  opts.artifact_dir = testing::TempDir();
+  opts.artifact_key = "mpa_engine_test_manifest";
+  const ArtifactStore store(opts.artifact_dir);
+  store.remove(opts.artifact_key);
+
+  {
+    AnalysisSession session = make_session(2, opts);
+    session.case_table();
+  }  // dtor persists <key>.manifest.json
+  const auto json = store.load_manifest_json(opts.artifact_key);
+  ASSERT_TRUE(json.has_value());
+  const RunManifest m = RunManifest::from_json(*json);
+  EXPECT_EQ(m.artifact_key, opts.artifact_key);
+  ASSERT_EQ(m.stages.size(), 1u);
+  EXPECT_EQ(m.stages[0].source, "computed");
+
+  // A rebuilt session over the same data serves from the store and
+  // says so in its manifest; the fingerprint matches the first run.
+  {
+    AnalysisSession session = make_session(2, opts);
+    session.case_table();
+  }
+  const RunManifest second = RunManifest::from_json(*store.load_manifest_json(opts.artifact_key));
+  EXPECT_EQ(second.stages.at(0).source, "store");
+  EXPECT_EQ(second.dataset_fingerprint, m.dataset_fingerprint);
+
+  // remove() drops the manifest along with the artifacts.
+  store.remove(opts.artifact_key);
+  EXPECT_FALSE(store.load_manifest_json(opts.artifact_key).has_value());
+}
+
+TEST(RunManifest, ReplaceDataMovesTheFingerprint) {
+  AnalysisSession session = make_session(1);
+  const std::string before = session.manifest().dataset_fingerprint;
+  OspOptions other;
+  other.num_networks = kNetworks;
+  other.num_months = kMonths;
+  other.seed = 7;
+  OspDataset data = generate_osp(other);
+  session.replace_data(std::move(data.inventory), std::move(data.snapshots),
+                       std::move(data.tickets));
+  EXPECT_NE(session.manifest().dataset_fingerprint, before);
+}
+
 }  // namespace
 }  // namespace mpa

@@ -1,0 +1,79 @@
+// Tests for the minimal JSON DOM (src/util/json.hpp): parsing every
+// value kind, escape handling, number source-text preservation (so
+// 64-bit seeds and timestamps survive exactly), error reporting, and
+// json_escape.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace mpa {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("2.5").as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_json("-1e3").as_number(), -1000.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const JsonValue doc = parse_json(R"({"a":[1,2,{"b":"c"}],"d":{"e":null}})");
+  const auto& arr = doc.at("a").as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr[0].as_number(), 1.0);
+  EXPECT_EQ(arr[2].at("b").as_string(), "c");
+  EXPECT_TRUE(doc.at("d").at("e").is_null());
+}
+
+TEST(Json, PreservesU64Exactly) {
+  // 2^64 - 1 is not representable as a double; the DOM keeps the
+  // source text so as_u64 parses it losslessly.
+  const JsonValue doc = parse_json("{\"u\":18446744073709551615}");
+  EXPECT_EQ(doc.at("u").as_u64(), 18446744073709551615ULL);
+}
+
+TEST(Json, DecodesEscapes) {
+  const JsonValue doc = parse_json(R"("line\n\ttab \"q\" back\\slash Aé")");
+  EXPECT_EQ(doc.as_string(), "line\n\ttab \"q\" back\\slash A\xc3\xa9");
+}
+
+TEST(Json, FindAndAtSemantics) {
+  const JsonValue doc = parse_json("{\"present\":1}");
+  EXPECT_NE(doc.find("present"), nullptr);
+  EXPECT_EQ(doc.find("absent"), nullptr);
+  EXPECT_THROW(doc.at("absent"), DataError);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), DataError);
+  EXPECT_THROW(parse_json("{"), DataError);
+  EXPECT_THROW(parse_json("[1,]"), DataError);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), DataError);
+  EXPECT_THROW(parse_json("\"unterminated"), DataError);
+  EXPECT_THROW(parse_json("nul"), DataError);
+  EXPECT_THROW(parse_json("1 2"), DataError);  // trailing content
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const JsonValue doc = parse_json("{\"n\":1}");
+  EXPECT_THROW(doc.at("n").as_string(), DataError);
+  EXPECT_THROW(doc.at("n").as_array(), DataError);
+  EXPECT_THROW(doc.as_number(), DataError);
+}
+
+TEST(Json, EscapeProducesValidTokens) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("n\nr\rt\t"), "n\\nr\\rt\\t");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  // Escaped output parses back to the original.
+  EXPECT_EQ(parse_json("\"" + json_escape("a\"b\\c\n\x01") + "\"").as_string(), "a\"b\\c\n\x01");
+}
+
+}  // namespace
+}  // namespace mpa

@@ -7,15 +7,19 @@
 
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "engine/session.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "simulation/osp_generator.hpp"
+#include "util/json.hpp"
 #include "util/parallel.hpp"
 
 namespace mpa {
@@ -259,6 +263,271 @@ TEST_F(ObsTest, StageHistogramsRecordWallTime) {
   // The dependence stage records one timing sample per CMI pair.
   const std::size_t k = analysis_practices().size();
   EXPECT_EQ(reg.histogram("mpa_dependence_pair_seconds").count(), k * (k - 1) / 2);
+}
+
+// --- histogram quantiles ----------------------------------------------
+
+TEST_F(ObsTest, HistogramQuantileInterpolatesWithinBucket) {
+  obs::Histogram& h = obs::Registry::global().histogram("obs_quant_hist", {10.0});
+  h.observe(5.0);  // one sample in (0, 10]
+  // Linear interpolation inside the only occupied bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST_F(ObsTest, HistogramQuantileWalksBuckets) {
+  obs::Histogram& h = obs::Registry::global().histogram("obs_quant_walk", {1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(3.0);
+  h.observe(100.0);  // +Inf bucket
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  // A rank inside the +Inf bucket clamps to the highest finite bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 4.0);
+}
+
+TEST_F(ObsTest, HistogramQuantileEmptyIsZero) {
+  obs::Histogram& h = obs::Registry::global().histogram("obs_quant_empty", {1.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST_F(ObsTest, HistogramExportsCarryQuantiles) {
+  obs::Registry::global().histogram("obs_quant_export", {10.0}).observe(5.0);
+  const std::string json = obs::Registry::global().to_json();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  const std::string text = obs::Registry::global().to_text();
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+}
+
+// --- structured event log ---------------------------------------------
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_log_min_level(obs::LogLevel::kDebug);
+    obs::set_log_enabled(true);
+    obs::Logger::global().set_ring_capacity(0);
+    obs::Logger::global().clear();
+  }
+  void TearDown() override {
+    obs::set_log_enabled(false);
+    obs::set_log_min_level(obs::LogLevel::kDebug);
+    obs::Logger::global().set_ring_capacity(0);
+    obs::Logger::global().clear();
+  }
+};
+
+TEST_F(LogTest, LevelNamesRoundTrip) {
+  for (obs::LogLevel l : {obs::LogLevel::kDebug, obs::LogLevel::kInfo, obs::LogLevel::kWarn,
+                          obs::LogLevel::kError}) {
+    obs::LogLevel parsed = obs::LogLevel::kDebug;
+    ASSERT_TRUE(obs::parse_log_level(obs::to_string(l), &parsed));
+    EXPECT_EQ(parsed, l);
+  }
+  obs::LogLevel parsed = obs::LogLevel::kDebug;
+  EXPECT_FALSE(obs::parse_log_level("verbose", &parsed));
+}
+
+TEST_F(LogTest, EventRecordsTypedFields) {
+  obs::LogEvent(obs::LogLevel::kWarn, "typed")
+      .str("s", "hello")
+      .i64("i", -3)
+      .u64("u", 18446744073709551615ULL)
+      .f64("d", 0.5)
+      .boolean("b", true);
+  const auto records = obs::Logger::global().snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  const obs::LogRecord& rec = records[0];
+  EXPECT_EQ(rec.level, obs::LogLevel::kWarn);
+  EXPECT_EQ(rec.name, "typed");
+  EXPECT_GT(rec.t_ns, 0u);
+  ASSERT_EQ(rec.fields.size(), 5u);
+  // JSONL line parses back with every key and exact u64 value.
+  const JsonValue doc = parse_json(rec.to_json());
+  EXPECT_EQ(doc.at("level").as_string(), "warn");
+  EXPECT_EQ(doc.at("name").as_string(), "typed");
+  const JsonValue& fields = doc.at("fields");
+  EXPECT_EQ(fields.at("s").as_string(), "hello");
+  EXPECT_EQ(fields.at("i").as_number(), -3.0);
+  EXPECT_EQ(fields.at("u").as_u64(), 18446744073709551615ULL);
+  EXPECT_DOUBLE_EQ(fields.at("d").as_number(), 0.5);
+  EXPECT_TRUE(fields.at("b").as_bool());
+}
+
+TEST_F(LogTest, DisabledEventIsInert) {
+  obs::set_log_enabled(false);
+  obs::LogEvent ev(obs::LogLevel::kError, "ghost");
+  EXPECT_FALSE(ev.active());
+  ev.str("k", "v");
+  EXPECT_TRUE(obs::Logger::global().snapshot().empty());
+}
+
+TEST_F(LogTest, MinLevelFiltersAtTheGate) {
+  obs::set_log_min_level(obs::LogLevel::kWarn);
+  EXPECT_FALSE(obs::LogEvent(obs::LogLevel::kDebug, "below").active());
+  EXPECT_FALSE(obs::LogEvent(obs::LogLevel::kInfo, "below").active());
+  { obs::LogEvent(obs::LogLevel::kWarn, "at"); }
+  { obs::LogEvent(obs::LogLevel::kError, "above"); }
+  const auto records = obs::Logger::global().snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "at");
+  EXPECT_EQ(records[1].name, "above");
+  // Re-enabling keeps the configured floor (the gate packs both).
+  obs::set_log_enabled(false);
+  obs::set_log_enabled(true);
+  EXPECT_FALSE(obs::LogEvent(obs::LogLevel::kInfo, "still_below").active());
+  EXPECT_EQ(obs::log_min_level(), obs::LogLevel::kWarn);
+}
+
+TEST_F(LogTest, RingBufferKeepsMostRecentAndCountsDrops) {
+  obs::Logger::global().set_ring_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    obs::LogEvent(obs::LogLevel::kInfo, "tick").i64("n", i);
+  }
+  const auto records = obs::Logger::global().snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(obs::Logger::global().dropped(), 6u);
+  // The retained four are the most recent four (6..9), oldest evicted.
+  std::multiset<std::int64_t> kept;
+  for (const auto& rec : records) kept.insert(rec.fields.at(0).i);
+  EXPECT_EQ(kept, (std::multiset<std::int64_t>{6, 7, 8, 9}));
+}
+
+TEST_F(LogTest, JsonlIsOneObjectPerLine) {
+  { obs::LogEvent(obs::LogLevel::kInfo, "first").u64("n", 1); }
+  { obs::LogEvent(obs::LogLevel::kInfo, "second").u64("n", 2); }
+  const std::string jsonl = obs::Logger::global().to_jsonl();
+  std::istringstream lines(jsonl);
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    const JsonValue doc = parse_json(line);
+    EXPECT_NE(doc.find("t_ns"), nullptr);
+    EXPECT_NE(doc.find("level"), nullptr);
+    EXPECT_NE(doc.find("name"), nullptr);
+    EXPECT_NE(doc.find("fields"), nullptr);
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(LogTest, CanonicalJsonlOmitsTimestampsAndSorts) {
+  { obs::LogEvent(obs::LogLevel::kInfo, "zeta"); }
+  { obs::LogEvent(obs::LogLevel::kInfo, "alpha"); }
+  const std::string canonical = obs::Logger::global().canonical_jsonl();
+  EXPECT_EQ(canonical.find("t_ns"), std::string::npos);
+  // Content-sorted: "alpha" precedes "zeta" despite later commit order.
+  EXPECT_LT(canonical.find("alpha"), canonical.find("zeta"));
+}
+
+/// Run the instrumented pipeline stages with the event log on and
+/// return the canonical (timestamp-free, content-sorted) stream.
+std::string run_logged_pipeline(int threads) {
+  obs::Logger::global().clear();
+  OspOptions gen;
+  gen.num_networks = 12;
+  gen.num_months = 4;
+  gen.seed = 17;
+  OspDataset data = generate_osp(gen);
+  {
+    SessionOptions opts;
+    opts.threads = threads;
+    opts.inference.num_months = gen.num_months;
+    AnalysisSession session(std::move(data.inventory), std::move(data.snapshots),
+                            std::move(data.tickets), std::move(opts));
+    session.case_table();
+    session.lint();
+    session.dependence();
+    session.causal(Practice::kNumChangeEvents);
+    session.case_table();  // memo hit: a "stage" event with source=memo
+  }
+  return obs::Logger::global().canonical_jsonl();
+}
+
+TEST_F(LogTest, EventStreamBitIdenticalAcrossThreadCounts) {
+  const std::string serial = run_logged_pipeline(1);
+  // The stream carries the session lifecycle, one stage event per
+  // request, and one debug event per linted network.
+  EXPECT_NE(serial.find("\"name\":\"session_open\""), std::string::npos);
+  EXPECT_NE(serial.find("\"name\":\"session_close\""), std::string::npos);
+  EXPECT_NE(serial.find("\"stage\":\"case_table\",\"source\":\"computed\""), std::string::npos);
+  EXPECT_NE(serial.find("\"stage\":\"case_table\",\"source\":\"memo\""), std::string::npos);
+  EXPECT_NE(serial.find("\"name\":\"lint_network\""), std::string::npos);
+  for (int threads : {2, 8}) {
+    EXPECT_EQ(run_logged_pipeline(threads), serial) << threads << " threads";
+  }
+}
+
+// --- Chrome trace export ----------------------------------------------
+
+TEST_F(ObsTest, ChromeTraceExportShape) {
+  {
+    obs::Span outer("outer");
+    obs::Span inner("inner");
+  }
+  const std::string json = obs::chrome_trace_json(obs::Tracer::global().snapshot());
+  const JsonValue doc = parse_json(json);
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  std::multiset<std::string> paths;
+  for (const JsonValue& e : events) {
+    EXPECT_EQ(e.at("ph").as_string(), "X");
+    EXPECT_FALSE(e.at("name").as_string().empty());
+    EXPECT_GE(e.at("dur").as_number(), 0.0);
+    EXPECT_GE(e.at("ts").as_number(), 0.0);
+    EXPECT_EQ(e.at("pid").as_u64(), 1u);
+    EXPECT_GE(e.at("tid").as_u64(), 1u);
+    paths.insert(e.at("args").at("path").as_string());
+  }
+  EXPECT_EQ(paths, (std::multiset<std::string>{"outer", "outer/inner"}));
+}
+
+TEST_F(ObsTest, ChromeTraceRoundTripPreservesSpans) {
+  {
+    obs::Span a("alpha");
+    obs::Span b("beta");
+  }
+  const auto spans = obs::Tracer::global().snapshot();
+  const auto parsed = obs::parse_trace_json(obs::chrome_trace_json(spans));
+  ASSERT_EQ(parsed.size(), spans.size());
+  // Microsecond decimals carry three fractional digits, so nanosecond
+  // starts and durations survive the round trip exactly.
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(parsed[i].path, spans[i].path);
+    EXPECT_EQ(parsed[i].start_ns, spans[i].start_ns);
+    EXPECT_EQ(parsed[i].dur_ns, spans[i].dur_ns);
+  }
+}
+
+TEST_F(ObsTest, ParseTraceJsonAcceptsTracerFormat) {
+  {
+    obs::Span a("alpha");
+    obs::Span b("beta");
+  }
+  const auto spans = obs::Tracer::global().snapshot();
+  const auto parsed = obs::parse_trace_json(obs::Tracer::global().to_json());
+  ASSERT_EQ(parsed.size(), spans.size());
+  std::multiset<std::string> want, got;
+  for (const auto& s : spans) want.insert(s.path);
+  for (const auto& s : parsed) got.insert(s.path);
+  EXPECT_EQ(got, want);
+  EXPECT_THROW(obs::parse_trace_json("{\"neither\":1}"), DataError);
+}
+
+TEST_F(ObsTest, SummarizeSpansMatchesTracerSummary) {
+  { obs::Span a("alpha"); }
+  {
+    obs::Span a("alpha");
+    obs::Span b("beta");
+  }
+  const std::string direct = obs::Tracer::global().summary();
+  const std::string via_export =
+      obs::summarize_spans(obs::parse_trace_json(obs::Tracer::global().to_json()));
+  EXPECT_EQ(via_export, direct);
 }
 
 }  // namespace

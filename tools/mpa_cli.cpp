@@ -22,25 +22,43 @@
 //       Rule-engine lint of each network's latest configs. SARIF output
 //       is suitable for code-review tooling; --fail-on exits 3 when a
 //       finding at or above SEV exists (CI gate).
+//   mpa_cli report <manifest.json> [--format text|json]
+//       Render a run manifest (written by --manifest-out or persisted
+//       beside keyed artifact-store entries) as text or JSON.
+//   mpa_cli trace summarize <trace.json>
+//       Aggregate a trace file (--trace-out span JSON or
+//       --chrome-trace-out Chrome trace) into a per-path tree.
 //
 // Common flags: --threads N (engine pool size; default MPA_THREADS or
 // the hardware concurrency). Observability (any subcommand):
 //   --metrics-out FILE  write the metrics registry after the command
 //                       (JSON; Prometheus text when FILE ends in .prom)
 //   --trace-out FILE    write the recorded trace spans as JSON
+//   --chrome-trace-out FILE  write the spans as Chrome trace-event
+//                       JSON (loads in Perfetto / chrome://tracing)
+//   --log-out FILE      record the structured event log, write JSONL
+//   --log-level LEVEL   event-log floor: debug|info|warn|error (info)
+//   --manifest-out FILE write the last session's run manifest as JSON
 //   --stats             print a counter/span summary to stderr
+//
+// Export files are written on every exit path — a run that failed with
+// exit 1/2/3 still leaves its metrics, trace, log, and manifest behind.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 
 #include "config/dialect.hpp"
 #include "config/lint.hpp"
+#include "engine/run_manifest.hpp"
 #include "engine/session.hpp"
 #include "io/dataset_io.hpp"
 #include "mpa/mpa.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "simulation/osp_generator.hpp"
@@ -111,9 +129,18 @@ const std::set<std::string>& bool_flags() {
 
 Args parse_args(int argc, char** argv) {
   Args args;
+  int first_flag = 3;
   if (argc >= 2) args.command = argv[1];
-  if (argc >= 3 && argv[2][0] != '-') args.dir = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  // "trace summarize" is a two-word command; its positional is the
+  // trace file, not a dataset directory.
+  if (args.command == "trace" && argc >= 3 && std::string(argv[2]) == "summarize") {
+    args.command = "trace summarize";
+    if (argc >= 4 && argv[3][0] != '-') args.dir = argv[3];
+    first_flag = 4;
+  } else if (argc >= 3 && argv[2][0] != '-') {
+    args.dir = argv[2];
+  }
+  for (int i = first_flag; i < argc; ++i) {
     std::string key = argv[i];
     if (!starts_with(key, "--"))
       throw UsageError{"unexpected argument '" + key + "'"};
@@ -138,9 +165,13 @@ void check_flags(const Args& args) {
       {"causal", {"threads", "delta", "practice", "threshold"}},
       {"predict", {"threads", "delta", "classes", "history"}},
       {"lint", {"threads", "delta", "format", "out", "min-severity", "fail-on"}},
+      {"report", {"format"}},
+      {"trace summarize", {}},
   };
   // Observability flags ride along with every subcommand.
-  static const std::set<std::string> common = {"metrics-out", "trace-out", "stats"};
+  static const std::set<std::string> common = {
+      "metrics-out", "trace-out", "chrome-trace-out", "log-out",
+      "log-level",   "manifest-out", "stats"};
   const auto it = allowed.find(args.command);
   if (it == allowed.end()) return;  // unknown command falls through to usage()
   for (const auto& [key, value] : args.flags)
@@ -150,6 +181,8 @@ void check_flags(const Args& args) {
 
 int usage() {
   std::cerr << "usage: mpa_cli <generate|summary|infer|rank|causal|predict|lint> <dir> [flags]\n"
+               "       mpa_cli report <manifest.json> [--format text|json]\n"
+               "       mpa_cli trace summarize <trace.json>\n"
                "run with a dataset directory (see src/io/dataset_io.hpp).\n"
                "  generate: --networks N --months M --seed S\n"
                "  infer:    --out FILE --delta MINUTES\n"
@@ -162,6 +195,10 @@ int usage() {
                "common:     --threads N (default MPA_THREADS or hardware)\n"
                "            --metrics-out FILE (JSON; Prometheus if *.prom)\n"
                "            --trace-out FILE (span JSON)\n"
+               "            --chrome-trace-out FILE (Perfetto-loadable)\n"
+               "            --log-out FILE (structured event log, JSONL)\n"
+               "            --log-level debug|info|warn|error (default info)\n"
+               "            --manifest-out FILE (run manifest JSON)\n"
                "            --stats (counter/span summary on stderr)\n";
   return 2;
 }
@@ -332,10 +369,46 @@ int cmd_lint(const Args& args) {
   return 0;
 }
 
+int cmd_report(const Args& args) {
+  const std::string format = args.get("format").empty() ? "text" : args.get("format");
+  if (format != "text" && format != "json")
+    throw UsageError{"--format expects text|json, got '" + format + "'"};
+  std::ifstream in(args.dir);
+  if (!in) throw DataError("report: cannot open manifest '" + args.dir + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const RunManifest manifest = RunManifest::from_json(buf.str());
+  std::cout << (format == "json" ? manifest.to_json() : manifest.to_text());
+  return 0;
+}
+
+int cmd_trace_summarize(const Args& args) {
+  std::ifstream in(args.dir);
+  if (!in) throw DataError("trace summarize: cannot open trace '" + args.dir + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::cout << obs::summarize_spans(obs::parse_trace_json(buf.str()));
+  return 0;
+}
+
 /// True when any observability flag asks for metric/span recording.
 bool wants_observability(const Args& args) {
   return args.flags.count("metrics-out") != 0 || args.flags.count("trace-out") != 0 ||
+         args.flags.count("chrome-trace-out") != 0 || args.flags.count("manifest-out") != 0 ||
          args.flags.count("stats") != 0;
+}
+
+/// Turn the event log on when --log-out asks for it; --log-level sets
+/// the recording floor (validated even without --log-out).
+void configure_logging(const Args& args) {
+  obs::LogLevel level = obs::LogLevel::kInfo;
+  const std::string name = args.get("log-level", "info");
+  if (!obs::parse_log_level(name, &level))
+    throw UsageError{"--log-level expects debug|info|warn|error, got '" + name + "'"};
+  if (args.flags.count("log-out") != 0) {
+    obs::set_log_enabled(true);
+    obs::set_log_min_level(level);
+  }
 }
 
 /// Run the subcommand under a root trace span named after it, so every
@@ -349,49 +422,85 @@ int dispatch(const Args& args) {
   if (args.command == "causal") return cmd_causal(args);
   if (args.command == "predict") return cmd_predict(args);
   if (args.command == "lint") return cmd_lint(args);
+  if (args.command == "report") return cmd_report(args);
+  if (args.command == "trace summarize") return cmd_trace_summarize(args);
   throw UsageError{"unknown command '" + args.command + "'"};
 }
 
 /// After the command (sessions destroyed, pool stats published): write
-/// the requested export files and/or print the human summary.
+/// the requested export files and/or print the human summary. Called
+/// on success and failure alike — a failed run's telemetry is exactly
+/// the run worth inspecting.
 void write_observability(const Args& args) {
-  if (!obs::enabled()) return;
-  const std::string metrics_path = args.get("metrics-out");
-  if (!metrics_path.empty()) {
-    std::ofstream f(metrics_path);
-    const bool prometheus = metrics_path.size() >= 5 &&
-                            metrics_path.compare(metrics_path.size() - 5, 5, ".prom") == 0;
-    f << (prometheus ? obs::Registry::global().to_prometheus()
-                     : obs::Registry::global().to_json());
+  if (obs::enabled()) {
+    const std::string metrics_path = args.get("metrics-out");
+    if (!metrics_path.empty()) {
+      std::ofstream f(metrics_path);
+      const bool prometheus = metrics_path.size() >= 5 &&
+                              metrics_path.compare(metrics_path.size() - 5, 5, ".prom") == 0;
+      f << (prometheus ? obs::Registry::global().to_prometheus()
+                       : obs::Registry::global().to_json());
+    }
+    const std::string trace_path = args.get("trace-out");
+    if (!trace_path.empty()) {
+      std::ofstream f(trace_path);
+      f << obs::Tracer::global().to_json();
+    }
+    const std::string chrome_path = args.get("chrome-trace-out");
+    if (!chrome_path.empty()) {
+      std::ofstream f(chrome_path);
+      f << obs::chrome_trace_json(obs::Tracer::global().snapshot());
+    }
+    const std::string manifest_path = args.get("manifest-out");
+    if (!manifest_path.empty()) {
+      std::ofstream f(manifest_path);
+      // A run that died before opening a session has no manifest; the
+      // file still appears (empty) so callers can rely on its presence.
+      if (const auto manifest = last_run_manifest()) f << manifest->to_json();
+    }
+    if (args.flags.count("stats") != 0) {
+      std::cerr << "\n-- engine stats --\n"
+                << obs::Registry::global().to_text() << "\n-- trace spans --\n"
+                << obs::Tracer::global().summary();
+    }
   }
-  const std::string trace_path = args.get("trace-out");
-  if (!trace_path.empty()) {
-    std::ofstream f(trace_path);
-    f << obs::Tracer::global().to_json();
-  }
-  if (args.flags.count("stats") != 0) {
-    std::cerr << "\n-- engine stats --\n"
-              << obs::Registry::global().to_text() << "\n-- trace spans --\n"
-              << obs::Tracer::global().summary();
+  if (obs::log_enabled()) {
+    const std::string log_path = args.get("log-out");
+    if (!log_path.empty()) {
+      std::ofstream f(log_path);
+      f << obs::Logger::global().to_jsonl();
+    }
   }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  Args args;
   try {
-    const Args args = parse_args(argc, argv);
+    args = parse_args(argc, argv);
     if (args.command.empty() || args.dir.empty()) return usage();
     check_flags(args);
-    if (wants_observability(args)) obs::set_enabled(true);
-    const int rc = dispatch(args);
-    write_observability(args);
-    return rc;
+    configure_logging(args);
   } catch (const UsageError& e) {
     std::cerr << "mpa_cli: " << e.message << "\n";
     return usage();
+  }
+  if (wants_observability(args)) obs::set_enabled(true);
+  int rc = 0;
+  try {
+    rc = dispatch(args);
+  } catch (const UsageError& e) {
+    // A bad invocation discovered mid-command (e.g. causal without
+    // --practice): the exports below still run before the exit-2
+    // return.
+    std::cerr << "mpa_cli: " << e.message << "\n";
+    usage();
+    rc = 2;
   } catch (const std::exception& e) {
     std::cerr << "mpa_cli: " << e.what() << "\n";
-    return 1;
+    rc = 1;
   }
+  write_observability(args);
+  return rc;
 }
