@@ -17,6 +17,8 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "simulation/osp_generator.hpp"
 #include "stats/info.hpp"
 #include "stats/matching.hpp"
@@ -371,6 +373,62 @@ void BM_LogEventDisabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LogEventDisabled)->Iterations(200000);
+
+// --- serving layer: scheduler + render throughput ----------------------
+//
+// One resident session, stages pre-warmed by a first replay, then a
+// synthetic client replays a fixed 32-request trace per iteration —
+// measuring the serving overhead (admission, tenant queues, dispatch,
+// render) rather than cold analysis cost. Arg = offered inter-arrival
+// gap in ms: 0 is closed-loop (max pressure); 2 and 10 are paced
+// open-loop levels. The recorded report feeds BENCH_perf_kernels.json.
+void BM_ServeThroughput(benchmark::State& state) {
+  static serve::AnalysisServer* server = [] {
+    serve::ServerOptions opts;
+    opts.scheduler.workers = 2;
+    opts.session.threads = 2;
+    auto* s = new serve::AnalysisServer(opts);
+    OspDataset data = perf_osp();
+    SessionOptions sopts;
+    sopts.threads = 2;
+    sopts.inference.num_months = 6;
+    s->sessions().open("main", AnalysisSession(std::move(data.inventory),
+                                               std::move(data.snapshots),
+                                               std::move(data.tickets), std::move(sopts)));
+    return s;
+  }();
+
+  serve::ClientOptions copts;
+  copts.request_total_cnt = 32;
+  copts.seed = 17;
+  copts.tenants = {"t0", "t1"};
+  copts.request_interval_ms = static_cast<double>(state.range(0));
+  const std::vector<serve::Request> trace = serve::synthesize_trace(copts);
+  const serve::SyntheticClient client(copts);
+
+  // Warm every memoized stage the trace touches, once.
+  static bool warmed = false;
+  if (!warmed) {
+    warmed = true;
+    server->clear_responses();
+    client.replay(*server, trace);
+  }
+
+  double p99_ms = 0;
+  std::uint64_t completed = 0;
+  for (auto _ : state) {
+    server->clear_responses();
+    const serve::LoadReport report = client.replay(*server, trace);
+    completed += report.total;
+    p99_ms = report.p99_ms;
+    benchmark::DoNotOptimize(&report);
+  }
+  state.SetItemsProcessed(static_cast<long>(completed));
+  state.counters["p99_ms"] = p99_ms;
+  state.SetLabel(state.range(0) == 0 ? "closed-loop"
+                                     : "interval=" + std::to_string(state.range(0)) + "ms");
+}
+BENCHMARK(BM_ServeThroughput)->Arg(0)->Arg(2)->Arg(10)->Unit(benchmark::kMillisecond);
 
 void BM_ParallelForOverhead(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

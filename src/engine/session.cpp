@@ -84,6 +84,22 @@ AnalysisSession::AnalysisSession(Inventory inventory, SnapshotStore snapshots, T
       .u64("seed", opts_.seed);
 }
 
+AnalysisSession::AnalysisSession(AnalysisSession&& other) noexcept
+    : inventory_(std::move(other.inventory_)),
+      snapshots_(std::move(other.snapshots_)),
+      tickets_(std::move(other.tickets_)),
+      opts_(std::move(other.opts_)),
+      store_(std::move(other.store_)),
+      pool_(std::move(other.pool_)),
+      table_(std::move(other.table_)),
+      lint_(std::move(other.lint_)),
+      dependence_(std::move(other.dependence_)),
+      causal_(std::move(other.causal_)),
+      cv_(std::move(other.cv_)),
+      stats_(other.stats_),
+      stage_runs_(std::move(other.stage_runs_)),
+      fingerprint_(other.fingerprint_) {}
+
 AnalysisSession::~AnalysisSession() {
   // pool_ is null only in the moved-from shell, which must not publish
   // the stats (or the manifest) a second time.
@@ -138,7 +154,7 @@ Rng AnalysisSession::stream_for(std::uint64_t tag) const {
 
 const CaseTable& AnalysisSession::case_table() {
   if (table_.has_value()) {
-    ++stats_.hits;
+    bump_stats([](CacheStats& s) { ++s.hits; });
     bump("mpa_session_memo_hits_total");
     record_stage("case_table", "memo", 0);
     return *table_;
@@ -146,7 +162,7 @@ const CaseTable& AnalysisSession::case_table() {
   if (!opts_.artifact_key.empty()) {
     const std::uint64_t t0 = obs::now_ns();
     if (auto cached = store_.load_case_table(opts_.artifact_key)) {
-      ++stats_.table_loads;
+      bump_stats([](CacheStats& s) { ++s.table_loads; });
       bump("mpa_session_table_loads_total");
       table_ = std::move(*cached);
       record_stage("case_table", "store", elapsed_seconds(t0));
@@ -159,7 +175,7 @@ const CaseTable& AnalysisSession::case_table() {
   InferenceOptions iopts = opts_.inference;
   iopts.pool = pool_.get();
   table_ = infer_case_table(inventory_, snapshots_, tickets_, iopts);
-  ++stats_.table_builds;
+  bump_stats([](CacheStats& s) { ++s.table_builds; });
   bump("mpa_session_table_builds_total");
   record_stage("case_table", "computed", elapsed_seconds(t0));
   if (!opts_.artifact_key.empty()) store_.save_case_table(opts_.artifact_key, *table_);
@@ -168,7 +184,7 @@ const CaseTable& AnalysisSession::case_table() {
 
 const LintReport& AnalysisSession::lint() {
   if (lint_.has_value()) {
-    ++stats_.hits;
+    bump_stats([](CacheStats& s) { ++s.hits; });
     bump("mpa_session_memo_hits_total");
     record_stage("lint", "memo", 0);
     return *lint_;
@@ -176,7 +192,7 @@ const LintReport& AnalysisSession::lint() {
   if (!opts_.artifact_key.empty()) {
     const std::uint64_t t0 = obs::now_ns();
     if (auto cached = store_.load_lint_report(opts_.artifact_key)) {
-      ++stats_.lint_loads;
+      bump_stats([](CacheStats& s) { ++s.lint_loads; });
       bump("mpa_session_lint_loads_total");
       lint_ = std::move(*cached);
       record_stage("lint", "store", elapsed_seconds(t0));
@@ -210,7 +226,7 @@ const LintReport& AnalysisSession::lint() {
         .str("network", out.network_id)
         .u64("findings", out.diagnostics.size());
   });
-  ++stats_.lint_runs;
+  bump_stats([](CacheStats& s) { ++s.lint_runs; });
   bump("mpa_session_lint_runs_total");
   record_stage("lint", "computed", elapsed_seconds(t0));
   lint_ = std::move(report);
@@ -220,7 +236,7 @@ const LintReport& AnalysisSession::lint() {
 
 const DependenceAnalysis& AnalysisSession::dependence() {
   if (dependence_.has_value()) {
-    ++stats_.hits;
+    bump_stats([](CacheStats& s) { ++s.hits; });
     bump("mpa_session_memo_hits_total");
     record_stage("dependence", "memo", 0);
     return *dependence_;
@@ -250,7 +266,7 @@ const DependenceAnalysis& AnalysisSession::dependence() {
 const CausalResult& AnalysisSession::causal(Practice treatment) {
   const auto it = causal_.find(treatment);
   if (it != causal_.end()) {
-    ++stats_.hits;
+    bump_stats([](CacheStats& s) { ++s.hits; });
     bump("mpa_session_memo_hits_total");
     record_stage("causal", "memo", 0);
     return it->second;
@@ -261,7 +277,7 @@ const CausalResult& AnalysisSession::causal(Practice treatment) {
   const std::uint64_t t0 = obs::now_ns();
   CausalOptions copts = opts_.causal;
   copts.pool = pool_.get();
-  ++stats_.causal_runs;
+  bump_stats([](CacheStats& s) { ++s.causal_runs; });
   bump("mpa_session_causal_runs_total");
   const CausalResult& res =
       causal_.emplace(treatment, causal_analysis(table, treatment, copts)).first->second;
@@ -273,7 +289,7 @@ const EvalResult& AnalysisSession::evaluate_cv(int num_classes, ModelKind kind) 
   const auto key = std::make_pair(static_cast<int>(kind), num_classes);
   const auto it = cv_.find(key);
   if (it != cv_.end()) {
-    ++stats_.hits;
+    bump_stats([](CacheStats& s) { ++s.hits; });
     bump("mpa_session_memo_hits_total");
     record_stage("cv", "memo", 0);
     return it->second;
@@ -286,7 +302,7 @@ const EvalResult& AnalysisSession::evaluate_cv(int num_classes, ModelKind kind) 
   mopts.pool = pool_.get();
   Rng rng = stream_for(0x5cf00ULL + static_cast<std::uint64_t>(kind) * 64 +
                        static_cast<std::uint64_t>(num_classes));
-  ++stats_.cv_runs;
+  bump_stats([](CacheStats& s) { ++s.cv_runs; });
   bump("mpa_session_cv_runs_total");
   const EvalResult& res =
       cv_.emplace(key, evaluate_model_cv(table, num_classes, kind, rng, mopts)).first->second;
@@ -305,7 +321,7 @@ double AnalysisSession::online_accuracy(int num_classes, int history_m, ModelKin
   Rng rng = stream_for(0x0911eULL + static_cast<std::uint64_t>(kind) * 4096 +
                        static_cast<std::uint64_t>(num_classes) * 128 +
                        static_cast<std::uint64_t>(history_m));
-  ++stats_.online_runs;
+  bump_stats([](CacheStats& s) { ++s.online_runs; });
   bump("mpa_session_online_runs_total");
   const double acc = online_prediction_accuracy(table, num_classes, history_m, kind, rng, first_t,
                                                 last_t, mopts);
@@ -313,8 +329,15 @@ double AnalysisSession::online_accuracy(int num_classes, int history_m, ModelKin
   return acc;
 }
 
+AnalysisSession::CacheStats AnalysisSession::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return stats_;
+}
+
 RunManifest AnalysisSession::manifest() const {
   RunManifest m;
+  // fingerprint() takes stats_mu_ itself; resolve it before the stats
+  // snapshot below so the (non-recursive) mutex is never re-entered.
   m.dataset_fingerprint = fingerprint_hex(fingerprint());
   m.seed = opts_.seed;
   m.threads = pool_ != nullptr ? pool_->size() : 0;
@@ -325,26 +348,36 @@ RunManifest AnalysisSession::manifest() const {
   m.tickets = tickets_.size();
   m.artifact_dir = opts_.artifact_dir;
   m.artifact_key = opts_.artifact_key;
-  m.stages = stage_runs_;
-  m.cache = {{"hits", stats_.hits},
-             {"table_builds", stats_.table_builds},
-             {"table_loads", stats_.table_loads},
-             {"lint_runs", stats_.lint_runs},
-             {"lint_loads", stats_.lint_loads},
-             {"causal_runs", stats_.causal_runs},
-             {"cv_runs", stats_.cv_runs},
-             {"online_runs", stats_.online_runs}};
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    m.stages = stage_runs_;
+    m.cache = {{"hits", stats_.hits},
+               {"table_builds", stats_.table_builds},
+               {"table_loads", stats_.table_loads},
+               {"lint_runs", stats_.lint_runs},
+               {"lint_loads", stats_.lint_loads},
+               {"causal_runs", stats_.causal_runs},
+               {"cv_runs", stats_.cv_runs},
+               {"online_runs", stats_.online_runs}};
+  }
   if (obs::enabled()) m.counters = obs::Registry::global().counters_snapshot();
   return m;
 }
 
 std::uint64_t AnalysisSession::fingerprint() const {
+  // Computed under the stats mutex: concurrent manifest() callers must
+  // not race on the lazy optional. The hash itself is data-dependent
+  // only, so holding the lock during it is merely conservative.
+  std::lock_guard<std::mutex> lk(stats_mu_);
   if (!fingerprint_) fingerprint_ = dataset_fingerprint(inventory_, snapshots_, tickets_);
   return *fingerprint_;
 }
 
 void AnalysisSession::record_stage(const char* stage, const char* source, double seconds) {
-  stage_runs_.push_back(StageRun{stage, source, seconds});
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stage_runs_.push_back(StageRun{stage, source, seconds});
+  }
   // Structural fields only: the event stream stays bit-identical across
   // thread counts and machines, so seconds live in the manifest alone.
   obs::LogEvent(obs::LogLevel::kInfo, "stage").str("stage", stage).str("source", source);
@@ -367,7 +400,10 @@ void AnalysisSession::replace_data(Inventory inventory, SnapshotStore snapshots,
   inventory_ = std::move(inventory);
   snapshots_ = std::move(snapshots);
   tickets_ = std::move(tickets);
-  fingerprint_.reset();
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    fingerprint_.reset();
+  }
   invalidate();
 }
 

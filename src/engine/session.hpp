@@ -20,12 +20,17 @@
 // bit-identical at any thread count and independent of the order in
 // which artifacts are requested.
 //
-// A session is single-owner: call it from one thread of control; the
-// parallelism lives inside the stages, not across them.
+// A session is single-owner for *stage* calls: one thread of control
+// requests artifacts at a time (SessionManager enforces this for the
+// serving layer); the parallelism lives inside the stages, not across
+// them. The observation surface is wider: stats() and manifest() are
+// safe to call from other threads concurrently with a running stage —
+// both snapshot under an internal mutex (DESIGN.md §11).
 #pragma once
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -64,7 +69,10 @@ class AnalysisSession {
  public:
   AnalysisSession(Inventory inventory, SnapshotStore snapshots, TicketLog tickets,
                   SessionOptions opts = {});
-  AnalysisSession(AnalysisSession&&) = default;
+  /// Moving is only valid while no other thread is touching `other`
+  /// (the stats mutex itself is not moved — the new session gets a
+  /// fresh one). The moved-from shell destructs as a no-op.
+  AnalysisSession(AnalysisSession&& other) noexcept;
 
   /// Publishes the pool's execution counters to the obs registry
   /// (when obs::enabled()) before tearing the pool down; keyed
@@ -139,7 +147,10 @@ class AnalysisSession {
     std::size_t cv_runs = 0;
     std::size_t online_runs = 0;   ///< online_accuracy evaluations.
   };
-  const CacheStats& stats() const { return stats_; }
+  /// Snapshot taken under the stats mutex — safe to call from any
+  /// thread, including concurrently with a stage executing on another
+  /// (the serving layer polls a session mid-request).
+  CacheStats stats() const;
 
   /// The run's provenance manifest so far: dataset fingerprint (FNV-1a
   /// over all three data sources, computed once per data generation),
@@ -152,6 +163,13 @@ class AnalysisSession {
  private:
   /// Private RNG stream for one artifact identity.
   Rng stream_for(std::uint64_t tag) const;
+
+  /// Apply `fn` to the stats record under the stats mutex.
+  template <typename Fn>
+  void bump_stats(Fn&& fn) {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    fn(stats_);
+  }
 
   /// Append one stage execution to the manifest record and emit the
   /// matching "stage" log event (structural fields only — timing stays
@@ -173,6 +191,11 @@ class AnalysisSession {
   std::optional<DependenceAnalysis> dependence_;
   std::map<Practice, CausalResult> causal_;
   std::map<std::pair<int, int>, EvalResult> cv_;  ///< (kind, classes).
+  /// Guards stats_, stage_runs_, and fingerprint_ so stats() /
+  /// manifest() are safe under concurrent readers while a stage runs.
+  /// Taken a handful of times per stage request — never on a kernel
+  /// hot path.
+  mutable std::mutex stats_mu_;
   CacheStats stats_;
   std::vector<StageRun> stage_runs_;  ///< Manifest stage record, request order.
   mutable std::optional<std::uint64_t> fingerprint_;  ///< Lazy; reset with the data.

@@ -1,0 +1,93 @@
+#include "engine/session_manager.hpp"
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace mpa {
+namespace {
+
+void count(const char* name) {
+  if (obs::enabled()) obs::Registry::global().counter(name).add(1);
+}
+
+void set_resident(std::size_t n) {
+  if (obs::enabled())
+    obs::Registry::global().gauge("mpa_sessions_resident").set(static_cast<double>(n));
+}
+
+}  // namespace
+
+void SessionManager::open(const std::string& key, AnalysisSession session) {
+  if (key.empty()) throw DataError("SessionManager::open: empty session key");
+  std::size_t resident = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (sessions_.count(key) != 0)
+      throw DataError("SessionManager::open: session '" + key + "' already open");
+    sessions_.emplace(key, std::make_shared<Entry>(std::move(session)));
+    ++stats_.opened;
+    resident = sessions_.size();
+  }
+  count("mpa_session_manager_opens_total");
+  set_resident(resident);
+  obs::LogEvent(obs::LogLevel::kInfo, "session_register").str("key", key);
+}
+
+void SessionManager::open_directory(const std::string& key, const std::string& dir,
+                                    SessionOptions opts) {
+  open(key, AnalysisSession::from_directory(dir, std::move(opts)));
+}
+
+bool SessionManager::close(const std::string& key) {
+  std::shared_ptr<Entry> entry;  // destroyed outside the registry lock
+  std::size_t resident = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = sessions_.find(key);
+    if (it == sessions_.end()) return false;
+    entry = std::move(it->second);
+    sessions_.erase(it);
+    ++stats_.closed;
+    resident = sessions_.size();
+  }
+  count("mpa_session_manager_closes_total");
+  set_resident(resident);
+  obs::LogEvent(obs::LogLevel::kInfo, "session_unregister").str("key", key);
+  // If a request is mid-flight, its with_session() shared_ptr keeps the
+  // entry alive; dropping ours here destroys the session either now or
+  // when that request finishes — never mid-stage.
+  return true;
+}
+
+bool SessionManager::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sessions_.count(key) != 0;
+}
+
+std::size_t SessionManager::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sessions_.size();
+}
+
+std::vector<std::string> SessionManager::keys() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(sessions_.size());
+  for (const auto& [key, entry] : sessions_) out.push_back(key);
+  return out;
+}
+
+SessionManager::Stats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+std::shared_ptr<SessionManager::Entry> SessionManager::entry_for(const std::string& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = sessions_.find(key);
+  if (it == sessions_.end()) throw DataError("unknown session '" + key + "'");
+  return it->second;
+}
+
+}  // namespace mpa

@@ -1,0 +1,83 @@
+// SessionManager: the engine's registry of resident AnalysisSessions,
+// keyed by name, so a long-lived serving process (src/serve/) can keep
+// N sessions open over loaded datasets and answer requests against
+// them without re-reading anything.
+//
+// Concurrency contract: AnalysisSession stage calls are single-owner,
+// so the manager wraps every session in a per-entry mutex and exposes
+// it only through with_session() — at most one request executes
+// against a session at a time, while different sessions proceed in
+// parallel. close() unregisters a key immediately; if a request is
+// mid-flight on that session, the entry (shared_ptr) stays alive until
+// the request finishes, then destructs on that thread — a session is
+// never destroyed under a running stage.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/session.hpp"
+
+namespace mpa {
+
+class SessionManager {
+ public:
+  SessionManager() = default;
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Adopt an already-constructed session under `key`. Throws
+  /// DataError when the key is already registered.
+  void open(const std::string& key, AnalysisSession session);
+
+  /// Open a session over a dataset directory (io/dataset_io.hpp
+  /// format); the observation window is implied by the data. Throws
+  /// DataError on a duplicate key or unreadable dataset.
+  void open_directory(const std::string& key, const std::string& dir, SessionOptions opts = {});
+
+  /// Unregister `key`; returns false when unknown. The session object
+  /// is destroyed once the last in-flight request on it completes.
+  bool close(const std::string& key);
+
+  bool contains(const std::string& key) const;
+  std::size_t size() const;
+  /// Registered keys in lexicographic order.
+  std::vector<std::string> keys() const;
+
+  /// Run `fn(AnalysisSession&)` with exclusive access to the session
+  /// registered under `key`; throws DataError when the key is unknown.
+  /// Blocks while another thread holds the same session.
+  template <typename Fn>
+  auto with_session(const std::string& key, Fn&& fn) {
+    const std::shared_ptr<Entry> entry = entry_for(key);
+    std::lock_guard<std::mutex> lk(entry->mu);
+    return fn(entry->session);
+  }
+
+  /// Lifetime registry counters (snapshot under the registry mutex).
+  struct Stats {
+    std::uint64_t opened = 0;
+    std::uint64_t closed = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    explicit Entry(AnalysisSession s) : session(std::move(s)) {}
+    std::mutex mu;  ///< One request at a time per session.
+    AnalysisSession session;
+  };
+
+  /// Look up the live entry for `key`; throws DataError when unknown.
+  std::shared_ptr<Entry> entry_for(const std::string& key) const;
+
+  mutable std::mutex mu_;  ///< Guards sessions_ and stats_.
+  std::map<std::string, std::shared_ptr<Entry>> sessions_;
+  Stats stats_;
+};
+
+}  // namespace mpa

@@ -1,0 +1,81 @@
+// SyntheticClient: the load half of the NeuPIMs-style scheduler/client
+// split (DESIGN.md §11). It synthesizes a deterministic request trace
+// from a seed, replays it against an AnalysisServer — closed-loop
+// (submit, wait, next) or open-loop at a configured request interval —
+// and reports achieved throughput plus p50/p90/p99 latency from the
+// obs histogram quantile machinery.
+//
+// Trace synthesis is a pure function of ClientOptions (ids 1..n,
+// kinds/tenants drawn from a seeded Rng), so `mpa_cli replay` runs are
+// reproducible and a saved trace replays byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+
+namespace mpa::serve {
+
+struct ClientOptions {
+  /// Requests to synthesize (NeuPIMs `request_total_cnt`).
+  int request_total_cnt = 32;
+  /// Open-loop pacing between submits, in milliseconds (NeuPIMs
+  /// `request_interval`); 0 = closed-loop (wait for each response).
+  double request_interval_ms = 0;
+  std::uint64_t seed = 1;
+  /// Session keys to spread requests across (round-robin by id).
+  std::vector<std::string> sessions = {"main"};
+  /// Tenant names drawn uniformly per request.
+  std::vector<std::string> tenants = {"default"};
+  /// Deadline attached to every synthesized request (0 = none).
+  double deadline_ms = 0;
+  /// Request-kind mix weights, indexed by RequestKind. Case-table
+  /// slices and rankings dominate the default interactive mix; the
+  /// heavyweight kinds (causal, predict) are rare.
+  std::vector<double> kind_weights = {4, 3, 1, 3, 1};
+};
+
+/// Deterministic trace from the options (ids 1..request_total_cnt).
+std::vector<Request> synthesize_trace(const ClientOptions& opts);
+
+/// One replay's outcome summary.
+struct LoadReport {
+  std::uint64_t total = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t errors = 0;
+  double wall_seconds = 0;
+  double throughput_rps = 0;  ///< Completed responses / wall_seconds.
+  // Total (admission -> completion) latency quantiles, milliseconds,
+  // estimated from the obs latency histogram buckets.
+  double p50_ms = 0;
+  double p90_ms = 0;
+  double p99_ms = 0;
+
+  std::string to_text() const;
+  std::string to_json() const;
+};
+
+class SyntheticClient {
+ public:
+  explicit SyntheticClient(ClientOptions opts = {}) : opts_(std::move(opts)) {}
+
+  /// Replay `trace` against `server`: closed-loop when
+  /// request_interval_ms == 0, open-loop (paced submits, drain at the
+  /// end) otherwise. Every request's response is accounted for.
+  LoadReport replay(AnalysisServer& server, const std::vector<Request>& trace) const;
+
+  /// synthesize_trace(options()) + replay().
+  LoadReport run(AnalysisServer& server) const;
+
+  const ClientOptions& options() const { return opts_; }
+
+ private:
+  ClientOptions opts_;
+};
+
+}  // namespace mpa::serve

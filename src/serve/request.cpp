@@ -1,0 +1,158 @@
+#include "serve/request.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace mpa::serve {
+namespace {
+
+/// Doubles in the wire format: millisecond values with enough digits
+/// to round-trip the values the CLI accepts.
+std::string number(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+int int_field(const JsonValue& v, const std::string& key, int fallback) {
+  const JsonValue* f = v.find(key);
+  return f == nullptr ? fallback : static_cast<int>(f->as_number());
+}
+
+std::string str_field(const JsonValue& v, const std::string& key, const std::string& fallback) {
+  const JsonValue* f = v.find(key);
+  return f == nullptr ? fallback : f->as_string();
+}
+
+}  // namespace
+
+std::string_view to_string(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kCaseTable: return "case_table";
+    case RequestKind::kRank: return "rank";
+    case RequestKind::kCausal: return "causal";
+    case RequestKind::kLint: return "lint";
+    case RequestKind::kPredict: return "predict";
+  }
+  return "unknown";
+}
+
+bool parse_request_kind(std::string_view name, RequestKind* out) {
+  for (RequestKind k : {RequestKind::kCaseTable, RequestKind::kRank, RequestKind::kCausal,
+                        RequestKind::kLint, RequestKind::kPredict}) {
+    if (name == to_string(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string_view to_string(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kRejected: return "rejected";
+    case RequestStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case RequestStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string Request::to_json() const {
+  std::ostringstream os;
+  os << "{\"id\":" << id << ",\"tenant\":\"" << json_escape(tenant) << "\",\"session\":\""
+     << json_escape(session) << "\",\"kind\":\"" << to_string(kind) << "\"";
+  switch (kind) {
+    case RequestKind::kCaseTable:
+      if (month_from >= 0) os << ",\"month_from\":" << month_from;
+      if (month_to >= 0) os << ",\"month_to\":" << month_to;
+      if (!network.empty()) os << ",\"network\":\"" << json_escape(network) << "\"";
+      break;
+    case RequestKind::kRank:
+      os << ",\"top_k\":" << top_k;
+      break;
+    case RequestKind::kCausal:
+      os << ",\"practice\":\"" << json_escape(practice) << "\"";
+      break;
+    case RequestKind::kLint:
+      if (!min_severity.empty())
+        os << ",\"min_severity\":\"" << json_escape(min_severity) << "\"";
+      break;
+    case RequestKind::kPredict:
+      os << ",\"classes\":" << classes << ",\"history\":" << history;
+      break;
+  }
+  if (deadline_ms > 0) os << ",\"deadline_ms\":" << number(deadline_ms);
+  os << "}";
+  return os.str();
+}
+
+Request Request::from_json(const JsonValue& v) {
+  if (!v.is_object()) throw DataError("request: expected a JSON object");
+  static const std::set<std::string> known = {
+      "id",        "tenant",       "session", "kind",    "month_from", "month_to", "network",
+      "top_k",     "practice",     "min_severity", "classes", "history", "deadline_ms"};
+  for (const auto& [key, value] : v.as_object())
+    if (known.count(key) == 0) throw DataError("request: unknown field '" + key + "'");
+
+  Request req;
+  if (const JsonValue* f = v.find("id")) req.id = f->as_u64();
+  req.tenant = str_field(v, "tenant", req.tenant);
+  req.session = str_field(v, "session", req.session);
+  const std::string kind = str_field(v, "kind", "");
+  if (!parse_request_kind(kind, &req.kind))
+    throw DataError("request: unknown kind '" + kind + "'");
+  req.month_from = int_field(v, "month_from", req.month_from);
+  req.month_to = int_field(v, "month_to", req.month_to);
+  req.network = str_field(v, "network", req.network);
+  req.top_k = int_field(v, "top_k", req.top_k);
+  req.practice = str_field(v, "practice", req.practice);
+  req.min_severity = str_field(v, "min_severity", req.min_severity);
+  req.classes = int_field(v, "classes", req.classes);
+  req.history = int_field(v, "history", req.history);
+  if (const JsonValue* f = v.find("deadline_ms")) req.deadline_ms = f->as_number();
+  return req;
+}
+
+std::string Response::to_json(bool with_timing) const {
+  std::ostringstream os;
+  os << "{\"id\":" << id << ",\"kind\":\"" << to_string(kind) << "\",\"status\":\""
+     << to_string(status) << "\",\"body\":\"" << json_escape(body) << "\"";
+  if (with_timing) {
+    os << ",\"tenant\":\"" << json_escape(tenant) << "\",\"session\":\"" << json_escape(session)
+       << "\",\"queue_ms\":" << number(queue_ms) << ",\"service_ms\":" << number(service_ms)
+       << ",\"total_ms\":" << number(total_ms);
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string trace_to_jsonl(const std::vector<Request>& trace) {
+  std::string out;
+  for (const Request& req : trace) {
+    out += req.to_json();
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<Request> trace_from_jsonl(std::string_view text) {
+  std::vector<Request> trace;
+  std::size_t line_no = 0;
+  for (const std::string& line : split_lines(text)) {
+    ++line_no;
+    if (line.empty()) continue;
+    try {
+      trace.push_back(Request::from_json(parse_json(line)));
+    } catch (const DataError& e) {
+      throw DataError("trace line " + std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  return trace;
+}
+
+}  // namespace mpa::serve

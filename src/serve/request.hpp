@@ -1,0 +1,94 @@
+// The serving layer's request/response vocabulary (DESIGN.md §11).
+//
+// A Request names an analysis against a resident session: a case-table
+// slice, a dependence ranking, a per-practice causal study, a lint
+// report, or a prediction run — the paper's interactive workload.
+// Requests arrive from the synthetic load client (serve/client.hpp) or
+// as JSONL lines on the `mpa_cli serve` daemon's stdin; every admitted
+// request produces exactly one Response through the scheduler's sink.
+//
+// Determinism: a Response's identity is (id, kind, status, body) —
+// to_json(false) serializes exactly that, and is the form `mpa_cli
+// replay --responses-out` writes, so a fixed single-worker trace
+// replay is byte-identical across runs. Timing fields ride along only
+// in the with-timing form the daemon streams.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpa {
+class JsonValue;
+}
+
+namespace mpa::serve {
+
+enum class RequestKind : std::uint8_t { kCaseTable, kRank, kCausal, kLint, kPredict };
+
+/// Stable wire name ("case_table", "rank", "causal", "lint", "predict").
+std::string_view to_string(RequestKind kind);
+/// Parse a wire name; returns false on unknown input.
+bool parse_request_kind(std::string_view name, RequestKind* out);
+
+struct Request {
+  std::uint64_t id = 0;           ///< Unique per trace; 0 = assign me one.
+  std::string tenant = "default"; ///< Fairness key (round-robin across tenants).
+  std::string session = "main";   ///< SessionManager key to execute against.
+  RequestKind kind = RequestKind::kCaseTable;
+
+  // Per-kind parameters (unused ones ignored).
+  int month_from = -1;       ///< case_table: slice lower month (-1 = open).
+  int month_to = -1;         ///< case_table: slice upper month (-1 = open).
+  std::string network;       ///< case_table: restrict to one network id.
+  int top_k = 10;            ///< rank: table depth.
+  std::string practice;      ///< causal: treatment practice name (required).
+  std::string min_severity;  ///< lint: report floor ("" = info).
+  int classes = 2;           ///< predict: 2 or 5 health classes.
+  int history = 3;           ///< predict: online-protocol history months.
+
+  /// Completion deadline relative to admission; 0 = none (the
+  /// scheduler may substitute its default). An expired request still
+  /// completes — with status kDeadlineExceeded, never silently dropped.
+  double deadline_ms = 0;
+
+  /// One JSON object (the trace line format).
+  std::string to_json() const;
+  /// Inverse of to_json(); unknown keys rejected, absent ones default.
+  /// Throws DataError on malformed input.
+  static Request from_json(const JsonValue& v);
+};
+
+enum class RequestStatus : std::uint8_t { kOk, kRejected, kDeadlineExceeded, kError };
+
+/// Stable wire name ("ok", "rejected", "deadline_exceeded", "error").
+std::string_view to_string(RequestStatus status);
+
+struct Response {
+  std::uint64_t id = 0;
+  std::string tenant;
+  std::string session;
+  RequestKind kind = RequestKind::kCaseTable;
+  RequestStatus status = RequestStatus::kOk;
+  /// Rendered analysis output (kOk), or the rejection / deadline /
+  /// error reason otherwise.
+  std::string body;
+
+  // Timing (milliseconds). Excluded from the deterministic form.
+  double queue_ms = 0;    ///< Admission -> dequeue.
+  double service_ms = 0;  ///< Execution wall time (0 when not executed).
+  double total_ms = 0;    ///< Admission -> completion.
+
+  /// One JSON object. `with_timing` false emits only the deterministic
+  /// identity (id, kind, status, body) — the byte-identity contract.
+  std::string to_json(bool with_timing = true) const;
+};
+
+/// Serialize a trace as JSONL, one Request per line.
+std::string trace_to_jsonl(const std::vector<Request>& trace);
+/// Parse a JSONL trace (blank lines skipped). Throws DataError with
+/// the offending line number on malformed input.
+std::vector<Request> trace_from_jsonl(std::string_view text);
+
+}  // namespace mpa::serve

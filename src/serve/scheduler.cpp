@@ -1,0 +1,213 @@
+#include "serve/scheduler.hpp"
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace mpa::serve {
+namespace {
+
+void count(const char* name) {
+  if (obs::enabled()) obs::Registry::global().counter(name).add(1);
+}
+
+void observe_seconds(const char* name, double seconds) {
+  if (obs::enabled()) obs::Registry::global().histogram(name).observe(seconds);
+}
+
+double ms_between(std::uint64_t t0_ns, std::uint64_t t1_ns) {
+  return t1_ns > t0_ns ? static_cast<double>(t1_ns - t0_ns) * 1e-6 : 0.0;
+}
+
+/// Structural per-request completion event: id/tenant/kind/status only
+/// — no timing, so the canonical event stream stays deterministic.
+void log_done(const Response& resp) {
+  obs::LogEvent(obs::LogLevel::kInfo, "request_done")
+      .u64("id", resp.id)
+      .str("tenant", resp.tenant)
+      .str("kind", to_string(resp.kind))
+      .str("status", to_string(resp.status));
+}
+
+}  // namespace
+
+void register_serve_metrics() {
+  auto& reg = obs::Registry::global();
+  for (const char* name :
+       {"mpa_serve_submitted_total", "mpa_serve_admitted_total", "mpa_serve_rejected_total",
+        "mpa_serve_completed_total", "mpa_serve_ok_total", "mpa_serve_deadline_miss_total",
+        "mpa_serve_error_total", "mpa_session_manager_opens_total",
+        "mpa_session_manager_closes_total"}) {
+    reg.counter(name);
+  }
+  reg.gauge("mpa_sessions_resident");
+  for (const char* name : {"mpa_serve_queue_wait_seconds", "mpa_serve_service_seconds",
+                           "mpa_serve_latency_seconds"}) {
+    reg.histogram(name);
+  }
+}
+
+Scheduler::Scheduler(SchedulerOptions opts, Executor executor, Sink sink)
+    : opts_(opts), executor_(std::move(executor)), sink_(std::move(sink)) {
+  if (obs::enabled()) register_serve_metrics();
+  const int workers = opts_.workers < 1 ? 1 : opts_.workers;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) workers_.emplace_back([this] { worker_loop(); });
+}
+
+Scheduler::~Scheduler() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool Scheduler::submit(Request req) {
+  const std::uint64_t now = obs::now_ns();
+  const char* reject_reason = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.submitted;
+    if (ready_ >= opts_.max_queue_depth) {
+      ++stats_.rejected;
+      reject_reason = "queue_full";  // Sink invoked outside the lock, below.
+    } else if (active_ >= opts_.max_active_reqs) {
+      ++stats_.rejected;
+      reject_reason = "max_active_reqs";
+    } else {
+      Item item;
+      item.enqueue_ns = now;
+      const double deadline_ms =
+          req.deadline_ms > 0 ? req.deadline_ms : opts_.default_deadline_ms;
+      if (deadline_ms > 0)
+        item.deadline_ns = now + static_cast<std::uint64_t>(deadline_ms * 1e6);
+      auto [it, inserted] = queues_.try_emplace(req.tenant);
+      if (inserted) rr_tenants_.push_back(req.tenant);
+      obs::LogEvent(obs::LogLevel::kDebug, "request_enqueued")
+          .u64("id", req.id)
+          .str("tenant", req.tenant)
+          .str("session", req.session)
+          .str("kind", to_string(req.kind));
+      item.req = std::move(req);
+      it->second.push_back(std::move(item));
+      ++ready_;
+      ++active_;
+      ++stats_.admitted;
+      count("mpa_serve_submitted_total");
+      count("mpa_serve_admitted_total");
+      work_cv_.notify_one();
+      return true;
+    }
+  }
+  // Rejected: answer immediately and explicitly.
+  count("mpa_serve_submitted_total");
+  reject(req, reject_reason);
+  return false;
+}
+
+void Scheduler::reject(const Request& req, const std::string& reason) {
+  count("mpa_serve_rejected_total");
+  obs::LogEvent(obs::LogLevel::kInfo, "request_rejected")
+      .u64("id", req.id)
+      .str("tenant", req.tenant)
+      .str("kind", to_string(req.kind))
+      .str("reason", reason);
+  Response resp;
+  resp.id = req.id;
+  resp.tenant = req.tenant;
+  resp.session = req.session;
+  resp.kind = req.kind;
+  resp.status = RequestStatus::kRejected;
+  resp.body = "rejected: " + reason;
+  log_done(resp);
+  if (sink_) sink_(resp);
+}
+
+bool Scheduler::pop_next(Item* out) {
+  if (ready_ == 0 || rr_tenants_.empty()) return false;
+  for (std::size_t probe = 0; probe < rr_tenants_.size(); ++probe) {
+    const std::size_t slot = (rr_cursor_ + probe) % rr_tenants_.size();
+    std::deque<Item>& q = queues_[rr_tenants_[slot]];
+    if (q.empty()) continue;
+    *out = std::move(q.front());
+    q.pop_front();
+    --ready_;
+    rr_cursor_ = (slot + 1) % rr_tenants_.size();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    work_cv_.wait(lk, [&] { return stop_ || ready_ > 0; });
+    if (stop_ && ready_ == 0) return;
+    Item item;
+    if (!pop_next(&item)) continue;
+    lk.unlock();
+
+    const std::uint64_t dequeue_ns = obs::now_ns();
+    const double queue_ms = ms_between(item.enqueue_ns, dequeue_ns);
+    observe_seconds("mpa_serve_queue_wait_seconds", queue_ms * 1e-3);
+
+    Response resp;
+    resp.id = item.req.id;
+    resp.tenant = item.req.tenant;
+    resp.session = item.req.session;
+    resp.kind = item.req.kind;
+    resp.queue_ms = queue_ms;
+    if (item.deadline_ns != 0 && dequeue_ns >= item.deadline_ns) {
+      // Expired before dispatch: complete explicitly, never execute,
+      // never drop.
+      resp.status = RequestStatus::kDeadlineExceeded;
+      resp.body = "deadline exceeded before dispatch";
+      count("mpa_serve_deadline_miss_total");
+    } else {
+      try {
+        Response executed = executor_(item.req);
+        resp.status = executed.status;
+        resp.body = std::move(executed.body);
+      } catch (const std::exception& e) {
+        resp.status = RequestStatus::kError;
+        resp.body = e.what();
+      }
+      resp.service_ms = ms_between(dequeue_ns, obs::now_ns());
+      observe_seconds("mpa_serve_service_seconds", resp.service_ms * 1e-3);
+      if (resp.status == RequestStatus::kError) count("mpa_serve_error_total");
+    }
+    resp.total_ms = ms_between(item.enqueue_ns, obs::now_ns());
+    observe_seconds("mpa_serve_latency_seconds", resp.total_ms * 1e-3);
+    count("mpa_serve_completed_total");
+    if (resp.status == RequestStatus::kOk) count("mpa_serve_ok_total");
+    log_done(resp);
+    if (sink_) sink_(resp);
+
+    lk.lock();
+    ++stats_.completed;
+    if (resp.status == RequestStatus::kOk) ++stats_.ok;
+    if (resp.status == RequestStatus::kDeadlineExceeded) ++stats_.deadline_misses;
+    if (resp.status == RequestStatus::kError) ++stats_.errors;
+    --active_;
+    if (active_ == 0) drain_cv_.notify_all();
+  }
+}
+
+void Scheduler::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  drain_cv_.wait(lk, [&] { return active_ == 0; });
+}
+
+Scheduler::Stats Scheduler::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+std::size_t Scheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ready_;
+}
+
+}  // namespace mpa::serve

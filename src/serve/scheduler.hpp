@@ -1,0 +1,134 @@
+// Request scheduler for the `mpa serve` daemon (DESIGN.md §11).
+//
+// Modeled on the NeuPIMs scheduler/client split: a bounded admitted
+// set (`max_active_reqs` caps ready+running, `max_queue_depth` caps
+// ready alone) with explicit rejection — an inadmissible request is
+// answered immediately with status kRejected, never silently dropped —
+// per-request deadlines checked at dispatch (an expired request
+// completes with kDeadlineExceeded without executing), and round-robin
+// fairness across tenants with FIFO order within each tenant.
+//
+// Requests are executed by a fixed set of dedicated worker threads;
+// the analysis work itself fans out on each session's existing
+// ThreadPool through the memoized AnalysisSession stages, so the
+// scheduler adds queueing, not computation. Every admitted or rejected
+// request produces exactly one Response through the sink (invoked from
+// worker threads for executed requests, from the submitting thread for
+// rejections — callers synchronize their own state).
+//
+// Determinism contract: with one worker and a closed-loop client,
+// execution order equals trace order; with any worker count, the
+// multiset of (id, kind, status) outcomes and the canonical event
+// stream are identical as long as the trace triggers no
+// timing-dependent statuses (no deadlines, no overload rejections) —
+// pinned in tests/test_serve.cpp at 1/2/8 workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace mpa::serve {
+
+struct SchedulerOptions {
+  /// Dedicated request-worker threads (clamped to >= 1).
+  int workers = 1;
+  /// Cap on admitted-but-incomplete requests (ready + running); a
+  /// submit beyond it is rejected.
+  std::size_t max_active_reqs = 64;
+  /// Cap on ready (queued, not yet running) requests across tenants; a
+  /// submit beyond it is rejected.
+  std::size_t max_queue_depth = 256;
+  /// Deadline applied to requests that carry none (0 = none).
+  double default_deadline_ms = 0;
+};
+
+/// Pre-register the serving layer's metric schema (counters +
+/// latency histograms) so exports always carry the same key set.
+void register_serve_metrics();
+
+class Scheduler {
+ public:
+  /// Executes one request (worker thread). Exceptions become kError
+  /// responses with the exception text as body.
+  using Executor = std::function<Response(const Request&)>;
+  /// Receives every completed response exactly once.
+  using Sink = std::function<void(const Response&)>;
+
+  Scheduler(SchedulerOptions opts, Executor executor, Sink sink);
+  /// Drains admitted work, then joins the workers.
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admit or reject `req`. On rejection the sink receives the
+  /// kRejected response before this returns false. On admission the
+  /// request is queued (FIFO within its tenant) and will produce its
+  /// response through the sink from a worker thread.
+  bool submit(Request req);
+
+  /// Block until every admitted request has completed.
+  void drain();
+
+  /// Admission/completion counters (snapshot under the queue mutex).
+  /// `submitted = admitted + rejected`; `completed` counts every
+  /// admitted request's terminal response, including deadline misses
+  /// and executor errors — nothing is dropped.
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t deadline_misses = 0;
+    std::uint64_t errors = 0;
+  };
+  Stats stats() const;
+
+  /// Ready (queued, not yet running) requests right now.
+  std::size_t queue_depth() const;
+  int workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct Item {
+    Request req;
+    std::uint64_t enqueue_ns = 0;
+    std::uint64_t deadline_ns = 0;  ///< 0 = no deadline.
+  };
+
+  void worker_loop();
+  /// Under mu_: pop the next item round-robin across tenants (FIFO
+  /// within a tenant). Returns false when nothing is ready.
+  bool pop_next(Item* out);
+  /// Reject `req` with `reason` (sink + metrics, outside the lock).
+  void reject(const Request& req, const std::string& reason);
+
+  const SchedulerOptions opts_;
+  const Executor executor_;
+  const Sink sink_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< Signals ready work / stop.
+  std::condition_variable drain_cv_;  ///< Signals active_ reaching 0.
+  /// Per-tenant FIFO queues; rr_tenants_ fixes the rotation order
+  /// (first-appearance) and rr_cursor_ the next tenant to serve.
+  std::map<std::string, std::deque<Item>> queues_;
+  std::vector<std::string> rr_tenants_;
+  std::size_t rr_cursor_ = 0;
+  std::size_t ready_ = 0;   ///< Queued, not yet picked up.
+  std::size_t active_ = 0;  ///< Admitted and not yet completed.
+  bool stop_ = false;
+  Stats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mpa::serve

@@ -1,0 +1,193 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "config/lint.hpp"
+#include "engine/lint_report.hpp"
+#include "learn/dataset.hpp"
+#include "learn/eval.hpp"
+#include "metrics/practices.hpp"
+#include "mpa/causal.hpp"
+#include "mpa/dependence.hpp"
+#include "mpa/modeling.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace mpa::serve {
+namespace {
+
+Practice practice_from_name(const std::string& name) {
+  for (Practice p : all_practices())
+    if (practice_name(p) == name) return p;
+  throw DataError("causal request: unknown practice '" + name + "'");
+}
+
+std::string render_case_table(AnalysisSession& session, const Request& req) {
+  const CaseTable& full = session.case_table();
+  const int first = req.month_from < 0 ? 0 : req.month_from;
+  const int last = req.month_to < 0 ? std::numeric_limits<int>::max() : req.month_to;
+  CaseTable sliced = full.filter_months(first, last);
+  if (!req.network.empty()) {
+    std::vector<Case> kept;
+    for (const Case& c : sliced.cases())
+      if (c.network_id == req.network) kept.push_back(c);
+    sliced = CaseTable(std::move(kept));
+  }
+  return sliced.to_csv();
+}
+
+std::string render_rank(AnalysisSession& session, const Request& req) {
+  if (req.top_k < 1) throw DataError("rank request: top_k must be >= 1");
+  const DependenceAnalysis& dep = session.dependence();
+  const auto k = static_cast<std::size_t>(req.top_k);
+  std::ostringstream os;
+
+  os << "-- practices by avg monthly MI with health --\n";
+  TextTable mi({"rank", "practice", "cat", "MI"});
+  int rank = 0;
+  for (const auto& pm : dep.top_practices(k))
+    mi.row().add(++rank).add(std::string(practice_name(pm.practice)))
+        .add(std::string(category_tag(pm.practice))).add(pm.avg_monthly_mi, 3);
+  mi.print(os);
+
+  os << "\n-- practice pairs by CMI given health --\n";
+  TextTable cmi({"rank", "practice A", "practice B", "CMI"});
+  rank = 0;
+  for (const auto& pair : dep.top_pairs(k))
+    cmi.row().add(++rank).add(std::string(practice_name(pair.a)))
+        .add(std::string(practice_name(pair.b))).add(pair.avg_monthly_cmi, 3);
+  cmi.print(os);
+  return os.str();
+}
+
+std::string render_causal(AnalysisSession& session, const Request& req) {
+  if (req.practice.empty()) throw DataError("causal request: practice required");
+  const CausalResult& res = session.causal(practice_from_name(req.practice));
+  std::ostringstream os;
+  TextTable t({"comparison", "pairs", "+/0/-", "p-value", "balanced", "verdict"});
+  for (const auto& cmp : res.comparisons) {
+    t.row().add(cmp.label()).add(cmp.pairs)
+        .add(std::to_string(cmp.outcome.n_pos) + "/" + std::to_string(cmp.outcome.n_zero) + "/" +
+             std::to_string(cmp.outcome.n_neg))
+        .add(format_sci(cmp.outcome.p_value)).add(cmp.balanced ? "yes" : "NO")
+        .add(cmp.causal
+                 ? (cmp.outcome.n_pos > cmp.outcome.n_neg ? "causes MORE tickets"
+                                                          : "causes FEWER tickets")
+                 : "no causal evidence");
+  }
+  t.print(os);
+  return os.str();
+}
+
+std::string render_lint(AnalysisSession& session, const Request& req) {
+  LintSeverity min = LintSeverity::kInfo;
+  if (!req.min_severity.empty()) {
+    const auto sev = parse_severity(req.min_severity);
+    if (!sev)
+      throw DataError("lint request: min_severity expects info|warning|error, got '" +
+                      req.min_severity + "'");
+    min = *sev;
+  }
+  return session.lint().at_least(min).to_text();
+}
+
+std::string render_predict(AnalysisSession& session, const Request& req) {
+  if (req.classes < 2) throw DataError("predict request: classes must be >= 2");
+  if (req.history < 1) throw DataError("predict request: history must be >= 1");
+  const int months = session.num_months();
+  std::ostringstream os;
+  const EvalResult& cv = session.evaluate_cv(req.classes, ModelKind::kDtBoostOversample);
+  os << "-- " << req.classes << "-class model, 5-fold CV --\n"
+     << cv.to_string(health_class_names(req.classes));
+  const int first_t = std::min(months - 1, req.history);
+  const double online = session.online_accuracy(req.classes, req.history,
+                                                ModelKind::kDtBoostOversample, first_t,
+                                                months - 1);
+  os << "\nonline month-ahead accuracy (history " << req.history
+     << " months): " << format_double(online * 100, 1) << "%\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_request(AnalysisSession& session, const Request& req) {
+  switch (req.kind) {
+    case RequestKind::kCaseTable: return render_case_table(session, req);
+    case RequestKind::kRank: return render_rank(session, req);
+    case RequestKind::kCausal: return render_causal(session, req);
+    case RequestKind::kLint: return render_lint(session, req);
+    case RequestKind::kPredict: return render_predict(session, req);
+  }
+  throw DataError("request: unknown kind");
+}
+
+AnalysisServer::AnalysisServer(ServerOptions opts, Scheduler::Sink tap)
+    : opts_(std::move(opts)),
+      tap_(std::move(tap)),
+      scheduler_(
+          opts_.scheduler, [this](const Request& req) { return execute(req); },
+          [this](const Response& resp) { record(resp); }) {}
+
+void AnalysisServer::open_directory(const std::string& key, const std::string& dir) {
+  sessions_.open_directory(key, dir, opts_.session);
+}
+
+std::uint64_t AnalysisServer::submit(Request req) {
+  {
+    std::lock_guard<std::mutex> lk(resp_mu_);
+    if (req.id == 0)
+      req.id = next_id_++;
+    else
+      next_id_ = std::max(next_id_, req.id + 1);
+  }
+  const std::uint64_t id = req.id;
+  scheduler_.submit(std::move(req));
+  return id;
+}
+
+Response AnalysisServer::submit_and_wait(Request req) {
+  const std::uint64_t id = submit(std::move(req));
+  std::unique_lock<std::mutex> lk(resp_mu_);
+  resp_cv_.wait(lk, [&] { return responses_.count(id) != 0; });
+  return responses_.at(id);
+}
+
+void AnalysisServer::drain() { scheduler_.drain(); }
+
+Response AnalysisServer::execute(const Request& req) {
+  Response resp;
+  resp.status = RequestStatus::kOk;
+  resp.body = sessions_.with_session(req.session, [&](AnalysisSession& session) {
+    obs::Span span = obs::Span::with_path("serve/" + std::string(to_string(req.kind)));
+    return render_request(session, req);
+  });
+  return resp;
+}
+
+void AnalysisServer::record(const Response& resp) {
+  {
+    std::lock_guard<std::mutex> lk(resp_mu_);
+    responses_[resp.id] = resp;
+  }
+  resp_cv_.notify_all();
+  if (tap_) tap_(resp);
+}
+
+std::vector<Response> AnalysisServer::responses() const {
+  std::lock_guard<std::mutex> lk(resp_mu_);
+  std::vector<Response> out;
+  out.reserve(responses_.size());
+  for (const auto& [id, resp] : responses_) out.push_back(resp);
+  return out;
+}
+
+void AnalysisServer::clear_responses() {
+  std::lock_guard<std::mutex> lk(resp_mu_);
+  responses_.clear();
+}
+
+}  // namespace mpa::serve

@@ -1,0 +1,89 @@
+// AnalysisServer: the long-lived analysis service behind `mpa serve`
+// and `mpa replay` (DESIGN.md §11). It keeps N AnalysisSessions
+// resident in a SessionManager and answers Requests from a Scheduler:
+// the executor resolves the request's session key, takes that
+// session's exclusive lock, renders the analysis (memoized stages fan
+// out on the session's own ThreadPool), and the internal sink stores
+// every Response for retrieval — nothing is dropped, including
+// rejections and deadline misses.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/session_manager.hpp"
+#include "serve/request.hpp"
+#include "serve/scheduler.hpp"
+
+namespace mpa::serve {
+
+struct ServerOptions {
+  SchedulerOptions scheduler;
+  /// Session options applied by open_directory().
+  SessionOptions session;
+};
+
+/// Render one request against a session: dispatch on kind, run the
+/// memoized stage, format the result as text/CSV. The body is a pure
+/// function of (dataset, session options, seed, request), so replaying
+/// a fixed trace yields byte-identical bodies at any worker count.
+/// Throws DataError on bad parameters (unknown practice, bad severity).
+std::string render_request(AnalysisSession& session, const Request& req);
+
+class AnalysisServer {
+ public:
+  /// `tap`, when set, receives every Response as it completes (worker
+  /// threads / the submitting thread for rejections) — the daemon uses
+  /// it to stream response JSONL.
+  explicit AnalysisServer(ServerOptions opts = {}, Scheduler::Sink tap = nullptr);
+  /// Drains in-flight requests (scheduler destructs before sessions).
+  ~AnalysisServer() = default;
+  AnalysisServer(const AnalysisServer&) = delete;
+  AnalysisServer& operator=(const AnalysisServer&) = delete;
+
+  SessionManager& sessions() { return sessions_; }
+
+  /// Open a resident session over a dataset directory under `key`,
+  /// with the server's session options applied.
+  void open_directory(const std::string& key, const std::string& dir);
+
+  /// Submit a request; assigns the next id when req.id == 0. Returns
+  /// the id, whether admitted or rejected (the rejection response is
+  /// recorded before this returns).
+  std::uint64_t submit(Request req);
+
+  /// Submit and block for this request's response (closed-loop client).
+  Response submit_and_wait(Request req);
+
+  /// Block until every admitted request has completed.
+  void drain();
+
+  /// All recorded responses, ordered by id.
+  std::vector<Response> responses() const;
+  /// Drop recorded responses (bench steady-state resets).
+  void clear_responses();
+
+  Scheduler::Stats stats() const { return scheduler_.stats(); }
+  const Scheduler& scheduler() const { return scheduler_; }
+
+ private:
+  Response execute(const Request& req);
+  void record(const Response& resp);
+
+  const ServerOptions opts_;
+  SessionManager sessions_;  ///< Declared before scheduler_: workers join first.
+  Scheduler::Sink tap_;
+
+  mutable std::mutex resp_mu_;
+  std::condition_variable resp_cv_;
+  std::map<std::uint64_t, Response> responses_;
+  std::uint64_t next_id_ = 1;
+
+  Scheduler scheduler_;  ///< Last member: destructs (drains + joins) first.
+};
+
+}  // namespace mpa::serve

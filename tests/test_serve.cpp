@@ -1,0 +1,583 @@
+// Tests for the serving layer (src/serve/): scheduler admission
+// control, deadline expiry, FIFO-within-tenant and round-robin
+// fairness across tenants; the request/response wire format; the
+// SessionManager registry; thread-safe session stats under concurrent
+// readers (run under TSan in CI); and the serve determinism contract —
+// a fixed trace replayed on one worker is byte-identical run to run,
+// and the (id, kind, status, body) responses plus the canonical event
+// stream are identical at 1, 2, and 8 workers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/session_manager.hpp"
+#include "metrics/practices.hpp"
+#include "obs/log.hpp"
+#include "serve/client.hpp"
+#include "serve/request.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server.hpp"
+#include "simulation/osp_generator.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace mpa::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scheduler unit tests: a stub executor, no sessions involved.
+
+/// Manually released barrier the stub executor can park on, so tests
+/// control exactly when the worker is busy.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return open; });
+  }
+};
+
+/// Thread-safe response recorder (completion order preserved).
+struct Collector {
+  std::mutex mu;
+  std::vector<Response> responses;
+
+  Scheduler::Sink sink() {
+    return [this](const Response& resp) {
+      std::lock_guard<std::mutex> lk(mu);
+      responses.push_back(resp);
+    };
+  }
+  std::vector<std::uint64_t> ids() {
+    std::lock_guard<std::mutex> lk(mu);
+    std::vector<std::uint64_t> out;
+    for (const Response& r : responses) out.push_back(r.id);
+    return out;
+  }
+  Response by_id(std::uint64_t id) {
+    std::lock_guard<std::mutex> lk(mu);
+    for (const Response& r : responses)
+      if (r.id == id) return r;
+    ADD_FAILURE() << "no response for id " << id;
+    return {};
+  }
+};
+
+Request req_for(std::uint64_t id, const std::string& tenant = "default") {
+  Request req;
+  req.id = id;
+  req.tenant = tenant;
+  req.kind = RequestKind::kRank;
+  return req;
+}
+
+/// Spin until the scheduler's ready queue is empty (the worker picked
+/// the request up), bounded so a bug fails rather than hangs.
+void wait_until_picked_up(const Scheduler& sched) {
+  for (int i = 0; i < 2000 && sched.queue_depth() > 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(sched.queue_depth(), 0u);
+}
+
+TEST(Scheduler, RejectsBeyondMaxActive) {
+  Gate gate;
+  Collector out;
+  SchedulerOptions opts;
+  opts.workers = 1;
+  opts.max_active_reqs = 2;
+  opts.max_queue_depth = 8;
+  Scheduler sched(
+      opts,
+      [&](const Request&) {
+        gate.wait();
+        Response resp;
+        resp.body = "done";
+        return resp;
+      },
+      out.sink());
+
+  EXPECT_TRUE(sched.submit(req_for(1)));
+  wait_until_picked_up(sched);  // id 1 running: active=1, ready=0.
+  EXPECT_TRUE(sched.submit(req_for(2)));   // active=2, ready=1.
+  EXPECT_FALSE(sched.submit(req_for(3)));  // active at cap: rejected.
+
+  // The rejection was answered synchronously, before any completion.
+  const Response rejected = out.by_id(3);
+  EXPECT_EQ(rejected.status, RequestStatus::kRejected);
+  EXPECT_NE(rejected.body.find("max_active_reqs"), std::string::npos);
+
+  gate.release();
+  sched.drain();
+  const Scheduler::Stats stats = sched.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.ok, 2u);
+  EXPECT_EQ(out.ids().size(), 3u);  // 2 executed + 1 rejected: none dropped.
+}
+
+TEST(Scheduler, RejectsBeyondQueueDepth) {
+  Gate gate;
+  Collector out;
+  SchedulerOptions opts;
+  opts.workers = 1;
+  opts.max_active_reqs = 8;
+  opts.max_queue_depth = 1;
+  Scheduler sched(
+      opts,
+      [&](const Request&) {
+        gate.wait();
+        return Response{};
+      },
+      out.sink());
+
+  EXPECT_TRUE(sched.submit(req_for(1)));
+  wait_until_picked_up(sched);
+  EXPECT_TRUE(sched.submit(req_for(2)));   // ready=1 == depth cap.
+  EXPECT_FALSE(sched.submit(req_for(3)));  // queue full: rejected.
+  EXPECT_NE(out.by_id(3).body.find("queue_full"), std::string::npos);
+
+  gate.release();
+  sched.drain();
+  EXPECT_EQ(sched.stats().rejected, 1u);
+  EXPECT_EQ(sched.stats().completed, 2u);
+}
+
+TEST(Scheduler, ExpiredDeadlineCompletesExplicitly) {
+  Gate gate;
+  Collector out;
+  SchedulerOptions opts;
+  opts.workers = 1;
+  Scheduler sched(
+      opts,
+      [&](const Request& req) {
+        if (req.id == 1) gate.wait();
+        return Response{};
+      },
+      out.sink());
+
+  ASSERT_TRUE(sched.submit(req_for(1)));
+  wait_until_picked_up(sched);
+  Request hurried = req_for(2);
+  hurried.deadline_ms = 5;
+  ASSERT_TRUE(sched.submit(std::move(hurried)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));  // let it expire queued
+  gate.release();
+  sched.drain();
+
+  // The expired request still produced its response — with the
+  // deadline_exceeded status, never silently dropped.
+  const Response late = out.by_id(2);
+  EXPECT_EQ(late.status, RequestStatus::kDeadlineExceeded);
+  const Scheduler::Stats stats = sched.stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.deadline_misses, 1u);
+  EXPECT_EQ(stats.ok, 1u);
+}
+
+TEST(Scheduler, FifoWithinTenant) {
+  Gate gate;
+  Collector out;
+  SchedulerOptions opts;
+  opts.workers = 1;
+  Scheduler sched(
+      opts,
+      [&](const Request& req) {
+        if (req.id == 1) gate.wait();
+        return Response{};
+      },
+      out.sink());
+
+  ASSERT_TRUE(sched.submit(req_for(1)));
+  wait_until_picked_up(sched);
+  for (std::uint64_t id = 2; id <= 5; ++id) ASSERT_TRUE(sched.submit(req_for(id)));
+  gate.release();
+  sched.drain();
+  EXPECT_EQ(out.ids(), (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(Scheduler, RoundRobinAcrossTenantsUnderSaturation) {
+  Gate gate;
+  Collector out;
+  SchedulerOptions opts;
+  opts.workers = 1;
+  Scheduler sched(
+      opts,
+      [&](const Request& req) {
+        if (req.id == 1) gate.wait();
+        return Response{};
+      },
+      out.sink());
+
+  // Hold the single worker on tenant a's first request, then queue
+  // three more per tenant — a's backlog first, so unfair FIFO would
+  // finish all of tenant a before tenant b sees service.
+  ASSERT_TRUE(sched.submit(req_for(1, "a")));
+  wait_until_picked_up(sched);
+  for (std::uint64_t id : {2, 3, 4}) ASSERT_TRUE(sched.submit(req_for(id, "a")));
+  for (std::uint64_t id : {5, 6, 7}) ASSERT_TRUE(sched.submit(req_for(id, "b")));
+  gate.release();
+  sched.drain();
+
+  // id 1 was popped while tenant a was the only registered tenant, so
+  // the cursor wrapped back to a (id 2); from there the rotation
+  // strictly alternates b, a, b, a — tenant b is never starved behind
+  // a's earlier backlog.
+  EXPECT_EQ(out.ids(), (std::vector<std::uint64_t>{1, 2, 5, 3, 6, 4, 7}));
+}
+
+TEST(Scheduler, ConcurrentSubmitStress) {
+  Collector out;
+  SchedulerOptions opts;
+  opts.workers = 4;
+  opts.max_active_reqs = 16;
+  opts.max_queue_depth = 16;
+  std::atomic<std::uint64_t> executed{0};
+  {
+    Scheduler sched(
+        opts,
+        [&](const Request&) {
+          executed.fetch_add(1, std::memory_order_relaxed);
+          return Response{};
+        },
+        out.sink());
+
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t)
+      submitters.emplace_back([&sched, t] {
+        for (int i = 0; i < 50; ++i) {
+          Request req = req_for(static_cast<std::uint64_t>(t) * 50 + i + 1,
+                                t % 2 == 0 ? "even" : "odd");
+          sched.submit(std::move(req));
+        }
+      });
+    for (std::thread& s : submitters) s.join();
+    sched.drain();
+
+    const Scheduler::Stats stats = sched.stats();
+    EXPECT_EQ(stats.submitted, 200u);
+    EXPECT_EQ(stats.admitted + stats.rejected, 200u);
+    EXPECT_EQ(stats.completed, stats.admitted);
+    EXPECT_EQ(executed.load(), stats.ok);
+  }
+  // Every request produced exactly one response through the sink.
+  EXPECT_EQ(out.ids().size(), 200u);
+}
+
+// ---------------------------------------------------------------------------
+// Wire format.
+
+TEST(RequestWire, RoundTripsThroughJson) {
+  Request req;
+  req.id = 42;
+  req.tenant = "team-x";
+  req.session = "prod";
+  req.kind = RequestKind::kCausal;
+  req.practice = "No. of devices";
+  req.deadline_ms = 250;
+
+  const std::string json = req.to_json();
+  const Request back = Request::from_json(parse_json(json));
+  EXPECT_EQ(back.to_json(), json);
+  EXPECT_EQ(back.id, 42u);
+  EXPECT_EQ(back.kind, RequestKind::kCausal);
+  EXPECT_EQ(back.practice, "No. of devices");
+  EXPECT_DOUBLE_EQ(back.deadline_ms, 250);
+}
+
+TEST(RequestWire, RejectsUnknownFieldsAndKinds) {
+  EXPECT_THROW(Request::from_json(parse_json(R"({"kind":"rank","bogus":1})")), DataError);
+  EXPECT_THROW(Request::from_json(parse_json(R"({"kind":"frobnicate"})")), DataError);
+  EXPECT_THROW(Request::from_json(parse_json(R"([1,2])")), DataError);
+}
+
+TEST(RequestWire, TraceParseReportsLineNumbers) {
+  const std::string trace = "{\"id\":1,\"kind\":\"rank\"}\n\n{\"id\":2,\"kind\":\"nope\"}\n";
+  try {
+    trace_from_jsonl(trace);
+    FAIL() << "expected DataError";
+  } catch (const DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(ResponseWire, DeterministicFormExcludesTiming) {
+  Response resp;
+  resp.id = 7;
+  resp.kind = RequestKind::kLint;
+  resp.status = RequestStatus::kOk;
+  resp.body = "clean";
+  resp.total_ms = 12.5;
+  EXPECT_EQ(resp.to_json(false), R"({"id":7,"kind":"lint","status":"ok","body":"clean"})");
+  EXPECT_NE(resp.to_json(true).find("total_ms"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-side: SessionManager and thread-safe session stats.
+
+constexpr int kNetworks = 16;
+constexpr int kMonths = 4;
+
+AnalysisSession small_session(int threads = 1) {
+  OspOptions opts;
+  opts.num_networks = kNetworks;
+  opts.num_months = kMonths;
+  opts.seed = 5;
+  OspDataset data = generate_osp(opts);
+  SessionOptions sopts;
+  sopts.threads = threads;
+  sopts.inference.num_months = kMonths;
+  return AnalysisSession(std::move(data.inventory), std::move(data.snapshots),
+                         std::move(data.tickets), std::move(sopts));
+}
+
+TEST(SessionManager, RegistryContract) {
+  SessionManager mgr;
+  mgr.open("beta", small_session());
+  mgr.open("alpha", small_session());
+  EXPECT_THROW(mgr.open("alpha", small_session()), DataError);
+  EXPECT_THROW(mgr.open("", small_session()), DataError);
+
+  EXPECT_TRUE(mgr.contains("alpha"));
+  EXPECT_EQ(mgr.size(), 2u);
+  EXPECT_EQ(mgr.keys(), (std::vector<std::string>{"alpha", "beta"}));
+
+  const std::size_t cases =
+      mgr.with_session("alpha", [](AnalysisSession& s) { return s.case_table().size(); });
+  EXPECT_EQ(cases, static_cast<std::size_t>(kNetworks * kMonths));
+  EXPECT_THROW(mgr.with_session("nope", [](AnalysisSession&) { return 0; }), DataError);
+
+  EXPECT_TRUE(mgr.close("beta"));
+  EXPECT_FALSE(mgr.close("beta"));
+  EXPECT_EQ(mgr.size(), 1u);
+  EXPECT_EQ(mgr.stats().opened, 2u);
+  EXPECT_EQ(mgr.stats().closed, 1u);
+}
+
+TEST(SessionManager, CloseWhileRequestInFlightKeepsSessionAlive) {
+  SessionManager mgr;
+  mgr.open("s", small_session());
+  Gate entered;
+  std::thread worker([&] {
+    mgr.with_session("s", [&](AnalysisSession& session) {
+      entered.release();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      return session.case_table().size();  // session must still be alive
+    });
+  });
+  entered.wait();
+  EXPECT_TRUE(mgr.close("s"));  // unregisters immediately...
+  EXPECT_FALSE(mgr.contains("s"));
+  worker.join();  // ...but the entry survives until the request finishes.
+}
+
+TEST(SessionStats, SafeUnderConcurrentReaders) {
+  AnalysisSession session = small_session(2);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t)
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        const AnalysisSession::CacheStats snap = session.stats();
+        EXPECT_LE(snap.table_builds, 12u);
+        EXPECT_LE(session.manifest().stages.size(), 64u);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+  constexpr int kRounds = 12;
+  for (int i = 0; i < kRounds; ++i) {
+    session.invalidate();
+    session.case_table();
+    session.dependence();
+  }
+  done = true;
+  for (std::thread& r : readers) r.join();
+
+  EXPECT_EQ(session.stats().table_builds, static_cast<std::size_t>(kRounds));
+  EXPECT_GT(reads.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: server + fixed trace.
+
+ServerOptions two_session_opts(int workers) {
+  ServerOptions opts;
+  opts.scheduler.workers = workers;
+  opts.scheduler.max_active_reqs = 64;
+  opts.scheduler.max_queue_depth = 64;
+  return opts;
+}
+
+std::unique_ptr<AnalysisServer> two_session_server(int workers) {
+  auto server = std::make_unique<AnalysisServer>(two_session_opts(workers));
+  server->sessions().open("s1", small_session());
+  server->sessions().open("s2", small_session());
+  return server;
+}
+
+/// A fixed mixed-kind trace over two sessions, with repeats so memoized
+/// stages get exercised. No deadlines and ample admission headroom, so
+/// every status is deterministic.
+std::vector<Request> fixed_trace() {
+  std::vector<Request> trace;
+  auto add = [&trace](RequestKind kind, const char* session, const char* tenant) -> Request& {
+    Request req;
+    req.id = trace.size() + 1;
+    req.kind = kind;
+    req.session = session;
+    req.tenant = tenant;
+    trace.push_back(std::move(req));
+    return trace.back();
+  };
+  Request& slice = add(RequestKind::kCaseTable, "s1", "a");
+  slice.month_from = 0;
+  slice.month_to = 2;
+  add(RequestKind::kRank, "s2", "b").top_k = 5;
+  add(RequestKind::kLint, "s1", "a").min_severity = "warning";
+  add(RequestKind::kCausal, "s2", "b").practice =
+      std::string(practice_name(Practice::kNumDevices));
+  Request& predict = add(RequestKind::kPredict, "s1", "a");
+  predict.classes = 2;
+  predict.history = 2;
+  add(RequestKind::kCaseTable, "s2", "b");
+  add(RequestKind::kRank, "s1", "a").top_k = 5;
+  add(RequestKind::kLint, "s2", "b");
+  Request& narrow = add(RequestKind::kCaseTable, "s1", "b");
+  narrow.month_from = 1;
+  narrow.month_to = 1;
+  add(RequestKind::kRank, "s2", "a").top_k = 3;  // memoized dependence on s2
+  return trace;
+}
+
+/// Replay the fixed trace and return the deterministic response JSONL
+/// (sorted by id, no timing fields).
+std::string replay_fixed_trace(int workers) {
+  const std::unique_ptr<AnalysisServer> server = two_session_server(workers);
+  for (const Request& req : fixed_trace()) server->submit(req);
+  server->drain();
+  std::string out;
+  for (const Response& resp : server->responses()) {
+    EXPECT_EQ(resp.status, RequestStatus::kOk) << "id " << resp.id << ": " << resp.body;
+    out += resp.to_json(false);
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(ServeDeterminism, SingleWorkerReplayIsByteIdentical) {
+  const std::string first = replay_fixed_trace(1);
+  const std::string second = replay_fixed_trace(1);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(ServeDeterminism, ResponsesAndEventStreamStableAcrossWorkerCounts) {
+  obs::Logger::global().clear();
+  obs::set_log_enabled(true);
+
+  std::vector<std::string> responses;
+  std::vector<std::string> canonical;
+  for (int workers : {1, 2, 8}) {
+    obs::Logger::global().clear();
+    responses.push_back(replay_fixed_trace(workers));
+    canonical.push_back(obs::Logger::global().canonical_jsonl());
+  }
+  obs::set_log_enabled(false);
+  obs::Logger::global().clear();
+
+  EXPECT_EQ(responses[0], responses[1]);
+  EXPECT_EQ(responses[0], responses[2]);
+  // The canonical (timestamp-free, content-sorted) event stream is
+  // structural only — identical multiset of request/stage events no
+  // matter how execution interleaved.
+  EXPECT_FALSE(canonical[0].empty());
+  EXPECT_EQ(canonical[0], canonical[1]);
+  EXPECT_EQ(canonical[0], canonical[2]);
+}
+
+TEST(Server, UnknownSessionKeyAnswersWithError) {
+  AnalysisServer server(two_session_opts(1));
+  server.sessions().open("s1", small_session());
+  Request req;
+  req.session = "missing";
+  req.kind = RequestKind::kRank;
+  const Response resp = server.submit_and_wait(std::move(req));
+  EXPECT_EQ(resp.status, RequestStatus::kError);
+  EXPECT_NE(resp.body.find("unknown session"), std::string::npos);
+}
+
+TEST(Server, AssignsIdsAndRecordsEveryResponse) {
+  AnalysisServer server(two_session_opts(2));
+  server.sessions().open("main", small_session());
+  Request req;
+  req.session = "main";
+  req.kind = RequestKind::kCaseTable;
+  const std::uint64_t id1 = server.submit(req);
+  const std::uint64_t id2 = server.submit(req);
+  EXPECT_NE(id1, 0u);
+  EXPECT_NE(id2, id1);
+  server.drain();
+  EXPECT_EQ(server.responses().size(), 2u);
+  server.clear_responses();
+  EXPECT_TRUE(server.responses().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic client.
+
+TEST(Client, SynthesizedTraceIsDeterministicPerSeed) {
+  ClientOptions opts;
+  opts.request_total_cnt = 40;
+  opts.seed = 11;
+  opts.tenants = {"t0", "t1", "t2"};
+  const std::vector<Request> a = synthesize_trace(opts);
+  const std::vector<Request> b = synthesize_trace(opts);
+  ASSERT_EQ(a.size(), 40u);
+  EXPECT_EQ(trace_to_jsonl(a), trace_to_jsonl(b));
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id, i + 1);
+
+  opts.seed = 12;
+  EXPECT_NE(trace_to_jsonl(a), trace_to_jsonl(synthesize_trace(opts)));
+}
+
+TEST(Client, ClosedLoopReplayAccountsForEveryRequest) {
+  AnalysisServer server(two_session_opts(2));
+  server.sessions().open("main", small_session());
+  ClientOptions opts;
+  opts.request_total_cnt = 6;
+  opts.seed = 2;
+  opts.kind_weights = {3, 2, 0, 2, 0};  // cheap kinds only
+  const LoadReport report = SyntheticClient(opts).run(server);
+  EXPECT_EQ(report.total, 6u);
+  EXPECT_EQ(report.ok, 6u);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GT(report.throughput_rps, 0.0);
+  EXPECT_GE(report.p99_ms, report.p50_ms);
+  EXPECT_NE(report.to_json().find("\"total\":6"), std::string::npos);
+  EXPECT_NE(report.to_text().find("throughput"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpa::serve

@@ -28,6 +28,22 @@
 //   mpa_cli trace summarize <trace.json>
 //       Aggregate a trace file (--trace-out span JSON or
 //       --chrome-trace-out Chrome trace) into a per-path tree.
+//   mpa_cli serve <dir> [--workers N] [--max-active N] [--queue-depth N]
+//              [--deadline-ms D]
+//       Long-lived analysis service: keeps a session resident over the
+//       dataset, reads JSONL requests from stdin (src/serve/request.hpp
+//       wire format), streams response JSONL to stdout as requests
+//       complete. EOF drains and exits.
+//   mpa_cli replay <dir> [--requests N] [--interval-ms D] [--seed S]
+//              [--tenants N] [--workers N] [--max-active N]
+//              [--queue-depth N] [--deadline-ms D] [--trace-in FILE]
+//              [--trace-dump FILE] [--responses-out FILE]
+//              [--report-out FILE]
+//       Synthetic load client against an in-process server: replays a
+//       seeded (or --trace-in) trace, prints throughput + p50/p90/p99.
+//       --responses-out writes the deterministic response JSONL (sorted
+//       by id, no timing) — byte-identical for a fixed single-worker
+//       trace.
 //
 // Common flags: --threads N (engine pool size; default MPA_THREADS or
 // the hardware concurrency). Observability (any subcommand):
@@ -47,6 +63,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
@@ -61,7 +78,10 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "simulation/osp_generator.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -167,6 +187,11 @@ void check_flags(const Args& args) {
       {"lint", {"threads", "delta", "format", "out", "min-severity", "fail-on"}},
       {"report", {"format"}},
       {"trace summarize", {}},
+      {"serve", {"threads", "delta", "workers", "max-active", "queue-depth", "deadline-ms"}},
+      {"replay",
+       {"threads", "delta", "workers", "max-active", "queue-depth", "deadline-ms", "requests",
+        "interval-ms", "seed", "tenants", "trace-in", "trace-dump", "responses-out",
+        "report-out"}},
   };
   // Observability flags ride along with every subcommand.
   static const std::set<std::string> common = {
@@ -183,6 +208,11 @@ int usage() {
   std::cerr << "usage: mpa_cli <generate|summary|infer|rank|causal|predict|lint> <dir> [flags]\n"
                "       mpa_cli report <manifest.json> [--format text|json]\n"
                "       mpa_cli trace summarize <trace.json>\n"
+               "       mpa_cli serve <dir> [--workers N] [--max-active N]\n"
+               "                     [--queue-depth N] [--deadline-ms D]\n"
+               "       mpa_cli replay <dir> [--requests N] [--interval-ms D] [--seed S]\n"
+               "                     [--tenants N] [--trace-in FILE] [--trace-dump FILE]\n"
+               "                     [--responses-out FILE] [--report-out FILE]\n"
                "run with a dataset directory (see src/io/dataset_io.hpp).\n"
                "  generate: --networks N --months M --seed S\n"
                "  infer:    --out FILE --delta MINUTES\n"
@@ -192,6 +222,16 @@ int usage() {
                "  lint:     --format text|json|sarif --out FILE\n"
                "            --min-severity info|warning|error (report floor)\n"
                "            --fail-on info|warning|error (exit 3 when hit)\n"
+               "  serve:    --workers N (request workers, default 2)\n"
+               "            --max-active N (admitted-request cap, default 64)\n"
+               "            --queue-depth N (ready-queue cap, default 256)\n"
+               "            --deadline-ms D (default per-request deadline, 0 = none)\n"
+               "  replay:   --requests N --interval-ms D (0 = closed loop) --seed S\n"
+               "            --tenants N (spread load across N tenants)\n"
+               "            --trace-in FILE (replay a saved trace)\n"
+               "            --trace-dump FILE (save the synthesized trace)\n"
+               "            --responses-out FILE (deterministic response JSONL)\n"
+               "            --report-out FILE (load report JSON)\n"
                "common:     --threads N (default MPA_THREADS or hardware)\n"
                "            --metrics-out FILE (JSON; Prometheus if *.prom)\n"
                "            --trace-out FILE (span JSON)\n"
@@ -391,6 +431,103 @@ int cmd_trace_summarize(const Args& args) {
   return 0;
 }
 
+/// Scheduler + session options shared by `serve` and `replay`.
+serve::ServerOptions server_options(const Args& args) {
+  serve::ServerOptions opts;
+  opts.scheduler.workers = args.get_int_min("workers", 2, 1);
+  opts.scheduler.max_active_reqs =
+      static_cast<std::size_t>(args.get_int_min("max-active", 64, 1));
+  opts.scheduler.max_queue_depth =
+      static_cast<std::size_t>(args.get_int_min("queue-depth", 256, 1));
+  opts.scheduler.default_deadline_ms = args.get_double("deadline-ms", 0);
+  if (opts.scheduler.default_deadline_ms < 0)
+    throw UsageError{"--deadline-ms must be >= 0"};
+  opts.session.inference.event_window = args.get_int_min("delta", 5, 0);
+  opts.session.threads = args.get_int_min("threads", 0, 0);
+  return opts;
+}
+
+int cmd_serve(const Args& args) {
+  const serve::ServerOptions opts = server_options(args);
+
+  // Responses complete on worker threads; serialize the stdout stream.
+  std::mutex out_mu;
+  serve::AnalysisServer server(opts, [&out_mu](const serve::Response& resp) {
+    std::lock_guard<std::mutex> lk(out_mu);
+    std::cout << resp.to_json() << "\n" << std::flush;
+  });
+  server.open_directory("main", args.dir);
+  std::cerr << "mpa_cli serve: session 'main' over " << args.dir << ", "
+            << server.scheduler().workers()
+            << " worker(s); reading JSONL requests from stdin\n";
+
+  std::string line;
+  std::uint64_t bad_lines = 0;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    try {
+      server.submit(serve::Request::from_json(parse_json(line)));
+    } catch (const DataError& e) {
+      ++bad_lines;
+      std::cerr << "mpa_cli serve: bad request: " << e.what() << "\n";
+    }
+  }
+  server.drain();
+  const serve::Scheduler::Stats stats = server.stats();
+  std::cerr << "mpa_cli serve: " << stats.submitted << " submitted, " << stats.completed
+            << " completed, " << stats.rejected << " rejected, " << stats.deadline_misses
+            << " deadline-exceeded, " << stats.errors << " error(s)\n";
+  return bad_lines == 0 ? 0 : 1;
+}
+
+int cmd_replay(const Args& args) {
+  const serve::ServerOptions opts = server_options(args);
+
+  serve::ClientOptions copts;
+  copts.request_total_cnt = args.get_int_min("requests", 32, 1);
+  copts.request_interval_ms = args.get_double("interval-ms", 0);
+  if (copts.request_interval_ms < 0) throw UsageError{"--interval-ms must be >= 0"};
+  copts.seed = args.get_u64("seed", 1);
+  copts.deadline_ms = opts.scheduler.default_deadline_ms;
+  const int tenants = args.get_int_min("tenants", 1, 1);
+  copts.tenants.clear();
+  for (int i = 0; i < tenants; ++i) copts.tenants.push_back("tenant" + std::to_string(i));
+
+  std::vector<serve::Request> trace;
+  const std::string trace_in = args.get("trace-in");
+  if (trace_in.empty()) {
+    trace = serve::synthesize_trace(copts);
+  } else {
+    std::ifstream in(trace_in);
+    if (!in) throw DataError("replay: cannot open trace '" + trace_in + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    trace = serve::trace_from_jsonl(buf.str());
+  }
+  const std::string trace_dump = args.get("trace-dump");
+  if (!trace_dump.empty()) {
+    std::ofstream f(trace_dump);
+    f << serve::trace_to_jsonl(trace);
+  }
+
+  serve::AnalysisServer server(opts);
+  server.open_directory("main", args.dir);
+  const serve::LoadReport report = serve::SyntheticClient(copts).replay(server, trace);
+
+  const std::string responses_out = args.get("responses-out");
+  if (!responses_out.empty()) {
+    std::ofstream f(responses_out);
+    for (const serve::Response& resp : server.responses()) f << resp.to_json(false) << "\n";
+  }
+  const std::string report_out = args.get("report-out");
+  if (!report_out.empty()) {
+    std::ofstream f(report_out);
+    f << report.to_json();
+  }
+  std::cout << report.to_text();
+  return 0;
+}
+
 /// True when any observability flag asks for metric/span recording.
 bool wants_observability(const Args& args) {
   return args.flags.count("metrics-out") != 0 || args.flags.count("trace-out") != 0 ||
@@ -424,6 +561,8 @@ int dispatch(const Args& args) {
   if (args.command == "lint") return cmd_lint(args);
   if (args.command == "report") return cmd_report(args);
   if (args.command == "trace summarize") return cmd_trace_summarize(args);
+  if (args.command == "serve") return cmd_serve(args);
+  if (args.command == "replay") return cmd_replay(args);
   throw UsageError{"unknown command '" + args.command + "'"};
 }
 
