@@ -4,6 +4,13 @@
 // the benches use to share one expensive 850x17 case table across ~25
 // binaries, and the AnalysisSession uses to skip re-inference when a
 // keyed session is reconstructed over the same data.
+//
+// Thread safety (DESIGN.md §12): the store holds no mutable state —
+// dir_ is fixed at construction and every method is const, so a store
+// is safe to share across threads without locks. Concurrent writers
+// to the SAME key are serialized by the filesystem, not by us; the
+// engine's session-per-key ownership (SessionManager) makes that case
+// a non-event, and a torn read is treated as a cache miss by design.
 #pragma once
 
 #include <optional>

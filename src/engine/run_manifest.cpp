@@ -2,11 +2,11 @@
 
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 #include <sstream>
 
 #include "util/error.hpp"
 #include "util/json.hpp"
+#include "util/sync.hpp"
 
 namespace mpa {
 namespace {
@@ -61,8 +61,8 @@ std::map<std::string, std::uint64_t> parse_map(const JsonValue& v) {
   return out;
 }
 
-std::mutex g_last_mu;
-std::optional<RunManifest> g_last;  // NOLINT(cert-err58-cpp)
+Mutex g_last_mu;
+std::optional<RunManifest> g_last GUARDED_BY(g_last_mu);  // NOLINT(cert-err58-cpp)
 
 }  // namespace
 
@@ -205,12 +205,12 @@ std::string fingerprint_hex(std::uint64_t h) {
 }
 
 std::optional<RunManifest> last_run_manifest() {
-  std::lock_guard<std::mutex> lk(g_last_mu);
+  MutexLock lk(g_last_mu);
   return g_last;
 }
 
 void set_last_run_manifest(RunManifest manifest) {
-  std::lock_guard<std::mutex> lk(g_last_mu);
+  MutexLock lk(g_last_mu);
   g_last = std::move(manifest);
 }
 

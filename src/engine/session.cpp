@@ -117,10 +117,15 @@ AnalysisSession::~AnalysisSession() {
     // Structural pool counts only (thread-count-invariant); the
     // scheduling-dependent ones live in the metrics export.
     const ThreadPool::Stats s = pool_->stats();
+    std::size_t stages = 0;
+    {
+      MutexLock lk(stats_mu_);
+      stages = stage_runs_.size();
+    }
     obs::LogEvent(obs::LogLevel::kInfo, "session_close")
         .u64("pool_jobs", s.jobs)
         .u64("pool_tasks", s.tasks)
-        .u64("stages", stage_runs_.size());
+        .u64("stages", stages);
   }
   // Keyed sessions leave their provenance beside the artifacts they
   // wrote; instrumented sessions additionally publish it for the CLI's
@@ -330,7 +335,7 @@ double AnalysisSession::online_accuracy(int num_classes, int history_m, ModelKin
 }
 
 AnalysisSession::CacheStats AnalysisSession::stats() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  MutexLock lk(stats_mu_);
   return stats_;
 }
 
@@ -349,7 +354,7 @@ RunManifest AnalysisSession::manifest() const {
   m.artifact_dir = opts_.artifact_dir;
   m.artifact_key = opts_.artifact_key;
   {
-    std::lock_guard<std::mutex> lk(stats_mu_);
+    MutexLock lk(stats_mu_);
     m.stages = stage_runs_;
     m.cache = {{"hits", stats_.hits},
                {"table_builds", stats_.table_builds},
@@ -368,14 +373,14 @@ std::uint64_t AnalysisSession::fingerprint() const {
   // Computed under the stats mutex: concurrent manifest() callers must
   // not race on the lazy optional. The hash itself is data-dependent
   // only, so holding the lock during it is merely conservative.
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  MutexLock lk(stats_mu_);
   if (!fingerprint_) fingerprint_ = dataset_fingerprint(inventory_, snapshots_, tickets_);
   return *fingerprint_;
 }
 
 void AnalysisSession::record_stage(const char* stage, const char* source, double seconds) {
   {
-    std::lock_guard<std::mutex> lk(stats_mu_);
+    MutexLock lk(stats_mu_);
     stage_runs_.push_back(StageRun{stage, source, seconds});
   }
   // Structural fields only: the event stream stays bit-identical across
@@ -401,7 +406,7 @@ void AnalysisSession::replace_data(Inventory inventory, SnapshotStore snapshots,
   snapshots_ = std::move(snapshots);
   tickets_ = std::move(tickets);
   {
-    std::lock_guard<std::mutex> lk(stats_mu_);
+    MutexLock lk(stats_mu_);
     fingerprint_.reset();
   }
   invalidate();

@@ -30,7 +30,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -43,6 +42,7 @@
 #include "mpa/dependence.hpp"
 #include "mpa/modeling.hpp"
 #include "util/parallel.hpp"
+#include "util/sync.hpp"
 
 namespace mpa {
 
@@ -71,8 +71,11 @@ class AnalysisSession {
                   SessionOptions opts = {});
   /// Moving is only valid while no other thread is touching `other`
   /// (the stats mutex itself is not moved — the new session gets a
-  /// fresh one). The moved-from shell destructs as a no-op.
-  AnalysisSession(AnalysisSession&& other) noexcept;
+  /// fresh one). The moved-from shell destructs as a no-op. Exempt
+  /// from the thread-safety analysis: the single-owner transfer
+  /// contract is the caller's, and other.stats_mu_ is deliberately
+  /// not taken (nobody else may hold it here by definition).
+  AnalysisSession(AnalysisSession&& other) noexcept NO_THREAD_SAFETY_ANALYSIS;
 
   /// Publishes the pool's execution counters to the obs registry
   /// (when obs::enabled()) before tearing the pool down; keyed
@@ -150,7 +153,7 @@ class AnalysisSession {
   /// Snapshot taken under the stats mutex — safe to call from any
   /// thread, including concurrently with a stage executing on another
   /// (the serving layer polls a session mid-request).
-  CacheStats stats() const;
+  CacheStats stats() const EXCLUDES(stats_mu_);
 
   /// The run's provenance manifest so far: dataset fingerprint (FNV-1a
   /// over all three data sources, computed once per data generation),
@@ -158,26 +161,29 @@ class AnalysisSession {
   /// disposition, cache stats, and — when obs::enabled() — the current
   /// obs counter snapshot. Keyed sessions persist this JSON beside
   /// their artifacts on destruction (engine/run_manifest.hpp).
-  RunManifest manifest() const;
+  RunManifest manifest() const EXCLUDES(stats_mu_);
 
  private:
   /// Private RNG stream for one artifact identity.
   Rng stream_for(std::uint64_t tag) const;
 
-  /// Apply `fn` to the stats record under the stats mutex.
+  /// Apply `fn` to the stats record under the stats mutex. `fn` sees
+  /// the record through its parameter, so the capability analysis
+  /// stays on this function, not the lambda bodies.
   template <typename Fn>
-  void bump_stats(Fn&& fn) {
-    std::lock_guard<std::mutex> lk(stats_mu_);
+  void bump_stats(Fn&& fn) EXCLUDES(stats_mu_) {
+    MutexLock lk(stats_mu_);
     fn(stats_);
   }
 
   /// Append one stage execution to the manifest record and emit the
   /// matching "stage" log event (structural fields only — timing stays
   /// out of the event stream to keep it deterministic).
-  void record_stage(const char* stage, const char* source, double seconds);
+  void record_stage(const char* stage, const char* source, double seconds)
+      EXCLUDES(stats_mu_);
 
   /// The cached dataset fingerprint, computed on first use.
-  std::uint64_t fingerprint() const;
+  std::uint64_t fingerprint() const EXCLUDES(stats_mu_);
 
   Inventory inventory_;
   SnapshotStore snapshots_;
@@ -195,10 +201,12 @@ class AnalysisSession {
   /// manifest() are safe under concurrent readers while a stage runs.
   /// Taken a handful of times per stage request — never on a kernel
   /// hot path.
-  mutable std::mutex stats_mu_;
-  CacheStats stats_;
-  std::vector<StageRun> stage_runs_;  ///< Manifest stage record, request order.
-  mutable std::optional<std::uint64_t> fingerprint_;  ///< Lazy; reset with the data.
+  mutable Mutex stats_mu_;
+  CacheStats stats_ GUARDED_BY(stats_mu_);
+  /// Manifest stage record, request order.
+  std::vector<StageRun> stage_runs_ GUARDED_BY(stats_mu_);
+  /// Lazy; reset with the data.
+  mutable std::optional<std::uint64_t> fingerprint_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace mpa

@@ -22,7 +22,7 @@ void SessionManager::open(const std::string& key, AnalysisSession session) {
   if (key.empty()) throw DataError("SessionManager::open: empty session key");
   std::size_t resident = 0;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (sessions_.count(key) != 0)
       throw DataError("SessionManager::open: session '" + key + "' already open");
     sessions_.emplace(key, std::make_shared<Entry>(std::move(session)));
@@ -43,7 +43,7 @@ bool SessionManager::close(const std::string& key) {
   std::shared_ptr<Entry> entry;  // destroyed outside the registry lock
   std::size_t resident = 0;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     const auto it = sessions_.find(key);
     if (it == sessions_.end()) return false;
     entry = std::move(it->second);
@@ -61,17 +61,17 @@ bool SessionManager::close(const std::string& key) {
 }
 
 bool SessionManager::contains(const std::string& key) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return sessions_.count(key) != 0;
 }
 
 std::size_t SessionManager::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return sessions_.size();
 }
 
 std::vector<std::string> SessionManager::keys() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::vector<std::string> out;
   out.reserve(sessions_.size());
   for (const auto& [key, entry] : sessions_) out.push_back(key);
@@ -79,12 +79,12 @@ std::vector<std::string> SessionManager::keys() const {
 }
 
 SessionManager::Stats SessionManager::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return stats_;
 }
 
 std::shared_ptr<SessionManager::Entry> SessionManager::entry_for(const std::string& key) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto it = sessions_.find(key);
   if (it == sessions_.end()) throw DataError("unknown session '" + key + "'");
   return it->second;

@@ -15,12 +15,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "engine/session.hpp"
+#include "util/sync.hpp"
 
 namespace mpa {
 
@@ -43,18 +43,18 @@ class SessionManager {
   /// is destroyed once the last in-flight request on it completes.
   bool close(const std::string& key);
 
-  bool contains(const std::string& key) const;
-  std::size_t size() const;
+  bool contains(const std::string& key) const EXCLUDES(mu_);
+  std::size_t size() const EXCLUDES(mu_);
   /// Registered keys in lexicographic order.
-  std::vector<std::string> keys() const;
+  std::vector<std::string> keys() const EXCLUDES(mu_);
 
   /// Run `fn(AnalysisSession&)` with exclusive access to the session
   /// registered under `key`; throws DataError when the key is unknown.
   /// Blocks while another thread holds the same session.
   template <typename Fn>
-  auto with_session(const std::string& key, Fn&& fn) {
+  auto with_session(const std::string& key, Fn&& fn) EXCLUDES(mu_) {
     const std::shared_ptr<Entry> entry = entry_for(key);
-    std::lock_guard<std::mutex> lk(entry->mu);
+    MutexLock lk(entry->mu);
     return fn(entry->session);
   }
 
@@ -63,21 +63,23 @@ class SessionManager {
     std::uint64_t opened = 0;
     std::uint64_t closed = 0;
   };
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mu_);
 
  private:
   struct Entry {
     explicit Entry(AnalysisSession s) : session(std::move(s)) {}
-    std::mutex mu;  ///< One request at a time per session.
-    AnalysisSession session;
+    Mutex mu;  ///< One request at a time per session.
+    AnalysisSession session GUARDED_BY(mu);
   };
 
   /// Look up the live entry for `key`; throws DataError when unknown.
-  std::shared_ptr<Entry> entry_for(const std::string& key) const;
+  /// Lock order: the registry mutex is released before the caller
+  /// acquires the entry mutex — the two are never held together.
+  std::shared_ptr<Entry> entry_for(const std::string& key) const EXCLUDES(mu_);
 
-  mutable std::mutex mu_;  ///< Guards sessions_ and stats_.
-  std::map<std::string, std::shared_ptr<Entry>> sessions_;
-  Stats stats_;
+  mutable Mutex mu_;  ///< Guards sessions_ and stats_.
+  std::map<std::string, std::shared_ptr<Entry>> sessions_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace mpa

@@ -113,7 +113,7 @@ Logger::Buffer& Logger::local_buffer() {
   thread_local std::shared_ptr<Buffer> buf;
   if (buf == nullptr) {
     buf = std::make_shared<Buffer>();
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     buffers_.push_back(buf);
   }
   return *buf;
@@ -122,7 +122,7 @@ Logger::Buffer& Logger::local_buffer() {
 void Logger::commit(LogRecord&& rec) {
   Buffer& buf = local_buffer();
   const std::size_t cap = ring_capacity_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lk(buf.mu);
+  MutexLock lk(buf.mu);
   if (cap == 0 || buf.records.size() < cap) {
     buf.records.push_back(std::move(rec));
     return;
@@ -137,12 +137,12 @@ void Logger::commit(LogRecord&& rec) {
 std::vector<LogRecord> Logger::snapshot() const {
   std::vector<std::shared_ptr<Buffer>> bufs;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     bufs = buffers_;
   }
   std::vector<LogRecord> out;
   for (const auto& b : bufs) {
-    std::lock_guard<std::mutex> lk(b->mu);
+    MutexLock lk(b->mu);
     out.insert(out.end(), b->records.begin(), b->records.end());
   }
   std::sort(out.begin(), out.end(), [](const LogRecord& a, const LogRecord& b) {
@@ -170,11 +170,11 @@ std::string Logger::canonical_jsonl() const {
 void Logger::clear() {
   std::vector<std::shared_ptr<Buffer>> bufs;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     bufs = buffers_;
   }
   for (const auto& b : bufs) {
-    std::lock_guard<std::mutex> lk(b->mu);
+    MutexLock lk(b->mu);
     b->records.clear();
     b->ring_next = 0;
   }

@@ -27,10 +27,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace mpa::obs {
 
@@ -96,7 +97,7 @@ class Logger {
 
   /// Merge every thread's buffer, sorted by (t_ns, content) — a stable
   /// chronological order with deterministic ties.
-  std::vector<LogRecord> snapshot() const;
+  std::vector<LogRecord> snapshot() const EXCLUDES(mu_);
 
   /// One JSON object per line, chronological (the --log-out format).
   std::string to_jsonl() const;
@@ -106,22 +107,22 @@ class Logger {
   std::string canonical_jsonl() const;
 
   /// Drop every recorded event and zero dropped().
-  void clear();
+  void clear() EXCLUDES(mu_);
 
  private:
   friend class LogEvent;
   struct Buffer {
-    std::mutex mu;  ///< Uncontended except at snapshot/clear time.
-    std::vector<LogRecord> records;
-    std::size_t ring_next = 0;  ///< Overwrite cursor once bounded.
+    Mutex mu;  ///< Uncontended except at snapshot/clear time.
+    std::vector<LogRecord> records GUARDED_BY(mu);
+    std::size_t ring_next GUARDED_BY(mu) = 0;  ///< Overwrite cursor once bounded.
   };
 
   Logger() = default;
-  Buffer& local_buffer();
-  void commit(LogRecord&& rec);
+  Buffer& local_buffer() EXCLUDES(mu_);
+  void commit(LogRecord&& rec) EXCLUDES(mu_);
 
-  mutable std::mutex mu_;  ///< Guards buffers_ (registration + export).
-  std::vector<std::shared_ptr<Buffer>> buffers_;
+  mutable Mutex mu_;  ///< Guards buffers_ (registration + export).
+  std::vector<std::shared_ptr<Buffer>> buffers_ GUARDED_BY(mu_);
   std::atomic<std::size_t> ring_capacity_{0};
   std::atomic<std::uint64_t> dropped_{0};
 };

@@ -144,35 +144,35 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& Registry::histogram(const std::string& name, const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
   return *slot;
 }
 
 std::map<std::string, std::uint64_t> Registry::counters_snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::map<std::string, std::uint64_t> out;
   for (const auto& [name, c] : counters_) out[name] = c->value();
   return out;
 }
 
 std::string Registry::to_json() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::ostringstream os;
   os << "{\"counters\":{";
   bool first = true;
@@ -217,7 +217,7 @@ std::string Registry::to_json() const {
 }
 
 std::string Registry::to_prometheus() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::ostringstream os;
   for (const auto& [name, c] : counters_) {
     os << "# TYPE " << name << " counter\n" << name << ' ' << c->value() << '\n';
@@ -246,7 +246,7 @@ std::string Registry::to_prometheus() const {
 }
 
 std::string Registry::to_text() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::ostringstream os;
   for (const auto& [name, c] : counters_) os << name << " = " << c->value() << '\n';
   for (const auto& [name, g] : gauges_) os << name << " = " << format_number(g->value()) << '\n';
@@ -259,7 +259,7 @@ std::string Registry::to_text() const {
 }
 
 void Registry::reset_values() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

@@ -18,9 +18,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace mpa::obs {
 
@@ -95,32 +96,36 @@ class Registry {
  public:
   static Registry& global();
 
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
+  Counter& counter(const std::string& name) EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name) EXCLUDES(mu_);
   /// `bounds` is consulted only on first creation of `name`.
   Histogram& histogram(const std::string& name,
-                       const std::vector<double>& bounds = latency_buckets_seconds());
+                       const std::vector<double>& bounds = latency_buckets_seconds())
+      EXCLUDES(mu_);
 
   /// All counter values, keyed by name (tests, summaries).
-  std::map<std::string, std::uint64_t> counters_snapshot() const;
+  std::map<std::string, std::uint64_t> counters_snapshot() const EXCLUDES(mu_);
 
   /// {"counters":{...},"gauges":{...},"histograms":{...}}
-  std::string to_json() const;
+  std::string to_json() const EXCLUDES(mu_);
   /// Prometheus text exposition format (# TYPE lines, _bucket/_sum/_count).
-  std::string to_prometheus() const;
+  std::string to_prometheus() const EXCLUDES(mu_);
   /// Human-readable table for the CLI's --stats summary.
-  std::string to_text() const;
+  std::string to_text() const EXCLUDES(mu_);
 
   /// Zero every instrument, keeping registrations (tests).
-  void reset_values();
+  void reset_values() EXCLUDES(mu_);
 
  private:
   Registry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// Guards the instrument maps. Lookup/registration and export only —
+  /// never on the record hot path (instruments are atomics once
+  /// returned; references stay valid for the process lifetime).
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
 };
 
 /// RAII wall-time sample into a histogram (seconds). A null histogram

@@ -46,7 +46,7 @@ Tracer::Buffer& Tracer::local_buffer() {
   thread_local std::shared_ptr<Buffer> buf;
   if (buf == nullptr) {
     buf = std::make_shared<Buffer>();
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     buf->tid = static_cast<std::uint32_t>(buffers_.size()) + 1;
     buffers_.push_back(buf);
   }
@@ -56,12 +56,12 @@ Tracer::Buffer& Tracer::local_buffer() {
 std::vector<SpanRecord> Tracer::snapshot() const {
   std::vector<std::shared_ptr<Buffer>> bufs;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     bufs = buffers_;
   }
   std::vector<SpanRecord> out;
   for (const auto& b : bufs) {
-    std::lock_guard<std::mutex> lk(b->mu);
+    MutexLock lk(b->mu);
     out.insert(out.end(), b->records.begin(), b->records.end());
   }
   std::sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
@@ -116,11 +116,11 @@ std::string Tracer::summary() const { return summarize_spans(snapshot()); }
 void Tracer::clear() {
   std::vector<std::shared_ptr<Buffer>> bufs;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     bufs = buffers_;
   }
   for (const auto& b : bufs) {
-    std::lock_guard<std::mutex> lk(b->mu);
+    MutexLock lk(b->mu);
     b->records.clear();
   }
 }
@@ -152,7 +152,7 @@ Span::~Span() {
   const std::uint64_t end = now_ns();
   thread_current_path() = prev_path_;
   Tracer::Buffer& buf = Tracer::global().local_buffer();
-  std::lock_guard<std::mutex> lk(buf.mu);
+  MutexLock lk(buf.mu);
   buf.records.push_back(SpanRecord{std::move(path_), start_ns_, end - start_ns_, buf.tid});
 }
 

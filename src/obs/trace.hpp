@@ -17,10 +17,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace mpa::obs {
 
@@ -51,7 +52,7 @@ class Tracer {
 
   /// Merge every thread's buffer, ordered by (start_ns, path) — stable
   /// content (paths and counts) across thread counts.
-  std::vector<SpanRecord> snapshot() const;
+  std::vector<SpanRecord> snapshot() const EXCLUDES(mu_);
 
   /// {"spans":[{"path":...,"start_ns":...,"dur_ns":...},...]}
   std::string to_json() const;
@@ -61,21 +62,21 @@ class Tracer {
   std::string summary() const;
 
   /// Drop every recorded span (buffers stay registered).
-  void clear();
+  void clear() EXCLUDES(mu_);
 
  private:
   friend class Span;
   struct Buffer {
-    std::mutex mu;  ///< Uncontended except at snapshot/clear time.
-    std::vector<SpanRecord> records;
+    Mutex mu;  ///< Uncontended except at snapshot/clear time.
+    std::vector<SpanRecord> records GUARDED_BY(mu);
     std::uint32_t tid = 0;  ///< Registration-order thread id (1-based).
   };
 
   Tracer() = default;
-  Buffer& local_buffer();
+  Buffer& local_buffer() EXCLUDES(mu_);
 
-  mutable std::mutex mu_;  ///< Guards buffers_ (registration + export).
-  std::vector<std::shared_ptr<Buffer>> buffers_;
+  mutable Mutex mu_;  ///< Guards buffers_ (registration + export).
+  std::vector<std::shared_ptr<Buffer>> buffers_ GUARDED_BY(mu_);
 };
 
 /// RAII span on the global tracer. Records on destruction.

@@ -57,7 +57,7 @@ Scheduler::Scheduler(SchedulerOptions opts, Executor executor, Sink sink)
 Scheduler::~Scheduler() {
   drain();
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -68,7 +68,7 @@ bool Scheduler::submit(Request req) {
   const std::uint64_t now = obs::now_ns();
   const char* reject_reason = nullptr;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     ++stats_.submitted;
     if (ready_ >= opts_.max_queue_depth) {
       ++stats_.rejected;
@@ -141,13 +141,13 @@ bool Scheduler::pop_next(Item* out) {
 }
 
 void Scheduler::worker_loop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   while (true) {
-    work_cv_.wait(lk, [&] { return stop_ || ready_ > 0; });
-    if (stop_ && ready_ == 0) return;
+    while (!(stop_ || ready_ > 0)) work_cv_.wait(mu_);
+    if (stop_ && ready_ == 0) return;  // lk releases on scope exit
     Item item;
     if (!pop_next(&item)) continue;
-    lk.unlock();
+    lk.unlock();  // never hold mu_ across executor_/sink_
 
     const std::uint64_t dequeue_ns = obs::now_ns();
     const double queue_ms = ms_between(item.enqueue_ns, dequeue_ns);
@@ -196,17 +196,17 @@ void Scheduler::worker_loop() {
 }
 
 void Scheduler::drain() {
-  std::unique_lock<std::mutex> lk(mu_);
-  drain_cv_.wait(lk, [&] { return active_ == 0; });
+  MutexLock lk(mu_);
+  while (active_ != 0) drain_cv_.wait(mu_);
 }
 
 Scheduler::Stats Scheduler::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return stats_;
 }
 
 std::size_t Scheduler::queue_depth() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return ready_;
 }
 

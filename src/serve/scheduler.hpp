@@ -24,17 +24,16 @@
 // pinned in tests/test_serve.cpp at 1/2/8 workers.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "serve/request.hpp"
+#include "util/sync.hpp"
 
 namespace mpa::serve {
 
@@ -73,10 +72,10 @@ class Scheduler {
   /// kRejected response before this returns false. On admission the
   /// request is queued (FIFO within its tenant) and will produce its
   /// response through the sink from a worker thread.
-  bool submit(Request req);
+  bool submit(Request req) EXCLUDES(mu_);
 
   /// Block until every admitted request has completed.
-  void drain();
+  void drain() EXCLUDES(mu_);
 
   /// Admission/completion counters (snapshot under the queue mutex).
   /// `submitted = admitted + rejected`; `completed` counts every
@@ -91,10 +90,10 @@ class Scheduler {
     std::uint64_t deadline_misses = 0;
     std::uint64_t errors = 0;
   };
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mu_);
 
   /// Ready (queued, not yet running) requests right now.
-  std::size_t queue_depth() const;
+  std::size_t queue_depth() const EXCLUDES(mu_);
   int workers() const { return static_cast<int>(workers_.size()); }
 
  private:
@@ -104,29 +103,34 @@ class Scheduler {
     std::uint64_t deadline_ns = 0;  ///< 0 = no deadline.
   };
 
-  void worker_loop();
-  /// Under mu_: pop the next item round-robin across tenants (FIFO
-  /// within a tenant). Returns false when nothing is ready.
-  bool pop_next(Item* out);
-  /// Reject `req` with `reason` (sink + metrics, outside the lock).
-  void reject(const Request& req, const std::string& reason);
+  void worker_loop() EXCLUDES(mu_);
+  /// Pop the next item round-robin across tenants (FIFO within a
+  /// tenant). Returns false when nothing is ready.
+  bool pop_next(Item* out) REQUIRES(mu_);
+  /// Reject `req` with `reason` (sink + metrics). Called with mu_
+  /// released: the sink may run arbitrary user code (lock ordering,
+  /// DESIGN.md §12 — no scheduler lock is ever held across executor_
+  /// or sink_).
+  void reject(const Request& req, const std::string& reason) EXCLUDES(mu_);
 
   const SchedulerOptions opts_;
   const Executor executor_;
   const Sink sink_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   ///< Signals ready work / stop.
-  std::condition_variable drain_cv_;  ///< Signals active_ reaching 0.
+  /// Guards the admission state below and backs both condition
+  /// variables. Never held across executor_/sink_ calls.
+  mutable Mutex mu_;
+  CondVar work_cv_;   ///< Signals ready work / stop.
+  CondVar drain_cv_;  ///< Signals active_ reaching 0.
   /// Per-tenant FIFO queues; rr_tenants_ fixes the rotation order
   /// (first-appearance) and rr_cursor_ the next tenant to serve.
-  std::map<std::string, std::deque<Item>> queues_;
-  std::vector<std::string> rr_tenants_;
-  std::size_t rr_cursor_ = 0;
-  std::size_t ready_ = 0;   ///< Queued, not yet picked up.
-  std::size_t active_ = 0;  ///< Admitted and not yet completed.
-  bool stop_ = false;
-  Stats stats_;
+  std::map<std::string, std::deque<Item>> queues_ GUARDED_BY(mu_);
+  std::vector<std::string> rr_tenants_ GUARDED_BY(mu_);
+  std::size_t rr_cursor_ GUARDED_BY(mu_) = 0;
+  std::size_t ready_ GUARDED_BY(mu_) = 0;   ///< Queued, not yet picked up.
+  std::size_t active_ GUARDED_BY(mu_) = 0;  ///< Admitted and not yet completed.
+  bool stop_ GUARDED_BY(mu_) = false;
+  Stats stats_ GUARDED_BY(mu_);
 
   std::vector<std::thread> workers_;
 };

@@ -138,7 +138,7 @@ void AnalysisServer::open_directory(const std::string& key, const std::string& d
 
 std::uint64_t AnalysisServer::submit(Request req) {
   {
-    std::lock_guard<std::mutex> lk(resp_mu_);
+    MutexLock lk(resp_mu_);
     if (req.id == 0)
       req.id = next_id_++;
     else
@@ -151,8 +151,8 @@ std::uint64_t AnalysisServer::submit(Request req) {
 
 Response AnalysisServer::submit_and_wait(Request req) {
   const std::uint64_t id = submit(std::move(req));
-  std::unique_lock<std::mutex> lk(resp_mu_);
-  resp_cv_.wait(lk, [&] { return responses_.count(id) != 0; });
+  MutexLock lk(resp_mu_);
+  while (responses_.count(id) == 0) resp_cv_.wait(resp_mu_);
   return responses_.at(id);
 }
 
@@ -170,7 +170,7 @@ Response AnalysisServer::execute(const Request& req) {
 
 void AnalysisServer::record(const Response& resp) {
   {
-    std::lock_guard<std::mutex> lk(resp_mu_);
+    MutexLock lk(resp_mu_);
     responses_[resp.id] = resp;
   }
   resp_cv_.notify_all();
@@ -178,7 +178,7 @@ void AnalysisServer::record(const Response& resp) {
 }
 
 std::vector<Response> AnalysisServer::responses() const {
-  std::lock_guard<std::mutex> lk(resp_mu_);
+  MutexLock lk(resp_mu_);
   std::vector<Response> out;
   out.reserve(responses_.size());
   for (const auto& [id, resp] : responses_) out.push_back(resp);
@@ -186,7 +186,7 @@ std::vector<Response> AnalysisServer::responses() const {
 }
 
 void AnalysisServer::clear_responses() {
-  std::lock_guard<std::mutex> lk(resp_mu_);
+  MutexLock lk(resp_mu_);
   responses_.clear();
 }
 

@@ -8,16 +8,15 @@
 // rejections and deadline misses.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "engine/session_manager.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
+#include "util/sync.hpp"
 
 namespace mpa::serve {
 
@@ -54,34 +53,36 @@ class AnalysisServer {
   /// Submit a request; assigns the next id when req.id == 0. Returns
   /// the id, whether admitted or rejected (the rejection response is
   /// recorded before this returns).
-  std::uint64_t submit(Request req);
+  std::uint64_t submit(Request req) EXCLUDES(resp_mu_);
 
   /// Submit and block for this request's response (closed-loop client).
-  Response submit_and_wait(Request req);
+  Response submit_and_wait(Request req) EXCLUDES(resp_mu_);
 
   /// Block until every admitted request has completed.
   void drain();
 
   /// All recorded responses, ordered by id.
-  std::vector<Response> responses() const;
+  std::vector<Response> responses() const EXCLUDES(resp_mu_);
   /// Drop recorded responses (bench steady-state resets).
-  void clear_responses();
+  void clear_responses() EXCLUDES(resp_mu_);
 
   Scheduler::Stats stats() const { return scheduler_.stats(); }
   const Scheduler& scheduler() const { return scheduler_; }
 
  private:
   Response execute(const Request& req);
-  void record(const Response& resp);
+  void record(const Response& resp) EXCLUDES(resp_mu_);
 
   const ServerOptions opts_;
   SessionManager sessions_;  ///< Declared before scheduler_: workers join first.
   Scheduler::Sink tap_;
 
-  mutable std::mutex resp_mu_;
-  std::condition_variable resp_cv_;
-  std::map<std::uint64_t, Response> responses_;
-  std::uint64_t next_id_ = 1;
+  /// Guards the response store and id counter; leaf lock — nothing
+  /// else is acquired while it is held (lock ordering, DESIGN.md §12).
+  mutable Mutex resp_mu_;
+  CondVar resp_cv_;  ///< Signals a response landing in responses_.
+  std::map<std::uint64_t, Response> responses_ GUARDED_BY(resp_mu_);
+  std::uint64_t next_id_ GUARDED_BY(resp_mu_) = 1;
 
   Scheduler scheduler_;  ///< Last member: destructs (drains + joins) first.
 };

@@ -12,18 +12,26 @@
 // falling back to the hardware concurrency. A pool of size 1 spawns
 // no workers and runs everything inline, as does a nested
 // parallel_for issued from inside a worker.
+//
+// Locking (checked by clang thread-safety analysis, DESIGN.md §12):
+// mu_ guards the job slot and stop flag and backs both condition
+// variables; job_mu_ serializes concurrent parallel_for callers and is
+// the one place in the library where two locks nest — job_mu_ is
+// always acquired before mu_, never the reverse. Job progress counters
+// are atomics, read inside wait predicates under mu_ only to pair with
+// the notify protocol.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace mpa {
 
@@ -32,6 +40,7 @@ class ThreadPool {
   /// MPA_THREADS if set to a positive integer, else the hardware
   /// concurrency (else 1).
   static int default_thread_count() {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once per pool, before its workers exist
     if (const char* env = std::getenv("MPA_THREADS")) {
       char* end = nullptr;
       const long v = std::strtol(env, &end, 10);
@@ -53,7 +62,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       stop_ = true;
     }
     wake_.notify_all();
@@ -91,7 +100,7 @@ class ThreadPool {
   /// any task is rethrown here after the job drains. Nested calls
   /// (from inside a task) run inline.
   template <typename Fn>
-  void parallel_for(std::size_t n, Fn&& fn) {
+  void parallel_for(std::size_t n, Fn&& fn) EXCLUDES(job_mu_, mu_) {
     if (n == 0) return;
     jobs_.fetch_add(1, std::memory_order_relaxed);
     tasks_.fetch_add(n, std::memory_order_relaxed);
@@ -100,13 +109,13 @@ class ThreadPool {
       for (std::size_t i = 0; i < n; ++i) fn(i);
       return;
     }
-    std::lock_guard<std::mutex> job_lock(job_mu_);  // one job at a time
+    MutexLock job_lock(job_mu_);  // one job at a time (job_mu_ -> mu_ order)
     Job job;
     job.body = [&fn](std::size_t i) { fn(i); };
     job.limit = n;
     job.submit_ns = clock_ns();
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       job_ = &job;
     }
     wake_.notify_all();
@@ -115,13 +124,18 @@ class ThreadPool {
       // Wait for every body to finish AND every worker to step out of
       // the job before destroying it: a worker that ran the last task
       // still touches job.next once more on its way out of the loop.
-      std::unique_lock<std::mutex> lk(mu_);
-      done_.wait(lk, [&] {
-        return job.completed.load() == job.limit && job.participants.load() == 0;
-      });
+      MutexLock lk(mu_);
+      while (!(job.completed.load() == job.limit && job.participants.load() == 0)) done_.wait(mu_);
       job_ = nullptr;
     }
-    if (job.error) std::rethrow_exception(job.error);
+    std::exception_ptr error;
+    {
+      // The job has drained, but error is guarded: read it under its
+      // mutex rather than asserting quiescence to the analysis.
+      MutexLock lk(job.error_mu);
+      error = job.error;
+    }
+    if (error) std::rethrow_exception(error);
   }
 
  private:
@@ -132,8 +146,8 @@ class ThreadPool {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> completed{0};
     std::atomic<int> participants{0};  // workers currently inside run_region
-    std::mutex error_mu;
-    std::exception_ptr error;
+    Mutex error_mu;
+    std::exception_ptr error GUARDED_BY(error_mu);
   };
 
   static std::uint64_t clock_ns() {
@@ -148,7 +162,7 @@ class ThreadPool {
     return flag;
   }
 
-  void run_region(Job& job) {
+  void run_region(Job& job) EXCLUDES(mu_) {
     in_region() = true;
     while (true) {
       const std::size_t i = job.next.fetch_add(1);
@@ -156,24 +170,22 @@ class ThreadPool {
       try {
         job.body(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lk(job.error_mu);
+        MutexLock lk(job.error_mu);
         if (!job.error) job.error = std::current_exception();
       }
       if (job.completed.fetch_add(1) + 1 == job.limit) {
-        { std::lock_guard<std::mutex> lk(mu_); }  // pair with waiter's check
+        { MutexLock lk(mu_); }  // pair with waiter's check
         done_.notify_all();
       }
     }
     in_region() = false;
   }
 
-  void worker_loop() {
-    std::unique_lock<std::mutex> lk(mu_);
+  void worker_loop() EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     while (true) {
-      wake_.wait(lk, [&] {
-        return stop_ || (job_ != nullptr && job_->next.load() < job_->limit);
-      });
-      if (stop_) return;
+      while (!(stop_ || (job_ != nullptr && job_->next.load() < job_->limit))) wake_.wait(mu_);
+      if (stop_) return;  // lk releases on scope exit
       Job* job = job_;
       job->participants.fetch_add(1, std::memory_order_relaxed);
       worker_joins_.fetch_add(1, std::memory_order_relaxed);
@@ -192,12 +204,12 @@ class ThreadPool {
 
   const int threads_;
   std::vector<std::thread> workers_;
-  std::mutex mu_;          // guards job_ / stop_ and the cv handshakes
-  std::mutex job_mu_;      // serializes concurrent parallel_for callers
-  std::condition_variable wake_;
-  std::condition_variable done_;
-  Job* job_ = nullptr;
-  bool stop_ = false;
+  Mutex mu_;      // guards job_ / stop_ and the cv handshakes
+  Mutex job_mu_;  // serializes concurrent parallel_for callers; precedes mu_
+  CondVar wake_;
+  CondVar done_;
+  Job* job_ GUARDED_BY(mu_) = nullptr;
+  bool stop_ GUARDED_BY(mu_) = false;
 
   std::atomic<std::uint64_t> jobs_{0};
   std::atomic<std::uint64_t> tasks_{0};

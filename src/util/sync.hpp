@@ -1,0 +1,108 @@
+// Annotated synchronization primitives for the MPA engine
+// (DESIGN.md §12): thin wrappers over std::mutex /
+// std::condition_variable that carry clang thread-safety capability
+// annotations, so the locking contracts of the concurrent surface
+// (util/parallel, obs/, engine/, serve/) are checked at compile time
+// under -Werror=thread-safety instead of only at runtime under TSan.
+//
+// libstdc++'s std::mutex is not an annotated capability, which makes
+// the raw type invisible to the analysis — every guarded access would
+// be a false positive. The standard remedy (LevelDB's port::Mutex,
+// abseil's Mutex) is an annotated wrapper; library code uses these
+// types exclusively, and tools/srclint rejects raw std::mutex members
+// anywhere else under src/.
+//
+// Idioms:
+//   Mutex mu_;
+//   int value_ GUARDED_BY(mu_);
+//
+//   { MutexLock lk(mu_); ++value_; }            // scoped critical section
+//
+//   MutexLock lk(mu_);
+//   while (!ready_) cv_.wait(mu_);              // condition wait (lock held)
+//
+//   lk.unlock();  do_slow_work();  lk.lock();   // annotated relock window
+//
+// Condition predicates are written as explicit while-loops in the
+// caller's body (not as lambdas passed to wait): the analysis checks
+// lambda bodies with no capability context, so a predicate lambda
+// touching guarded state would be a false positive.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace mpa {
+
+class CondVar;
+
+/// Exclusive capability wrapping std::mutex. Non-reentrant.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // srclint-disable(mutex-annotation): the annotated wrapper owns the raw mutex
+};
+
+/// Scoped lock for Mutex (lock_guard + relock windows). The unlock()/
+/// lock() pair opens an annotated gap in the critical section — the
+/// worker-loop idiom that previously needed manual unique_lock
+/// jockeying the analysis couldn't see.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu), held_(true) { mu_.lock(); }
+  ~MutexLock() RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Open a gap: release the mutex mid-scope (slow work, blocking calls).
+  void unlock() RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+  /// Close the gap: reacquire before touching guarded state again.
+  void lock() ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable bound to Mutex at each wait site. wait()
+/// requires the mutex held and returns with it held (the adopt/release
+/// dance keeps std::condition_variable's unique_lock protocol without
+/// surrendering ownership to it — LevelDB's port::CondVar).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // still locked; ownership stays with the caller
+  }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mpa

@@ -1,0 +1,67 @@
+// Clang thread-safety capability annotations (DESIGN.md §12), as
+// no-op shims on every other compiler. The macro set mirrors the
+// official clang mock header (clang.llvm.org/docs/ThreadSafetyAnalysis
+// .html) so the annotated surface reads like the upstream idiom:
+//
+//   class CAPABILITY("mutex") Mutex { ... };
+//   Mutex mu_;
+//   int value_ GUARDED_BY(mu_);
+//   void touch() REQUIRES(mu_);
+//
+// Every mutex-guarded field and lock-taking method in util/parallel,
+// obs/, engine/, and serve/ carries these annotations; the CI
+// static-analysis job builds with clang and -Werror=thread-safety so
+// a locking-contract violation is a build break, and tools/srclint
+// enforces that no mutex member goes unannotated.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define MPA_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MPA_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" by convention).
+#define CAPABILITY(x) MPA_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (lock_guard-style scoped locks).
+#define SCOPED_CAPABILITY MPA_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the capability.
+#define GUARDED_BY(x) MPA_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose pointee is protected by the capability.
+#define PT_GUARDED_BY(x) MPA_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and does
+/// not release them).
+#define REQUIRES(...) MPA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) MPA_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define ACQUIRE(...) MPA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) MPA_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability held on entry.
+#define RELEASE(...) MPA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) MPA_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define TRY_ACQUIRE(b, ...) MPA_THREAD_ANNOTATION_(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function must NOT be called while holding the listed capabilities
+/// (deadlock guard for self-locking methods).
+#define EXCLUDES(...) MPA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) MPA_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Runtime assertion that the capability is held (re-entry points).
+#define ASSERT_CAPABILITY(x) MPA_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Opt a function out of the analysis entirely. Use only for
+/// documented single-owner transitions (e.g. move constructors) where
+/// the contract is enforced by the caller, never to silence a real
+/// finding — and say why at the call site.
+#define NO_THREAD_SAFETY_ANALYSIS MPA_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -63,7 +63,6 @@
 #include <fstream>
 #include <iostream>
 #include <map>
-#include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
@@ -83,6 +82,7 @@
 #include "simulation/osp_generator.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
+#include "util/sync.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -451,9 +451,9 @@ int cmd_serve(const Args& args) {
   const serve::ServerOptions opts = server_options(args);
 
   // Responses complete on worker threads; serialize the stdout stream.
-  std::mutex out_mu;
+  Mutex out_mu;
   serve::AnalysisServer server(opts, [&out_mu](const serve::Response& resp) {
-    std::lock_guard<std::mutex> lk(out_mu);
+    MutexLock lk(out_mu);
     std::cout << resp.to_json() << "\n" << std::flush;
   });
   server.open_directory("main", args.dir);
