@@ -9,6 +9,8 @@
 #include "config/dialect.hpp"
 #include "config/diff.hpp"
 #include "config/lint.hpp"
+#include "engine/session.hpp"
+#include "io/dataset_io.hpp"
 #include "learn/decision_tree.hpp"
 #include "metrics/inference.hpp"
 #include "mpa/causal.hpp"
@@ -299,6 +301,49 @@ void BM_LintNetworks(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<long>(configs));
 }
 BENCHMARK(BM_LintNetworks)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Appending one month of telemetry to a warm session. arg = months of
+// history already resident before the append; the incremental paths do
+// work proportional to the delta, so timings should stay ~flat as the
+// base grows (compare against BM_InferCaseTable, which pays for the
+// whole history every time). Session construction and artifact warm-up
+// run outside the timed region; iterations are pinned because each one
+// rebuilds a session from scratch (seconds of untimed setup).
+void BM_IncrementalAppend(benchmark::State& state) {
+  const int base_months = static_cast<int>(state.range(0));
+  const SplitDataset split = [&] {
+    OspOptions opts;
+    opts.num_networks = 60;
+    opts.num_months = base_months + 1;
+    opts.seed = 5;
+    OspDataset data = generate_osp(opts);
+    return split_dataset(DiskDataset{std::move(data.inventory), std::move(data.snapshots),
+                                     std::move(data.tickets)},
+                         base_months);
+  }();
+  for (auto _ : state) {
+    state.PauseTiming();
+    SessionOptions opts;
+    opts.threads = 1;
+    opts.inference.num_months = base_months;
+    AnalysisSession session(split.base.inventory, split.base.snapshots, split.base.tickets,
+                            std::move(opts));
+    session.case_table();
+    session.lint();
+    session.dependence();
+    state.ResumeTiming();
+    const AnalysisSession::AppendResult res = session.append_month(split.deltas.front());
+    benchmark::DoNotOptimize(&res);
+  }
+  state.SetLabel(std::to_string(base_months) + " base months + 1 appended");
+  state.SetItemsProcessed(state.iterations() * 60);  // networks touched by the delta
+}
+BENCHMARK(BM_IncrementalAppend)
+    ->Arg(2)
+    ->Arg(5)
+    ->Arg(11)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
 
 // --- observability overhead: spans / counters on vs off ---------------
 //

@@ -1,6 +1,7 @@
 #include "engine/session.hpp"
 
 #include <algorithm>
+#include <set>
 
 #include "config/dialect.hpp"
 #include "io/dataset_io.hpp"
@@ -49,8 +50,8 @@ void register_engine_metrics() {
         "mpa_session_table_loads_total", "mpa_session_lint_runs_total",
         "mpa_session_lint_loads_total", "mpa_session_causal_runs_total",
         "mpa_session_cv_runs_total", "mpa_session_online_runs_total",
-        "mpa_session_invalidations_total", "mpa_session_cmi_pairs_total",
-        "mpa_artifact_store_hits_total",
+        "mpa_session_invalidations_total", "mpa_session_appends_total",
+        "mpa_session_cmi_pairs_total", "mpa_artifact_store_hits_total",
         "mpa_artifact_store_misses_total", "mpa_artifact_store_saves_total",
         "mpa_pool_jobs_total", "mpa_pool_tasks_total", "mpa_pool_inline_jobs_total",
         "mpa_pool_worker_joins_total", "mpa_pool_queue_wait_ns_total"}) {
@@ -60,6 +61,7 @@ void register_engine_metrics() {
     reg.histogram(std::string("mpa_stage_seconds_") + stage);
   }
   reg.histogram("mpa_dependence_pair_seconds");
+  reg.histogram("mpa_ingest_seconds");
 }
 
 }  // namespace
@@ -334,6 +336,158 @@ double AnalysisSession::online_accuracy(int num_classes, int history_m, ModelKin
   return acc;
 }
 
+AnalysisSession::AppendResult AnalysisSession::append_month(const MonthDelta& delta) {
+  // ---- Validate everything before mutating anything: on throw the
+  // session (data, artifacts, stats) is exactly as it was. ----
+  const int m = delta.month;
+  require_data(m == opts_.inference.num_months,
+               "append_month: out-of-order month " + std::to_string(m) + " (expected month " +
+                   std::to_string(opts_.inference.num_months) + ")");
+  const Timestamp m_start = month_start(m);
+  const Timestamp m_end = month_start(m + 1);
+  for (const auto& s : delta.snapshots) {
+    check_header_token(s.device_id, "snapshot device_id");
+    check_header_token(s.login, "snapshot login");
+    require_data(inventory_.find_device(s.device_id) != nullptr,
+                 "append_month: snapshot for unknown device: " + s.device_id);
+    require_data(s.time >= m_start && s.time < m_end,
+                 "append_month: snapshot time " + std::to_string(s.time) +
+                     " is outside month " + std::to_string(m) + " for device " + s.device_id);
+  }
+  for (const auto& t : delta.tickets) {
+    require_data(inventory_.find_network(t.network_id) != nullptr,
+                 "append_month: ticket for unknown network: " + t.network_id);
+    require_data(t.resolved >= t.created,
+                 "append_month: resolved time " + std::to_string(t.resolved) +
+                     " precedes created time " + std::to_string(t.created) + " for ticket " +
+                     t.ticket_id);
+    require_data(t.created >= m_start && t.created < m_end,
+                 "append_month: ticket created time " + std::to_string(t.created) +
+                     " is outside month " + std::to_string(m) + " for ticket " + t.ticket_id);
+  }
+
+  obs::Span span("append");
+  obs::ScopedTimer timer(
+      obs::enabled() ? &obs::Registry::global().histogram("mpa_ingest_seconds") : nullptr);
+  const std::uint64_t t0 = obs::now_ns();
+
+  // ---- Ingest the raw records and advance the observation window. ----
+  for (const auto& s : delta.snapshots) snapshots_.add(s);
+  for (const auto& t : delta.tickets) tickets_.add(t);
+  const int old_months = opts_.inference.num_months;
+  opts_.inference.num_months = m + 1;
+  {
+    MutexLock lk(stats_mu_);
+    fingerprint_.reset();  // The data identity changed.
+  }
+
+  AppendResult result;
+  result.month = m;
+  result.snapshots = delta.snapshots.size();
+  result.tickets = delta.tickets.size();
+
+  // Stale-state sweep: when an artifact is not resident we cannot
+  // refresh it in place, so its persisted sidecars (case table, lint
+  // report, manifest) must go — a later load pairing pre-append
+  // artifacts with post-append data would be silently wrong. Resident
+  // artifacts are refreshed and re-persisted below instead.
+  const bool keyed = !opts_.artifact_key.empty() && store_.enabled();
+  if (keyed && (!table_.has_value() || !lint_.has_value())) store_.remove(opts_.artifact_key);
+
+  // ---- Case table: extend with the new month's rows only. ----
+  if (table_.has_value()) {
+    InferenceOptions iopts = opts_.inference;
+    iopts.pool = pool_.get();
+    const CaseTable tail = infer_case_table_tail(inventory_, snapshots_, tickets_, iopts, m);
+    // Rows are network-major: every network owns one contiguous block
+    // of old_months rows (inference emits a row for every month), and
+    // the tail holds exactly one new row per network in the same
+    // network order. Interleave positionally.
+    const auto& networks = inventory_.networks();
+    require(table_->size() == networks.size() * static_cast<std::size_t>(old_months) &&
+                tail.size() == networks.size(),
+            "append_month: case table is not network-major over the session's months");
+    std::vector<Case> merged;
+    merged.reserve(table_->size() + tail.size());
+    for (std::size_t n = 0; n < networks.size(); ++n) {
+      const std::size_t block = n * static_cast<std::size_t>(old_months);
+      for (std::size_t r = 0; r < static_cast<std::size_t>(old_months); ++r)
+        merged.push_back((*table_)[block + r]);
+      merged.push_back(tail[n]);
+    }
+    table_ = CaseTable(std::move(merged));
+    result.new_rows = tail.size();
+    result.table_incremental = true;
+    if (keyed) store_.save_case_table(opts_.artifact_key, *table_);
+  }
+
+  // ---- Lint: re-lint only networks the delta's snapshots touched
+  // (latest-snapshot semantics — other networks' inputs are unchanged,
+  // and each network's lint is a pure function of its own texts). ----
+  if (lint_.has_value()) {
+    std::vector<std::size_t> affected;
+    {
+      std::set<std::string> touched_networks;
+      for (const auto& s : delta.snapshots)
+        touched_networks.insert(inventory_.find_device(s.device_id)->network_id);
+      const auto& networks = inventory_.networks();
+      for (std::size_t n = 0; n < networks.size(); ++n)
+        if (touched_networks.count(networks[n].network_id) != 0) affected.push_back(n);
+    }
+    const std::string task_path =
+        obs::enabled() ? obs::Tracer::current_path() + "/network" : std::string();
+    parallel_for(pool_.get(), affected.size(), [&](std::size_t i) {
+      obs::Span task = obs::Span::with_path(task_path);
+      const std::size_t n = affected[i];
+      const NetworkRecord& net = inventory_.networks()[n];
+      NetworkLint& out = lint_->networks[n];
+      out.network_id = net.network_id;
+      std::vector<DeviceText> texts;
+      for (const auto* d : inventory_.devices_in(net.network_id)) {
+        const auto& snaps = snapshots_.for_device(d->device_id);
+        if (snaps.empty()) continue;
+        texts.push_back(DeviceText{d->device_id, snaps.back().text, dialect_of(d->vendor)});
+      }
+      out.num_devices = texts.size();
+      out.diagnostics = lint_network_text(texts, opts_.inference.lint);
+      obs::LogEvent(obs::LogLevel::kDebug, "lint_network")
+          .str("network", out.network_id)
+          .u64("findings", out.diagnostics.size());
+    });
+    result.lint_incremental = true;
+    if (keyed) store_.save_lint_report(opts_.artifact_key, *lint_);
+  }
+
+  // ---- Dependence: fold the new month block into the running MI/CMI
+  // totals; a moved bin bound re-bins history, so fall back to a lazy
+  // full rebuild (which is bit-identical anyway — the analysis is a
+  // pure function of the merged table). ----
+  if (dependence_.has_value()) {
+    if (table_.has_value() && dependence_->append_month(*table_, m)) {
+      result.dependence_incremental = true;
+    } else {
+      dependence_.reset();
+    }
+  }
+
+  // Month-sensitive artifacts with no sound additive form.
+  causal_.clear();
+  cv_.clear();
+
+  bump_stats([](CacheStats& s) { ++s.appends; });
+  bump("mpa_session_appends_total");
+  record_stage("append", "computed", elapsed_seconds(t0));
+  obs::LogEvent(obs::LogLevel::kInfo, "session_append")
+      .i64("month", m)
+      .u64("snapshots", result.snapshots)
+      .u64("tickets", result.tickets)
+      .u64("new_rows", result.new_rows)
+      .boolean("table_incremental", result.table_incremental)
+      .boolean("lint_incremental", result.lint_incremental)
+      .boolean("dependence_incremental", result.dependence_incremental);
+  return result;
+}
+
 AnalysisSession::CacheStats AnalysisSession::stats() const {
   MutexLock lk(stats_mu_);
   return stats_;
@@ -363,7 +517,8 @@ RunManifest AnalysisSession::manifest() const {
                {"lint_loads", stats_.lint_loads},
                {"causal_runs", stats_.causal_runs},
                {"cv_runs", stats_.cv_runs},
-               {"online_runs", stats_.online_runs}};
+               {"online_runs", stats_.online_runs},
+               {"appends", stats_.appends}};
   }
   if (obs::enabled()) m.counters = obs::Registry::global().counters_snapshot();
   return m;
@@ -402,6 +557,14 @@ void AnalysisSession::invalidate() {
 
 void AnalysisSession::replace_data(Inventory inventory, SnapshotStore snapshots,
                                    TicketLog tickets) {
+  // A byte-identical replacement is a no-op: every artifact is a pure
+  // function of (data, options, seed), so matching fingerprints mean
+  // the warm cache is still exactly right — don't invalidate it.
+  if (dataset_fingerprint(inventory, snapshots, tickets) == fingerprint()) {
+    obs::LogEvent(obs::LogLevel::kDebug, "session_replace_noop")
+        .str("artifact_key", opts_.artifact_key);
+    return;
+  }
   inventory_ = std::move(inventory);
   snapshots_ = std::move(snapshots);
   tickets_ = std::move(tickets);

@@ -37,6 +37,7 @@
 
 #include "engine/artifact_store.hpp"
 #include "engine/run_manifest.hpp"
+#include "io/dataset_io.hpp"
 #include "metrics/inference.hpp"
 #include "mpa/causal.hpp"
 #include "mpa/dependence.hpp"
@@ -129,11 +130,59 @@ class AnalysisSession {
   double online_accuracy(int num_classes, int history_m, ModelKind kind, int first_t,
                          int last_t);
 
-  /// Drop every derived artifact, including the persisted case table
-  /// when the session is keyed. The next request recomputes.
+  /// What one append_month call did — how much data was ingested and
+  /// which derived artifacts were maintained in place rather than
+  /// dropped for lazy recomputation.
+  struct AppendResult {
+    int month = 0;            ///< The month that was appended.
+    std::size_t snapshots = 0;  ///< Snapshot records ingested.
+    std::size_t tickets = 0;    ///< Ticket records ingested.
+    std::size_t new_rows = 0;   ///< Case rows added to the live table.
+    /// The memoized case table was extended with the new month's rows
+    /// (false when no table was resident — nothing to extend).
+    bool table_incremental = false;
+    /// The lint report was patched for the networks the delta touched.
+    bool lint_incremental = false;
+    /// The dependence rankings absorbed the month additively (false
+    /// when the new month moved a fitted bin bound, which forces a
+    /// lazy full rebuild, or when no analysis was resident).
+    bool dependence_incremental = false;
+  };
+
+  /// Append one month of telemetry to the live dataset and maintain
+  /// the derived state incrementally — O(delta), not O(history):
+  ///
+  ///   - the case table gains the new month's rows only, computed from
+  ///     each device's snapshot suffix (infer_case_table_tail);
+  ///   - the lint report is re-linted only for networks whose devices
+  ///     produced new snapshots (latest-snapshot semantics);
+  ///   - the dependence rankings fold in the new month block additively
+  ///     and fall back to a lazy full rebuild only when the month moves
+  ///     a fitted bin bound (DependenceAnalysis::append_month);
+  ///   - causal and CV artifacts are month-sensitive with no sound
+  ///     additive form, so they are dropped for lazy recomputation.
+  ///
+  /// Every maintained artifact is bit-identical to what a from-scratch
+  /// session over the merged data would compute. Throws DataError when
+  /// `delta.month != num_months()` (out-of-order months are rejected by
+  /// name), when a record's timestamp falls outside the month, when a
+  /// snapshot names an unknown device or a ticket an unknown network,
+  /// when a ticket resolves before it was created, or when a snapshot
+  /// header token is empty or contains whitespace (the dataset-io
+  /// validation, applied to in-memory deltas too). On throw the session
+  /// is unchanged. Stage calls are single-owner like every other stage
+  /// (the serving layer routes ingest through SessionManager).
+  AppendResult append_month(const MonthDelta& delta) EXCLUDES(stats_mu_);
+
+  /// Drop every derived artifact, including the persisted case table,
+  /// lint report, and manifest sidecars when the session is keyed. The
+  /// next request recomputes.
   void invalidate();
 
-  /// Swap in new data sources; implies invalidate().
+  /// Swap in new data sources; implies invalidate(). A replacement
+  /// whose dataset fingerprint matches the current data is a no-op:
+  /// every artifact is a pure function of (data, options, seed), so
+  /// identical data keeps the cache warm and counts no invalidation.
   void replace_data(Inventory inventory, SnapshotStore snapshots, TicketLog tickets);
 
   /// Cache observability (tests + tooling). These per-session counts
@@ -149,6 +198,7 @@ class AnalysisSession {
     std::size_t causal_runs = 0;
     std::size_t cv_runs = 0;
     std::size_t online_runs = 0;   ///< online_accuracy evaluations.
+    std::size_t appends = 0;       ///< append_month ingestions.
   };
   /// Snapshot taken under the stats mutex — safe to call from any
   /// thread, including concurrently with a stage executing on another

@@ -7,7 +7,10 @@
 // so the manager wraps every session in a per-entry mutex and exposes
 // it only through with_session() — at most one request executes
 // against a session at a time, while different sessions proceed in
-// parallel. close() unregisters a key immediately; if a request is
+// parallel. Mutating stage calls ride the same lock: the serving
+// layer's ingest requests run AnalysisSession::append_month inside
+// with_session(), so an append is atomic with respect to concurrent
+// reads of the same session. close() unregisters a key immediately; if a request is
 // mid-flight on that session, the entry (shared_ptr) stays alive until
 // the request finishes, then destructs on that thread — a session is
 // never destroyed under a running stage.

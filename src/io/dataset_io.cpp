@@ -1,10 +1,12 @@
 #include "io/dataset_io.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "telemetry/time.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -40,17 +42,6 @@ void check_field(const std::string& s, const char* what) {
                    ": " + s);
 }
 
-// snapshots.log headers are whitespace-delimited ("@snapshot <device>
-// <time> <login> <length>"), so a device_id or login containing
-// whitespace would change the token count and corrupt every record
-// after it. Validate on save, like check_field does for the CSVs.
-void check_header_token(const std::string& s, const char* what) {
-  require_data(!s.empty(), std::string("snapshot header field is empty: ") + what);
-  for (const char c : s)
-    require_data(std::isspace(static_cast<unsigned char>(c)) == 0,
-                 std::string("snapshot header field contains whitespace: ") + what + ": " + s);
-}
-
 std::int64_t parse_int(const std::string& s, const char* what) {
   try {
     std::size_t pos = 0;
@@ -64,7 +55,80 @@ std::int64_t parse_int(const std::string& s, const char* what) {
   }
 }
 
+// Shared row/record codecs so the full-dataset and month-delta paths
+// stay byte-compatible (and fail with identical error strings).
+
+void render_ticket_row(std::ostream& os, const Ticket& t) {
+  check_field(t.ticket_id, "ticket_id");
+  check_field(t.symptom, "symptom");
+  os << t.ticket_id << ',' << t.network_id << ',' << t.created << ',' << t.resolved << ','
+     << to_string(t.origin) << ',' << t.symptom << ',' << join(t.devices, ";") << '\n';
+}
+
+Ticket parse_ticket_row(const std::string& line) {
+  const auto cells = split(line, ',');
+  require_data(cells.size() == 7, "tickets.csv: bad row: " + line);
+  Ticket t;
+  t.ticket_id = cells[0];
+  t.network_id = cells[1];
+  t.created = parse_int(cells[2], "ticket created");
+  t.resolved = parse_int(cells[3], "ticket resolved");
+  require_data(t.resolved >= t.created,
+               "tickets.csv: resolved time " + cells[3] + " precedes created time " + cells[2] +
+                   " for ticket " + t.ticket_id);
+  t.origin = origin_from_string(cells[4]);
+  t.symptom = cells[5];
+  if (!cells[6].empty()) t.devices = split(cells[6], ';');
+  return t;
+}
+
+void render_snapshot_record(std::ostream& os, const ConfigSnapshot& snap) {
+  check_header_token(snap.device_id, "snapshot device_id");
+  check_header_token(snap.login, "snapshot login");
+  os << "@snapshot " << snap.device_id << ' ' << snap.time << ' ' << snap.login << ' '
+     << snap.text.size() << '\n'
+     << snap.text;
+}
+
+std::vector<ConfigSnapshot> parse_snapshot_log(const std::string& log) {
+  std::vector<ConfigSnapshot> out;
+  std::size_t pos = 0;
+  while (pos < log.size()) {
+    const std::size_t eol = log.find('\n', pos);
+    require_data(eol != std::string::npos, "snapshots.log: truncated header");
+    const std::string header = log.substr(pos, eol - pos);
+    const auto tokens = split_ws(header);
+    require_data(tokens.size() == 5 && tokens[0] == "@snapshot",
+                 "snapshots.log: bad header: " + header);
+    // A negative length cast straight to size_t would become a huge
+    // offset and misreport as "truncated body"; reject it by name.
+    const std::int64_t declared = parse_int(tokens[4], "snapshot length");
+    require_data(declared >= 0, "snapshots.log: negative snapshot length in header: " + header);
+    const auto length = static_cast<std::size_t>(declared);
+    require_data(eol + 1 + length <= log.size(), "snapshots.log: truncated body");
+    ConfigSnapshot snap;
+    snap.device_id = tokens[1];
+    snap.time = parse_int(tokens[2], "snapshot time");
+    snap.login = tokens[3];
+    snap.text = log.substr(eol + 1, length);
+    out.push_back(std::move(snap));
+    pos = eol + 1 + length;
+  }
+  return out;
+}
+
 }  // namespace
+
+// snapshots.log headers are whitespace-delimited ("@snapshot <device>
+// <time> <login> <length>"), so a device_id or login containing
+// whitespace would change the token count and corrupt every record
+// after it. Validate on save, like check_field does for the CSVs.
+void check_header_token(const std::string& s, const char* what) {
+  require_data(!s.empty(), std::string("snapshot header field is empty: ") + what);
+  for (const char c : s)
+    require_data(std::isspace(static_cast<unsigned char>(c)) == 0,
+                 std::string("snapshot header field contains whitespace: ") + what + ": " + s);
+}
 
 Vendor vendor_from_string(std::string_view s) {
   for (int v = 0; v < kNumVendors; ++v)
@@ -124,12 +188,7 @@ void save_dataset(const DiskDataset& data, const std::string& dir) {
   {
     std::ostringstream os;
     os << "ticket_id,network_id,created,resolved,origin,symptom,devices\n";
-    for (const auto& t : data.tickets.all()) {
-      check_field(t.ticket_id, "ticket_id");
-      check_field(t.symptom, "symptom");
-      os << t.ticket_id << ',' << t.network_id << ',' << t.created << ',' << t.resolved << ','
-         << to_string(t.origin) << ',' << t.symptom << ',' << join(t.devices, ";") << '\n';
-    }
+    for (const auto& t : data.tickets.all()) render_ticket_row(os, t);
     write_file(base / "tickets.csv", os.str());
   }
 
@@ -137,15 +196,9 @@ void save_dataset(const DiskDataset& data, const std::string& dir) {
   // escaping.
   {
     std::ostringstream os;
-    for (const auto& device_id : data.snapshots.devices()) {
-      for (const auto& snap : data.snapshots.for_device(device_id)) {
-        check_header_token(snap.device_id, "snapshot device_id");
-        check_header_token(snap.login, "snapshot login");
-        os << "@snapshot " << snap.device_id << ' ' << snap.time << ' ' << snap.login << ' '
-           << snap.text.size() << '\n'
-           << snap.text;
-      }
-    }
+    for (const auto& device_id : data.snapshots.devices())
+      for (const auto& snap : data.snapshots.for_device(device_id))
+        render_snapshot_record(os, snap);
     write_file(base / "snapshots.log", os.str());
   }
 }
@@ -197,51 +250,96 @@ DiskDataset load_dataset(const std::string& dir) {
     const auto lines = split_lines(read_file(base / "tickets.csv"));
     for (std::size_t i = 1; i < lines.size(); ++i) {
       if (trim(lines[i]).empty()) continue;
-      const auto cells = split(lines[i], ',');
-      require_data(cells.size() == 7, "tickets.csv: bad row: " + lines[i]);
-      Ticket t;
-      t.ticket_id = cells[0];
-      t.network_id = cells[1];
-      t.created = parse_int(cells[2], "ticket created");
-      t.resolved = parse_int(cells[3], "ticket resolved");
-      require_data(t.resolved >= t.created,
-                   "tickets.csv: resolved time " + cells[3] + " precedes created time " +
-                       cells[2] + " for ticket " + t.ticket_id);
-      t.origin = origin_from_string(cells[4]);
-      t.symptom = cells[5];
-      if (!cells[6].empty()) t.devices = split(cells[6], ';');
-      data.tickets.add(std::move(t));
+      data.tickets.add(parse_ticket_row(lines[i]));
     }
   }
 
   // snapshots.log
+  for (auto& snap : parse_snapshot_log(read_file(base / "snapshots.log")))
+    data.snapshots.add(std::move(snap));
+
+  return data;
+}
+
+void save_month_delta(const MonthDelta& delta, const std::string& dir) {
+  fs::create_directories(dir);
+  const fs::path base(dir);
+
+  write_file(base / "month.txt", std::to_string(delta.month) + "\n");
+
   {
-    const std::string log = read_file(base / "snapshots.log");
-    std::size_t pos = 0;
-    while (pos < log.size()) {
-      const std::size_t eol = log.find('\n', pos);
-      require_data(eol != std::string::npos, "snapshots.log: truncated header");
-      const std::string header = log.substr(pos, eol - pos);
-      const auto tokens = split_ws(header);
-      require_data(tokens.size() == 5 && tokens[0] == "@snapshot",
-                   "snapshots.log: bad header: " + header);
-      // A negative length cast straight to size_t would become a huge
-      // offset and misreport as "truncated body"; reject it by name.
-      const std::int64_t declared = parse_int(tokens[4], "snapshot length");
-      require_data(declared >= 0,
-                   "snapshots.log: negative snapshot length in header: " + header);
-      const auto length = static_cast<std::size_t>(declared);
-      require_data(eol + 1 + length <= log.size(), "snapshots.log: truncated body");
-      ConfigSnapshot snap;
-      snap.device_id = tokens[1];
-      snap.time = parse_int(tokens[2], "snapshot time");
-      snap.login = tokens[3];
-      snap.text = log.substr(eol + 1, length);
-      data.snapshots.add(std::move(snap));
-      pos = eol + 1 + length;
+    std::ostringstream os;
+    os << "ticket_id,network_id,created,resolved,origin,symptom,devices\n";
+    for (const auto& t : delta.tickets) render_ticket_row(os, t);
+    write_file(base / "tickets.csv", os.str());
+  }
+
+  {
+    std::ostringstream os;
+    for (const auto& snap : delta.snapshots) render_snapshot_record(os, snap);
+    write_file(base / "snapshots.log", os.str());
+  }
+}
+
+MonthDelta load_month_delta(const std::string& dir) {
+  const fs::path base(dir);
+  MonthDelta delta;
+
+  {
+    const std::string text(trim(read_file(base / "month.txt")));
+    const std::int64_t month = parse_int(text, "delta month");
+    require_data(month >= 0, "month.txt: delta month is negative: " + text);
+    delta.month = static_cast<int>(month);
+  }
+
+  {
+    const auto lines = split_lines(read_file(base / "tickets.csv"));
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      if (trim(lines[i]).empty()) continue;
+      delta.tickets.push_back(parse_ticket_row(lines[i]));
     }
   }
-  return data;
+
+  delta.snapshots = parse_snapshot_log(read_file(base / "snapshots.log"));
+  return delta;
+}
+
+SplitDataset split_dataset(const DiskDataset& data, int first_delta_month) {
+  SplitDataset out;
+  out.base.inventory = data.inventory;
+
+  // One delta per month from the cut to the last month observed in the
+  // data, contiguous so the append sequence has no gaps.
+  int last_month = first_delta_month - 1;
+  for (const auto& t : data.tickets.all()) last_month = std::max(last_month, month_of(t.created));
+  for (const auto& device_id : data.snapshots.devices())
+    for (const auto& snap : data.snapshots.for_device(device_id))
+      last_month = std::max(last_month, month_of(snap.time));
+  out.deltas.resize(static_cast<std::size_t>(last_month - first_delta_month + 1));
+  for (std::size_t i = 0; i < out.deltas.size(); ++i)
+    out.deltas[i].month = first_delta_month + static_cast<int>(i);
+
+  // Stored orders are preserved within each destination: replaying the
+  // deltas over the base re-adds every record in its original relative
+  // order, so the merged containers (and their FNV fingerprint) match
+  // the unsplit dataset.
+  for (const auto& t : data.tickets.all()) {
+    const int m = month_of(t.created);
+    if (m < first_delta_month)
+      out.base.tickets.add(t);
+    else
+      out.deltas[static_cast<std::size_t>(m - first_delta_month)].tickets.push_back(t);
+  }
+  for (const auto& device_id : data.snapshots.devices()) {
+    for (const auto& snap : data.snapshots.for_device(device_id)) {
+      const int m = month_of(snap.time);
+      if (m < first_delta_month)
+        out.base.snapshots.add(snap);
+      else
+        out.deltas[static_cast<std::size_t>(m - first_delta_month)].snapshots.push_back(snap);
+    }
+  }
+  return out;
 }
 
 }  // namespace mpa

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "model/inventory.hpp"
 #include "telemetry/snapshots.hpp"
@@ -39,9 +40,57 @@ void save_dataset(const DiskDataset& data, const std::string& dir);
 /// DataError on malformed content.
 DiskDataset load_dataset(const std::string& dir);
 
+/// One month of new telemetry for a live dataset: the snapshots and
+/// tickets whose timestamps fall inside month `month`. The inventory is
+/// fixed across a delta — adding devices or networks goes through
+/// AnalysisSession::replace_data, which is a full rebuild by design.
+struct MonthDelta {
+  int month = 0;
+  std::vector<ConfigSnapshot> snapshots;
+  std::vector<Ticket> tickets;
+};
+
+/// Write a month delta into `dir` (created if absent): month.txt plus
+/// tickets.csv and snapshots.log in the exact formats save_dataset
+/// uses (same field validation, same error strings). Throws DataError
+/// on I/O failure or an invalid field.
+void save_month_delta(const MonthDelta& delta, const std::string& dir);
+
+/// Load a delta directory written by save_month_delta. Throws
+/// DataError on malformed content, with the same validation (and the
+/// same error strings) as load_dataset: resolved < created tickets,
+/// negative snapshot lengths, and malformed headers are rejected by
+/// name; CRLF line endings are accepted.
+MonthDelta load_month_delta(const std::string& dir);
+
+/// A dataset cut at a month boundary: `base` holds every record whose
+/// timestamp falls strictly before `first_delta_month`, and `deltas`
+/// holds one MonthDelta per later month (contiguous, possibly empty
+/// months included) in ascending month order. Within every destination
+/// the original relative record order is preserved, so replaying the
+/// deltas over the base reproduces each device's snapshot sequence
+/// exactly; the global ticket order becomes month-major (base first,
+/// then each delta), which no analysis observes — artifacts equal a
+/// from-scratch run over the replayed containers bit-exactly.
+struct SplitDataset {
+  DiskDataset base;
+  std::vector<MonthDelta> deltas;
+};
+
+/// Split a dataset at `first_delta_month` (tickets are attributed to
+/// the month of their created time, snapshots to the month of their
+/// capture time). The inventory is copied into the base unchanged.
+SplitDataset split_dataset(const DiskDataset& data, int first_delta_month);
+
 /// Parse helpers exposed for tests.
 Vendor vendor_from_string(std::string_view s);
 Role role_from_string(std::string_view s);
 TicketOrigin origin_from_string(std::string_view s);
+
+/// Validation shared by save_dataset and save_month_delta, exposed for
+/// tests: snapshots.log header tokens are whitespace-delimited, so a
+/// device_id or login that is empty or contains whitespace is rejected
+/// by name before it can corrupt the record stream.
+void check_header_token(const std::string& s, const char* what);
 
 }  // namespace mpa

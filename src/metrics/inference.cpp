@@ -24,32 +24,54 @@ struct DeviceTimeline {
   }
 };
 
-/// All rows of one network, in month order. Pure function of its
-/// inputs: safe to fan out per network, and the concatenation in
-/// inventory order is byte-identical to the serial loop.
+/// Rows of one network for months [first_month, opts.num_months), in
+/// month order. Pure function of its inputs: safe to fan out per
+/// network, and the concatenation in inventory order is byte-identical
+/// to the serial loop.
+///
+/// With first_month > 0 only the per-device snapshot *suffix* from the
+/// last snapshot strictly before the window is parsed and diffed — the
+/// carry-in snapshot supplies every earlier config state a month-end
+/// lookup inside the window can resolve to, and every change record
+/// the window's months select survives (change i pairs snapshots
+/// (i-1, i), and snapshot i is inside the suffix exactly when its time
+/// is >= month_start(first_month)). This is what makes append_month
+/// O(delta) instead of O(history).
 std::vector<Case> infer_network_cases(const NetworkRecord& net, const Inventory& inventory,
                                       const SnapshotStore& snapshots, const TicketLog& tickets,
-                                      const InferenceOptions& opts) {
+                                      const InferenceOptions& opts, int first_month) {
   const auto devices = inventory.devices_in(net.network_id);
+  const Timestamp window_start = month_start(first_month);
 
   std::map<std::string, Role> device_roles;
   for (const auto* d : devices) device_roles[d->device_id] = d->role;
 
-  // Parse every device's snapshot archive once; derive both the
-  // monthly config states and the change stream from it.
+  // Parse each device's snapshot archive once (only the suffix that
+  // can influence the requested months); derive both the monthly
+  // config states and the change stream from it.
   std::map<std::string, DeviceTimeline> timelines;
   std::vector<ChangeRecord> changes;
   for (const auto* d : devices) {
     const auto& snaps = snapshots.for_device(d->device_id);
     if (snaps.empty()) continue;
     const Dialect dialect = dialect_of(d->vendor);
+    std::size_t begin = 0;
+    if (first_month > 0) {
+      // Last snapshot strictly before the window (carry-in state);
+      // parse from there. Snapshots are time-ordered per device.
+      const auto before = static_cast<std::size_t>(
+          std::partition_point(snaps.begin(), snaps.end(),
+                               [&](const ConfigSnapshot& s) { return s.time < window_start; }) -
+          snaps.begin());
+      begin = before > 0 ? before - 1 : 0;
+    }
     DeviceTimeline tl;
-    tl.times.reserve(snaps.size());
-    tl.configs.reserve(snaps.size());
-    for (const auto& s : snaps) {
-      tl.times.push_back(s.time);
-      tl.configs.push_back(parse(s.text, dialect, d->device_id));
-      tl.sources.push_back(LintSource::scan(s.text, dialect));
+    tl.times.reserve(snaps.size() - begin);
+    tl.configs.reserve(snaps.size() - begin);
+    for (std::size_t i = begin; i < snaps.size(); ++i) {
+      tl.times.push_back(snaps[i].time);
+      tl.configs.push_back(parse(snaps[i].text, dialect, d->device_id));
+      tl.sources.push_back(LintSource::scan(snaps[i].text, dialect));
     }
     for (std::size_t i = 1; i < tl.configs.size(); ++i) {
       auto stanza_changes = diff(tl.configs[i - 1], tl.configs[i]);
@@ -57,21 +79,26 @@ std::vector<Case> infer_network_cases(const NetworkRecord& net, const Inventory&
       ChangeRecord cr;
       cr.device_id = d->device_id;
       cr.network_id = net.network_id;
-      cr.time = snaps[i].time;
-      cr.login = snaps[i].login;
-      cr.automated = opts.automation(snaps[i].login);
+      cr.time = snaps[begin + i].time;
+      cr.login = snaps[begin + i].login;
+      cr.automated = opts.automation(snaps[begin + i].login);
       cr.stanza_changes = std::move(stanza_changes);
       changes.push_back(std::move(cr));
     }
     timelines.emplace(d->device_id, std::move(tl));
   }
-  std::sort(changes.begin(), changes.end(), [](const ChangeRecord& a, const ChangeRecord& b) {
-    return a.time != b.time ? a.time < b.time : a.device_id < b.device_id;
-  });
+  // stable_sort, not sort: records tied on (time, device_id) keep their
+  // generation order, so sorting a per-device suffix of the change
+  // stream and sorting the full stream agree on every month window —
+  // the property the tail path's bit-exactness contract rests on.
+  std::stable_sort(changes.begin(), changes.end(),
+                   [](const ChangeRecord& a, const ChangeRecord& b) {
+                     return a.time != b.time ? a.time < b.time : a.device_id < b.device_id;
+                   });
 
   std::vector<Case> rows;
-  rows.reserve(static_cast<std::size_t>(opts.num_months));
-  for (int m = 0; m < opts.num_months; ++m) {
+  rows.reserve(static_cast<std::size_t>(opts.num_months - first_month));
+  for (int m = first_month; m < opts.num_months; ++m) {
     const Timestamp m_start = month_start(m);
     const Timestamp m_end = month_start(m + 1);
 
@@ -114,10 +141,17 @@ std::vector<Case> infer_network_cases(const NetworkRecord& net, const Inventory&
 
 CaseTable infer_case_table(const Inventory& inventory, const SnapshotStore& snapshots,
                            const TicketLog& tickets, const InferenceOptions& opts) {
+  return infer_case_table_tail(inventory, snapshots, tickets, opts, 0);
+}
+
+CaseTable infer_case_table_tail(const Inventory& inventory, const SnapshotStore& snapshots,
+                                const TicketLog& tickets, const InferenceOptions& opts,
+                                int first_month) {
   const auto& networks = inventory.networks();
   std::vector<std::vector<Case>> per_network(networks.size());
   parallel_for(opts.pool, networks.size(), [&](std::size_t n) {
-    per_network[n] = infer_network_cases(networks[n], inventory, snapshots, tickets, opts);
+    per_network[n] =
+        infer_network_cases(networks[n], inventory, snapshots, tickets, opts, first_month);
   });
 
   CaseTable table;

@@ -43,4 +43,14 @@ struct InferenceOptions {
 CaseTable infer_case_table(const Inventory& inventory, const SnapshotStore& snapshots,
                            const TicketLog& tickets, const InferenceOptions& opts = {});
 
+/// Rows for months [first_month, opts.num_months) only — bit-identical
+/// to the corresponding rows of infer_case_table over the same data,
+/// but each device's snapshot archive is parsed and diffed only from
+/// the last snapshot strictly before the window (the carry-in state).
+/// This is the O(delta) path AnalysisSession::append_month extends a
+/// live case table with; infer_case_table(...) == tail(..., 0).
+CaseTable infer_case_table_tail(const Inventory& inventory, const SnapshotStore& snapshots,
+                                const TicketLog& tickets, const InferenceOptions& opts,
+                                int first_month);
+
 }  // namespace mpa

@@ -11,79 +11,122 @@
 namespace mpa {
 namespace {
 
-// Average monthly MI between one binned practice column and health,
+// MI of one binned practice column with health over one month block,
 // using a caller-owned scratch table (allocation-free across calls).
-double avg_monthly_mi(const BinnedCaseView& view, Practice p, ContingencyTable& scratch) {
-  const int cx = view.practice_cardinality(p);
-  const int cy = view.health_cardinality();
-  double total = 0;
-  int months = 0;
-  for (std::size_t mi = 0; mi < view.num_months(); ++mi) {
-    if (view.month_size(mi) < 2) continue;
-    scratch.reset(cx, cy);
-    scratch.count(view.practice_month(p, mi), view.health_month(mi));
-    total += scratch.mutual_information();
-    ++months;
-  }
-  return months == 0 ? 0 : total / months;
+double month_mi(const BinnedCaseView& view, Practice p, std::size_t mi,
+                ContingencyTable& scratch) {
+  scratch.reset(view.practice_cardinality(p), view.health_cardinality());
+  scratch.count(view.practice_month(p, mi), view.health_month(mi));
+  return scratch.mutual_information();
 }
 
-// Average monthly CMI of a practice pair given health.
-double avg_monthly_cmi(const BinnedCaseView& view, Practice a, Practice b,
-                       CmiAccumulator& scratch) {
-  const int c1 = view.practice_cardinality(a);
-  const int c2 = view.practice_cardinality(b);
-  const int cy = view.health_cardinality();
-  double total = 0;
-  int months = 0;
-  for (std::size_t mi = 0; mi < view.num_months(); ++mi) {
-    if (view.month_size(mi) < 2) continue;
-    scratch.reset(c1, c2, cy);
-    scratch.count(view.practice_month(a, mi), view.practice_month(b, mi),
-                  view.health_month(mi));
-    total += scratch.value();
-    ++months;
-  }
-  return months == 0 ? 0 : total / months;
+// CMI of a practice pair given health over one month block.
+double month_cmi(const BinnedCaseView& view, Practice a, Practice b, std::size_t mi,
+                 CmiAccumulator& scratch) {
+  scratch.reset(view.practice_cardinality(a), view.practice_cardinality(b),
+                view.health_cardinality());
+  scratch.count(view.practice_month(a, mi), view.practice_month(b, mi), view.health_month(mi));
+  return scratch.value();
 }
 
-}  // namespace
-
-DependenceAnalysis::DependenceAnalysis(const CaseTable& table, const DependenceOptions& opts)
-    : view_((require(!table.empty(), "DependenceAnalysis: empty case table"), table), opts.bins,
-            opts.lo_pct, opts.hi_pct) {
-  // Average monthly MI per practice (analysis set only; the excluded
-  // identity metrics would just duplicate their parents).
+// The ~P^2/2 practice pairs in (ai, bi) enumeration order — the fixed
+// order the cmi running totals are indexed by.
+std::vector<std::pair<Practice, Practice>> analysis_pairs() {
   const auto analysis_set = analysis_practices();
-  ContingencyTable mi_scratch;
-  mi_.reserve(analysis_set.size());
-  for (Practice p : analysis_set)
-    mi_.push_back(PracticeMi{p, avg_monthly_mi(view_, p, mi_scratch)});
-  std::sort(mi_.begin(), mi_.end(), [](const PracticeMi& a, const PracticeMi& b) {
-    return a.avg_monthly_mi > b.avg_monthly_mi;
-  });
-
-  // Average monthly CMI per practice pair, given health. Pairs are
-  // enumerated in (ai, bi) order, each task writes only its own slot,
-  // and the final sort sees the same sequence at any thread count.
   std::vector<std::pair<Practice, Practice>> pairs;
   pairs.reserve(analysis_set.size() * (analysis_set.size() - 1) / 2);
   for (std::size_t ai = 0; ai < analysis_set.size(); ++ai)
     for (std::size_t bi = ai + 1; bi < analysis_set.size(); ++bi)
       pairs.emplace_back(analysis_set[ai], analysis_set[bi]);
+  return pairs;
+}
 
-  cmi_.resize(pairs.size());
+}  // namespace
+
+DependenceAnalysis::DependenceAnalysis(const CaseTable& table, const DependenceOptions& opts)
+    : opts_(opts),
+      view_((require(!table.empty(), "DependenceAnalysis: empty case table"), table), opts.bins,
+            opts.lo_pct, opts.hi_pct) {
+  // Average monthly MI per practice (analysis set only; the excluded
+  // identity metrics would just duplicate their parents). Months with
+  // fewer than 2 cases contribute nothing to the fold.
+  const auto analysis_set = analysis_practices();
+  ContingencyTable mi_scratch;
+  mi_totals_.resize(analysis_set.size());
+  for (std::size_t i = 0; i < analysis_set.size(); ++i) {
+    for (std::size_t mi = 0; mi < view_.num_months(); ++mi) {
+      if (view_.month_size(mi) < 2) continue;
+      mi_totals_[i].total += month_mi(view_, analysis_set[i], mi, mi_scratch);
+      ++mi_totals_[i].months;
+    }
+  }
+
+  // Average monthly CMI per practice pair, given health. Pairs are
+  // enumerated in (ai, bi) order, each task writes only its own slot,
+  // and the ranking sort sees the same sequence at any thread count.
+  const auto pairs = analysis_pairs();
+  cmi_totals_.resize(pairs.size());
   if (opts.record_pair_times) pair_seconds_.assign(pairs.size(), 0.0);
   parallel_for(opts.pool, pairs.size(), [&](std::size_t pi) {
     const auto start = opts.record_pair_times ? std::chrono::steady_clock::now()
                                               : std::chrono::steady_clock::time_point{};
     thread_local CmiAccumulator scratch;
     const auto [a, b] = pairs[pi];
-    cmi_[pi] = PairCmi{a, b, avg_monthly_cmi(view_, a, b, scratch)};
+    for (std::size_t mi = 0; mi < view_.num_months(); ++mi) {
+      if (view_.month_size(mi) < 2) continue;
+      cmi_totals_[pi].total += month_cmi(view_, a, b, mi, scratch);
+      ++cmi_totals_[pi].months;
+    }
     if (opts.record_pair_times)
       pair_seconds_[pi] =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   });
+
+  rebuild_rankings();
+}
+
+bool DependenceAnalysis::append_month(const CaseTable& table, int month) {
+  const std::size_t months_before = view_.num_months();
+  if (!view_.try_append_month(table, month)) return false;
+  if (view_.num_months() == months_before) return true;  // Empty month: nothing to fold.
+
+  const std::size_t mi_block = view_.num_months() - 1;
+  if (view_.month_size(mi_block) < 2) return true;  // Below the fold's month threshold.
+
+  const auto analysis_set = analysis_practices();
+  ContingencyTable mi_scratch;
+  for (std::size_t i = 0; i < analysis_set.size(); ++i) {
+    mi_totals_[i].total += month_mi(view_, analysis_set[i], mi_block, mi_scratch);
+    ++mi_totals_[i].months;
+  }
+
+  const auto pairs = analysis_pairs();
+  parallel_for(opts_.pool, pairs.size(), [&](std::size_t pi) {
+    thread_local CmiAccumulator scratch;
+    const auto [a, b] = pairs[pi];
+    cmi_totals_[pi].total += month_cmi(view_, a, b, mi_block, scratch);
+    ++cmi_totals_[pi].months;
+  });
+
+  rebuild_rankings();
+  return true;
+}
+
+void DependenceAnalysis::rebuild_rankings() {
+  const auto analysis_set = analysis_practices();
+  mi_.clear();
+  mi_.reserve(analysis_set.size());
+  for (std::size_t i = 0; i < analysis_set.size(); ++i)
+    mi_.push_back(PracticeMi{analysis_set[i], mi_totals_[i].avg()});
+  std::sort(mi_.begin(), mi_.end(), [](const PracticeMi& a, const PracticeMi& b) {
+    return a.avg_monthly_mi > b.avg_monthly_mi;
+  });
+
+  const auto pairs = analysis_pairs();
+  cmi_.clear();
+  cmi_.reserve(pairs.size());
+  for (std::size_t pi = 0; pi < pairs.size(); ++pi)
+    cmi_.push_back(PairCmi{pairs[pi].first, pairs[pi].second, cmi_totals_[pi].avg()});
   std::sort(cmi_.begin(), cmi_.end(), [](const PairCmi& a, const PairCmi& b) {
     return a.avg_monthly_cmi > b.avg_monthly_cmi;
   });

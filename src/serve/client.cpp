@@ -16,7 +16,7 @@ namespace mpa::serve {
 std::vector<Request> synthesize_trace(const ClientOptions& opts) {
   Rng rng(opts.seed);
   std::vector<double> weights = opts.kind_weights;
-  weights.resize(5, 0.0);
+  weights.resize(6, 0.0);
   const std::vector<Practice> treatments = analysis_practices();
 
   std::vector<Request> trace;
@@ -49,6 +49,9 @@ std::vector<Request> synthesize_trace(const ClientOptions& opts) {
       case RequestKind::kPredict:
         req.classes = rng.bernoulli(0.5) ? 2 : 5;
         req.history = static_cast<int>(rng.uniform_int(2, 4));
+        break;
+      case RequestKind::kIngest:
+        req.dir = opts.ingest_dir;
         break;
     }
     trace.push_back(std::move(req));

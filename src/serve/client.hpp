@@ -34,8 +34,14 @@ struct ClientOptions {
   double deadline_ms = 0;
   /// Request-kind mix weights, indexed by RequestKind. Case-table
   /// slices and rankings dominate the default interactive mix; the
-  /// heavyweight kinds (causal, predict) are rare.
+  /// heavyweight kinds (causal, predict) are rare, and ingest is off
+  /// by default (missing tail weights are zero) — a trace that appends
+  /// the same delta twice would fail on the second try, so ingest mixes
+  /// only make sense with externally staged per-request directories.
   std::vector<double> kind_weights = {4, 3, 1, 3, 1};
+  /// Month-delta directory attached to synthesized ingest requests
+  /// (only used when kind_weights gives kIngest mass).
+  std::string ingest_dir;
 };
 
 /// Deterministic trace from the options (ids 1..request_total_cnt).

@@ -37,13 +37,14 @@ std::string_view to_string(RequestKind kind) {
     case RequestKind::kCausal: return "causal";
     case RequestKind::kLint: return "lint";
     case RequestKind::kPredict: return "predict";
+    case RequestKind::kIngest: return "ingest";
   }
   return "unknown";
 }
 
 bool parse_request_kind(std::string_view name, RequestKind* out) {
   for (RequestKind k : {RequestKind::kCaseTable, RequestKind::kRank, RequestKind::kCausal,
-                        RequestKind::kLint, RequestKind::kPredict}) {
+                        RequestKind::kLint, RequestKind::kPredict, RequestKind::kIngest}) {
     if (name == to_string(k)) {
       *out = k;
       return true;
@@ -85,8 +86,13 @@ std::string Request::to_json() const {
     case RequestKind::kPredict:
       os << ",\"classes\":" << classes << ",\"history\":" << history;
       break;
+    case RequestKind::kIngest:
+      os << ",\"dir\":\"" << json_escape(dir) << "\"";
+      break;
   }
-  if (deadline_ms > 0) os << ",\"deadline_ms\":" << number(deadline_ms);
+  // != 0, not > 0: a negative deadline (expired at submit) must
+  // round-trip through traces to reproduce synchronous rejection.
+  if (deadline_ms != 0) os << ",\"deadline_ms\":" << number(deadline_ms);
   os << "}";
   return os.str();
 }
@@ -95,7 +101,7 @@ Request Request::from_json(const JsonValue& v) {
   if (!v.is_object()) throw DataError("request: expected a JSON object");
   static const std::set<std::string> known = {
       "id",        "tenant",       "session", "kind",    "month_from", "month_to", "network",
-      "top_k",     "practice",     "min_severity", "classes", "history", "deadline_ms"};
+      "top_k",     "practice",     "min_severity", "classes", "history", "dir", "deadline_ms"};
   for (const auto& [key, value] : v.as_object())
     if (known.count(key) == 0) throw DataError("request: unknown field '" + key + "'");
 
@@ -114,6 +120,7 @@ Request Request::from_json(const JsonValue& v) {
   req.min_severity = str_field(v, "min_severity", req.min_severity);
   req.classes = int_field(v, "classes", req.classes);
   req.history = int_field(v, "history", req.history);
+  req.dir = str_field(v, "dir", req.dir);
   if (const JsonValue* f = v.find("deadline_ms")) req.deadline_ms = f->as_number();
   return req;
 }

@@ -25,9 +25,10 @@ class JsonValue;
 
 namespace mpa::serve {
 
-enum class RequestKind : std::uint8_t { kCaseTable, kRank, kCausal, kLint, kPredict };
+enum class RequestKind : std::uint8_t { kCaseTable, kRank, kCausal, kLint, kPredict, kIngest };
 
-/// Stable wire name ("case_table", "rank", "causal", "lint", "predict").
+/// Stable wire name ("case_table", "rank", "causal", "lint", "predict",
+/// "ingest").
 std::string_view to_string(RequestKind kind);
 /// Parse a wire name; returns false on unknown input.
 bool parse_request_kind(std::string_view name, RequestKind* out);
@@ -47,10 +48,13 @@ struct Request {
   std::string min_severity;  ///< lint: report floor ("" = info).
   int classes = 2;           ///< predict: 2 or 5 health classes.
   int history = 3;           ///< predict: online-protocol history months.
+  std::string dir;           ///< ingest: month-delta directory (required).
 
   /// Completion deadline relative to admission; 0 = none (the
-  /// scheduler may substitute its default). An expired request still
-  /// completes — with status kDeadlineExceeded, never silently dropped.
+  /// scheduler may substitute its default); negative = already expired
+  /// at submit (answered deadline_exceeded synchronously, without
+  /// occupying queue depth). An expired request still completes — with
+  /// status kDeadlineExceeded, never silently dropped.
   double deadline_ms = 0;
 
   /// One JSON object (the trace line format).

@@ -66,6 +66,21 @@ Scheduler::~Scheduler() {
 
 bool Scheduler::submit(Request req) {
   const std::uint64_t now = obs::now_ns();
+  if (req.deadline_ms < 0) {
+    // Already expired at submit. Historically this was detected only
+    // at dequeue, so a dead-on-arrival request occupied queue depth
+    // (and could trigger queue_full rejections of live work) before
+    // completing. Answer synchronously, never enqueue.
+    {
+      MutexLock lk(mu_);
+      ++stats_.submitted;
+      ++stats_.completed;
+      ++stats_.deadline_misses;
+    }
+    count("mpa_serve_submitted_total");
+    expire(req);
+    return false;
+  }
   const char* reject_reason = nullptr;
   {
     MutexLock lk(mu_);
@@ -105,6 +120,20 @@ bool Scheduler::submit(Request req) {
   count("mpa_serve_submitted_total");
   reject(req, reject_reason);
   return false;
+}
+
+void Scheduler::expire(const Request& req) {
+  count("mpa_serve_deadline_miss_total");
+  count("mpa_serve_completed_total");
+  Response resp;
+  resp.id = req.id;
+  resp.tenant = req.tenant;
+  resp.session = req.session;
+  resp.kind = req.kind;
+  resp.status = RequestStatus::kDeadlineExceeded;
+  resp.body = "deadline exceeded at submit";
+  log_done(resp);
+  if (sink_) sink_(resp);
 }
 
 void Scheduler::reject(const Request& req, const std::string& reason) {

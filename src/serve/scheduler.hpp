@@ -5,7 +5,9 @@
 // ready alone) with explicit rejection — an inadmissible request is
 // answered immediately with status kRejected, never silently dropped —
 // per-request deadlines checked at dispatch (an expired request
-// completes with kDeadlineExceeded without executing), and round-robin
+// completes with kDeadlineExceeded without executing; one already
+// expired at submit — negative deadline_ms — is answered synchronously
+// and never occupies queue depth), and round-robin
 // fairness across tenants with FIFO order within each tenant.
 //
 // Requests are executed by a fixed set of dedicated worker threads;
@@ -69,18 +71,25 @@ class Scheduler {
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// Admit or reject `req`. On rejection the sink receives the
-  /// kRejected response before this returns false. On admission the
-  /// request is queued (FIFO within its tenant) and will produce its
-  /// response through the sink from a worker thread.
+  /// kRejected response before this returns false. A request whose
+  /// deadline already expired at submit (deadline_ms < 0) is answered
+  /// kDeadlineExceeded through the sink before this returns false —
+  /// it counts as a completed deadline miss, not a rejection, and
+  /// never occupies queue depth. On admission the request is queued
+  /// (FIFO within its tenant) and will produce its response through
+  /// the sink from a worker thread.
   bool submit(Request req) EXCLUDES(mu_);
 
   /// Block until every admitted request has completed.
   void drain() EXCLUDES(mu_);
 
   /// Admission/completion counters (snapshot under the queue mutex).
-  /// `submitted = admitted + rejected`; `completed` counts every
-  /// admitted request's terminal response, including deadline misses
-  /// and executor errors — nothing is dropped.
+  /// `submitted = admitted + rejected + expired-at-submit`, where the
+  /// last group is visible as `completed` deadline misses that were
+  /// never admitted; `completed` counts every terminal response —
+  /// admitted requests' outcomes (including dispatch-time deadline
+  /// misses and executor errors) plus synchronous expired-at-submit
+  /// answers — nothing is dropped.
   struct Stats {
     std::uint64_t submitted = 0;
     std::uint64_t admitted = 0;
@@ -112,6 +121,10 @@ class Scheduler {
   /// DESIGN.md §12 — no scheduler lock is ever held across executor_
   /// or sink_).
   void reject(const Request& req, const std::string& reason) EXCLUDES(mu_);
+  /// Answer a request whose deadline expired at submit with a
+  /// synchronous kDeadlineExceeded response (sink + metrics). Same
+  /// lock discipline as reject().
+  void expire(const Request& req) EXCLUDES(mu_);
 
   const SchedulerOptions opts_;
   const Executor executor_;

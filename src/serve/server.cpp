@@ -6,6 +6,7 @@
 
 #include "config/lint.hpp"
 #include "engine/lint_report.hpp"
+#include "io/dataset_io.hpp"
 #include "learn/dataset.hpp"
 #include "learn/eval.hpp"
 #include "metrics/practices.hpp"
@@ -112,6 +113,19 @@ std::string render_predict(AnalysisSession& session, const Request& req) {
   return os.str();
 }
 
+std::string render_ingest(AnalysisSession& session, const Request& req) {
+  if (req.dir.empty()) throw DataError("ingest request: dir required");
+  const MonthDelta delta = load_month_delta(req.dir);
+  const AnalysisSession::AppendResult res = session.append_month(delta);
+  std::ostringstream os;
+  os << "appended month " << res.month << ": " << res.snapshots << " snapshots, " << res.tickets
+     << " tickets, " << res.new_rows << " case rows"
+     << "\nincremental: table=" << (res.table_incremental ? "yes" : "no")
+     << " lint=" << (res.lint_incremental ? "yes" : "no")
+     << " dependence=" << (res.dependence_incremental ? "yes" : "no") << "\n";
+  return os.str();
+}
+
 }  // namespace
 
 std::string render_request(AnalysisSession& session, const Request& req) {
@@ -121,6 +135,7 @@ std::string render_request(AnalysisSession& session, const Request& req) {
     case RequestKind::kCausal: return render_causal(session, req);
     case RequestKind::kLint: return render_lint(session, req);
     case RequestKind::kPredict: return render_predict(session, req);
+    case RequestKind::kIngest: return render_ingest(session, req);
   }
   throw DataError("request: unknown kind");
 }

@@ -3,6 +3,7 @@
 // malformed-input rejections that protect it.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -12,6 +13,7 @@
 
 #include "io/dataset_io.hpp"
 #include "simulation/osp_generator.hpp"
+#include "telemetry/time.hpp"
 #include "util/error.hpp"
 
 namespace mpa {
@@ -252,6 +254,163 @@ TEST_F(DatasetIoTest, TruncatedSnapshotLogThrows) {
     f << "@snapshot devX 10 alice 9999\nshort";
   }
   EXPECT_THROW(load_dataset(dir_.string()), DataError);
+}
+
+// ---- Month-delta directories (incremental ingestion, DESIGN.md §13) ----
+
+TEST_F(DatasetIoTest, MonthDeltaSaveLoadSaveIsByteIdentical) {
+  const SplitDataset split = split_dataset(small_dataset(), 2);
+  ASSERT_EQ(split.deltas.size(), 1u);
+  const MonthDelta& delta = split.deltas.front();
+  ASSERT_FALSE(delta.snapshots.empty());
+  ASSERT_FALSE(delta.tickets.empty());
+
+  save_month_delta(delta, dir_.string());
+  const MonthDelta loaded = load_month_delta(dir_.string());
+  EXPECT_EQ(loaded.month, delta.month);
+  ASSERT_EQ(loaded.snapshots.size(), delta.snapshots.size());
+  ASSERT_EQ(loaded.tickets.size(), delta.tickets.size());
+
+  const fs::path dir2 = dir_.string() + "_delta";
+  fs::remove_all(dir2);
+  save_month_delta(loaded, dir2.string());
+  for (const char* file : {"month.txt", "tickets.csv", "snapshots.log"}) {
+    EXPECT_EQ(slurp(dir_ / file), slurp(dir2 / file)) << file;
+  }
+  fs::remove_all(dir2);
+}
+
+TEST_F(DatasetIoTest, SplitIsContiguousAndReplayRebuildsEveryRecord) {
+  const DiskDataset original = small_dataset();  // three months
+  const SplitDataset split = split_dataset(original, 1);
+  ASSERT_EQ(split.deltas.size(), 2u);
+  EXPECT_EQ(split.deltas[0].month, 1);
+  EXPECT_EQ(split.deltas[1].month, 2);
+
+  // Attribution: tickets by created month, snapshots by capture month;
+  // the base holds everything strictly before the cut.
+  for (const MonthDelta& delta : split.deltas) {
+    for (const auto& s : delta.snapshots) EXPECT_EQ(month_of(s.time), delta.month);
+    for (const auto& t : delta.tickets) EXPECT_EQ(month_of(t.created), delta.month);
+  }
+  for (const auto& dev : split.base.snapshots.devices())
+    for (const auto& s : split.base.snapshots.for_device(dev))
+      EXPECT_LT(s.time, month_start(1));
+
+  // Replaying the deltas over the base reproduces every device's
+  // snapshot sequence exactly (order preserved within destinations).
+  SnapshotStore replayed = split.base.snapshots;
+  for (const MonthDelta& delta : split.deltas)
+    for (const auto& s : delta.snapshots) replayed.add(s);
+  EXPECT_EQ(replayed.total_snapshots(), original.snapshots.total_snapshots());
+  for (const auto& dev : original.snapshots.devices()) {
+    const auto& want = original.snapshots.for_device(dev);
+    const auto& got = replayed.for_device(dev);
+    ASSERT_EQ(got.size(), want.size()) << dev;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].time, want[i].time);
+      EXPECT_EQ(got[i].login, want[i].login);
+      EXPECT_EQ(got[i].text, want[i].text);
+    }
+  }
+
+  // Tickets come back as a month-major permutation of the originals.
+  std::vector<std::string> want_ids, got_ids;
+  for (const Ticket& t : original.tickets.all()) want_ids.push_back(t.ticket_id);
+  for (const Ticket& t : split.base.tickets.all()) got_ids.push_back(t.ticket_id);
+  for (const MonthDelta& delta : split.deltas)
+    for (const Ticket& t : delta.tickets) got_ids.push_back(t.ticket_id);
+  std::sort(want_ids.begin(), want_ids.end());
+  std::sort(got_ids.begin(), got_ids.end());
+  EXPECT_EQ(got_ids, want_ids);
+}
+
+TEST_F(DatasetIoTest, DeltaResolvedBeforeCreatedRejectedWithDatasetErrorString) {
+  const SplitDataset split = split_dataset(small_dataset(), 2);
+  save_month_delta(split.deltas.front(), dir_.string());
+  {
+    std::ofstream f(dir_ / "tickets.csv", std::ios::app);
+    f << "tkt-bad,net0,100,50," << to_string(TicketOrigin::kUserReport) << ",boom,\n";
+  }
+  try {
+    load_month_delta(dir_.string());
+    FAIL() << "resolved < created accepted";
+  } catch (const DataError& e) {
+    // Shares the dataset loader's validation, error string included.
+    EXPECT_NE(std::string(e.what()).find("precedes created"), std::string::npos) << e.what();
+  }
+}
+
+TEST_F(DatasetIoTest, DeltaHeaderTokensValidatedOnSaveWithDatasetErrorStrings) {
+  const SplitDataset split = split_dataset(small_dataset(), 2);
+  for (const auto& [device_id, login] : std::vector<std::pair<std::string, std::string>>{
+           {"dev 1", "alice"}, {"dev\r1", "alice"}, {"dev1", "al\tice"}, {"", "alice"}}) {
+    MonthDelta delta = split.deltas.front();
+    ConfigSnapshot snap;
+    snap.device_id = device_id;
+    snap.time = month_start(delta.month);
+    snap.login = login;
+    snap.text = "hostname x\n";
+    delta.snapshots.push_back(std::move(snap));
+    fs::remove_all(dir_);
+    try {
+      save_month_delta(delta, dir_.string());
+      FAIL() << "device_id='" << device_id << "' login='" << login << "'";
+    } catch (const DataError& e) {
+      EXPECT_NE(std::string(e.what()).find("snapshot header field"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST_F(DatasetIoTest, DeltaCrlfFilesLoadClean) {
+  const SplitDataset split = split_dataset(small_dataset(), 2);
+  const MonthDelta& delta = split.deltas.front();
+  save_month_delta(delta, dir_.string());
+  for (const char* file : {"month.txt", "tickets.csv"}) {
+    spit(dir_ / file, replace_all_copy(slurp(dir_ / file), "\n", "\r\n"));
+  }
+  const MonthDelta loaded = load_month_delta(dir_.string());
+  EXPECT_EQ(loaded.month, delta.month);
+  ASSERT_EQ(loaded.tickets.size(), delta.tickets.size());
+  for (std::size_t i = 0; i < delta.tickets.size(); ++i) {
+    // The last cell of each row is the one a stray '\r' corrupts.
+    EXPECT_EQ(loaded.tickets[i].symptom, delta.tickets[i].symptom);
+    EXPECT_EQ(loaded.tickets[i].devices, delta.tickets[i].devices);
+  }
+}
+
+TEST_F(DatasetIoTest, NegativeDeltaMonthRejectedByName) {
+  const SplitDataset split = split_dataset(small_dataset(), 2);
+  save_month_delta(split.deltas.front(), dir_.string());
+  spit(dir_ / "month.txt", "-3\n");
+  try {
+    load_month_delta(dir_.string());
+    FAIL() << "negative month accepted";
+  } catch (const DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("delta month is negative"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CheckHeaderToken, RejectsEmptyAndWhitespaceByName) {
+  EXPECT_NO_THROW(check_header_token("dev1", "device_id"));
+  try {
+    check_header_token("", "device_id");
+    FAIL() << "empty token accepted";
+  } catch (const DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("snapshot header field is empty"), std::string::npos)
+        << e.what();
+  }
+  for (const char* bad : {"a b", "a\tb", "a\rb", "a\nb"}) {
+    try {
+      check_header_token(bad, "login");
+      FAIL() << "token '" << bad << "' accepted";
+    } catch (const DataError& e) {
+      EXPECT_NE(std::string(e.what()).find("contains whitespace"), std::string::npos)
+          << e.what();
+    }
+  }
 }
 
 TEST(DatasetIoParsers, EnumRoundTrips) {

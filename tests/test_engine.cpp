@@ -11,7 +11,10 @@
 #include <utility>
 
 #include "engine/session.hpp"
+#include "io/dataset_io.hpp"
+#include "obs/metrics.hpp"
 #include "simulation/osp_generator.hpp"
+#include "util/rng.hpp"
 
 namespace mpa {
 namespace {
@@ -385,6 +388,279 @@ TEST(RunManifest, KeyedSessionPersistsManifestBesideArtifacts) {
   // remove() drops the manifest along with the artifacts.
   store.remove(opts.artifact_key);
   EXPECT_FALSE(store.load_manifest_json(opts.artifact_key).has_value());
+}
+
+// --- incremental month-delta ingestion (DESIGN.md §13) ----------------
+
+/// Split the canonical test dataset at `first_delta_month`.
+SplitDataset split_osp(int first_delta_month) {
+  OspDataset data = test_osp();
+  return split_dataset(DiskDataset{std::move(data.inventory), std::move(data.snapshots),
+                                   std::move(data.tickets)},
+                       first_delta_month);
+}
+
+/// The merged containers after replaying every delta over the base —
+/// exactly the data an appended session holds, so a from-scratch
+/// session over them is the bit-exactness oracle.
+DiskDataset replay_split(const SplitDataset& split) {
+  DiskDataset merged{split.base.inventory, split.base.snapshots, split.base.tickets};
+  for (const MonthDelta& delta : split.deltas) {
+    for (const auto& s : delta.snapshots) merged.snapshots.add(s);
+    for (const auto& t : delta.tickets) merged.tickets.add(t);
+  }
+  return merged;
+}
+
+AnalysisSession session_over(const DiskDataset& data, int months, int threads) {
+  SessionOptions opts;
+  opts.threads = threads;
+  opts.inference.num_months = months;
+  return AnalysisSession(data.inventory, data.snapshots, data.tickets, std::move(opts));
+}
+
+void expect_same_rankings(const DependenceAnalysis& got, const DependenceAnalysis& want) {
+  ASSERT_EQ(got.mi_ranking().size(), want.mi_ranking().size());
+  for (std::size_t i = 0; i < want.mi_ranking().size(); ++i) {
+    EXPECT_EQ(got.mi_ranking()[i].practice, want.mi_ranking()[i].practice);
+    EXPECT_EQ(got.mi_ranking()[i].avg_monthly_mi,
+              want.mi_ranking()[i].avg_monthly_mi);  // bitwise
+  }
+  ASSERT_EQ(got.cmi_ranking().size(), want.cmi_ranking().size());
+  for (std::size_t i = 0; i < want.cmi_ranking().size(); ++i) {
+    EXPECT_EQ(got.cmi_ranking()[i].a, want.cmi_ranking()[i].a);
+    EXPECT_EQ(got.cmi_ranking()[i].b, want.cmi_ranking()[i].b);
+    EXPECT_EQ(got.cmi_ranking()[i].avg_monthly_cmi, want.cmi_ranking()[i].avg_monthly_cmi);
+  }
+}
+
+TEST(SessionAppend, IncrementalEqualsFromScratchBitExactAcrossThreadCounts) {
+  const SplitDataset split = split_osp(2);
+  ASSERT_EQ(split.deltas.size(), static_cast<std::size_t>(kMonths - 2));
+
+  AnalysisSession oracle = session_over(replay_split(split), kMonths, 1);
+  const std::string want_table = oracle.case_table().to_csv();
+  const std::string want_lint = oracle.lint().to_csv();
+  const std::string want_fp = oracle.manifest().dataset_fingerprint;
+  Rng oracle_rng(123);
+  const auto want_ci =
+      oracle.dependence().mi_confidence_interval(Practice::kNumChangeEvents, oracle_rng, 50);
+
+  for (int threads : {1, 2, 8}) {
+    AnalysisSession session = session_over(split.base, 2, threads);
+    // Warm every maintained artifact so the appends exercise the
+    // incremental paths rather than leaving lazy rebuilds to hide bugs.
+    session.case_table();
+    session.lint();
+    session.dependence();
+    for (const MonthDelta& delta : split.deltas) {
+      const AnalysisSession::AppendResult res = session.append_month(delta);
+      EXPECT_EQ(res.month, delta.month);
+      EXPECT_TRUE(res.table_incremental) << "month " << delta.month;
+      EXPECT_TRUE(res.lint_incremental) << "month " << delta.month;
+    }
+    EXPECT_EQ(session.num_months(), kMonths);
+    EXPECT_EQ(session.stats().appends, split.deltas.size());
+
+    EXPECT_EQ(session.case_table().to_csv(), want_table) << threads << " threads";
+    EXPECT_EQ(session.lint().to_csv(), want_lint) << threads << " threads";
+    expect_same_rankings(session.dependence(), oracle.dependence());
+    Rng rng(123);
+    const auto ci =
+        session.dependence().mi_confidence_interval(Practice::kNumChangeEvents, rng, 50);
+    EXPECT_EQ(ci.first, want_ci.first) << threads << " threads";  // bitwise
+    EXPECT_EQ(ci.second, want_ci.second) << threads << " threads";
+    EXPECT_EQ(session.manifest().dataset_fingerprint, want_fp) << threads << " threads";
+  }
+}
+
+TEST(SessionAppend, EverySplitPointConvergesToTheSameArtifacts) {
+  // Randomized append sequences: the same final dataset reached through
+  // different base/delta cuts (5, 3, then 1 appended months) must land
+  // on bit-identical artifacts, warm or cold.
+  const SplitDataset reference = split_osp(1);
+  AnalysisSession oracle = session_over(replay_split(reference), kMonths, 1);
+  const std::string want_table = oracle.case_table().to_csv();
+  const std::string want_lint = oracle.lint().to_csv();
+
+  for (int cut : {1, 3, 5}) {
+    const SplitDataset split = split_osp(cut);
+    AnalysisSession warm = session_over(split.base, cut, 2);
+    warm.case_table();
+    warm.lint();
+    warm.dependence();
+    AnalysisSession cold = session_over(split.base, cut, 2);
+    for (const MonthDelta& delta : split.deltas) {
+      warm.append_month(delta);
+      // A cold session has nothing resident to maintain; append_month
+      // only ingests the records and the artifacts build lazily.
+      const AnalysisSession::AppendResult res = cold.append_month(delta);
+      EXPECT_FALSE(res.table_incremental);
+      EXPECT_FALSE(res.dependence_incremental);
+    }
+    EXPECT_EQ(warm.case_table().to_csv(), want_table) << "cut " << cut;
+    EXPECT_EQ(warm.lint().to_csv(), want_lint) << "cut " << cut;
+    EXPECT_EQ(cold.case_table().to_csv(), want_table) << "cut " << cut;
+    EXPECT_EQ(cold.lint().to_csv(), want_lint) << "cut " << cut;
+    expect_same_rankings(warm.dependence(), oracle.dependence());
+    expect_same_rankings(cold.dependence(), oracle.dependence());
+  }
+}
+
+TEST(SessionAppend, DroppedArtifactsRecomputeOverMergedData) {
+  // Causal and CV have no additive form; after appends they must equal
+  // a from-scratch run over the merged data.
+  const SplitDataset split = split_osp(kMonths - 1);
+  AnalysisSession oracle = session_over(replay_split(split), kMonths, 2);
+  AnalysisSession session = session_over(split.base, kMonths - 1, 2);
+  session.case_table();
+  session.causal(Practice::kNumChangeEvents);  // becomes stale; must be dropped
+  for (const MonthDelta& delta : split.deltas) session.append_month(delta);
+
+  const CausalResult& want = oracle.causal(Practice::kNumChangeEvents);
+  const CausalResult& got = session.causal(Practice::kNumChangeEvents);
+  ASSERT_EQ(got.comparisons.size(), want.comparisons.size());
+  for (std::size_t i = 0; i < want.comparisons.size(); ++i) {
+    EXPECT_EQ(got.comparisons[i].pairs, want.comparisons[i].pairs);
+    EXPECT_EQ(got.comparisons[i].outcome.p_value, want.comparisons[i].outcome.p_value);
+    EXPECT_EQ(got.comparisons[i].causal, want.comparisons[i].causal);
+  }
+  EXPECT_EQ(session.evaluate_cv(2, ModelKind::kDecisionTree).accuracy,
+            oracle.evaluate_cv(2, ModelKind::kDecisionTree).accuracy);  // bitwise
+}
+
+TEST(SessionAppend, RejectsInvalidDeltasAndLeavesSessionUnchanged) {
+  const SplitDataset split = split_osp(kMonths - 1);
+  ASSERT_EQ(split.deltas.size(), 1u);
+  const MonthDelta& good = split.deltas.front();
+  AnalysisSession session = session_over(split.base, kMonths - 1, 2);
+  const std::string table_before = session.case_table().to_csv();
+
+  // Out-of-order months are rejected by name.
+  MonthDelta skip = good;
+  skip.month = kMonths;  // skips month kMonths-1
+  try {
+    session.append_month(skip);
+    FAIL() << "out-of-order month accepted";
+  } catch (const DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("out-of-order month"), std::string::npos) << e.what();
+  }
+
+  MonthDelta ghost = good;
+  ASSERT_FALSE(ghost.snapshots.empty());
+  ghost.snapshots.front().device_id = "ghost-device";
+  EXPECT_THROW(session.append_month(ghost), DataError);
+
+  MonthDelta outside = good;
+  outside.snapshots.front().time = 0;  // month 0, not kMonths-1
+  EXPECT_THROW(session.append_month(outside), DataError);
+
+  MonthDelta badlogin = good;
+  badlogin.snapshots.front().login = "al ice";
+  EXPECT_THROW(session.append_month(badlogin), DataError);
+
+  MonthDelta badticket = good;
+  ASSERT_FALSE(badticket.tickets.empty());
+  badticket.tickets.front().resolved = badticket.tickets.front().created - 1;
+  EXPECT_THROW(session.append_month(badticket), DataError);
+
+  // Validate-then-mutate: every rejection left the session untouched,
+  // so the real delta still applies cleanly afterwards.
+  EXPECT_EQ(session.num_months(), kMonths - 1);
+  EXPECT_EQ(session.stats().appends, 0u);
+  EXPECT_EQ(session.case_table().to_csv(), table_before);
+  EXPECT_NO_THROW(session.append_month(good));
+  EXPECT_EQ(session.num_months(), kMonths);
+
+  // And the appended month itself is now out of order by name.
+  EXPECT_THROW(session.append_month(good), DataError);
+}
+
+TEST(SessionAppend, KeyedSessionMaintainsPersistedArtifacts) {
+  SessionOptions opts;
+  opts.artifact_dir = testing::TempDir();
+  opts.artifact_key = "mpa_engine_test_append_store";
+  const ArtifactStore store(opts.artifact_dir);
+  store.remove(opts.artifact_key);
+
+  const SplitDataset split = split_osp(kMonths - 1);
+  SessionOptions keyed = opts;
+  keyed.threads = 2;
+  keyed.inference.num_months = kMonths - 1;
+  AnalysisSession first(split.base.inventory, split.base.snapshots, split.base.tickets, keyed);
+  first.case_table();
+  first.lint();
+  first.append_month(split.deltas.front());
+  // The maintained artifacts were re-persisted at the new shape.
+  const auto stored = store.load_case_table(opts.artifact_key);
+  ASSERT_TRUE(stored.has_value());
+  EXPECT_EQ(stored->to_csv(), first.case_table().to_csv());
+  const auto stored_lint = store.load_lint_report(opts.artifact_key);
+  ASSERT_TRUE(stored_lint.has_value());
+  EXPECT_EQ(stored_lint->to_csv(), first.lint().to_csv());
+  store.remove(opts.artifact_key);
+}
+
+// --- stale-state bugfix sweep -----------------------------------------
+
+TEST(Session, InvalidateRemovesManifestAndLintSidecars) {
+  SessionOptions opts;
+  opts.artifact_dir = testing::TempDir();
+  opts.artifact_key = "mpa_engine_test_sidecars";
+  const ArtifactStore store(opts.artifact_dir);
+  store.remove(opts.artifact_key);
+
+  {
+    AnalysisSession session = make_session(2, opts);
+    session.case_table();
+    session.lint();
+  }  // dtor persists <key>.manifest.json beside the artifacts
+  ASSERT_TRUE(store.load_case_table(opts.artifact_key).has_value());
+  ASSERT_TRUE(store.load_lint_report(opts.artifact_key).has_value());
+  ASSERT_TRUE(store.load_manifest_json(opts.artifact_key).has_value());
+
+  AnalysisSession session = make_session(2, opts);
+  session.invalidate();
+  // Regression: invalidate() must drop every persisted sidecar, not
+  // just the case-table CSV — a stale lint report or manifest would
+  // otherwise be served to the next keyed session.
+  EXPECT_FALSE(store.load_case_table(opts.artifact_key).has_value());
+  EXPECT_FALSE(store.load_lint_report(opts.artifact_key).has_value());
+  EXPECT_FALSE(store.load_manifest_json(opts.artifact_key).has_value());
+}
+
+TEST(Session, ReplaceDataWithIdenticalFingerprintIsNoOp) {
+  obs::set_enabled(true);
+  obs::Registry::global().reset_values();
+  AnalysisSession session = make_session(2);
+  const CaseTable* table = &session.case_table();
+  ASSERT_EQ(session.stats().table_builds, 1u);
+  obs::Counter& invalidations =
+      obs::Registry::global().counter("mpa_session_invalidations_total");
+  const std::uint64_t before = invalidations.value();
+
+  // Identical replacement data: same fingerprint, so the warm cache
+  // must survive and no invalidation may be counted.
+  OspDataset same = test_osp();
+  session.replace_data(std::move(same.inventory), std::move(same.snapshots),
+                       std::move(same.tickets));
+  EXPECT_EQ(invalidations.value(), before);
+  EXPECT_EQ(&session.case_table(), table);  // memo intact, no rebuild
+  EXPECT_EQ(session.stats().table_builds, 1u);
+
+  // Different data still invalidates exactly once.
+  OspOptions other;
+  other.num_networks = kNetworks;
+  other.num_months = kMonths;
+  other.seed = 7;
+  OspDataset changed = generate_osp(other);
+  session.replace_data(std::move(changed.inventory), std::move(changed.snapshots),
+                       std::move(changed.tickets));
+  EXPECT_EQ(invalidations.value(), before + 1);
+  session.case_table();
+  EXPECT_EQ(session.stats().table_builds, 2u);
+  obs::set_enabled(false);
+  obs::Registry::global().reset_values();
 }
 
 TEST(RunManifest, ReplaceDataMovesTheFingerprint) {

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "engine/session_manager.hpp"
+#include "io/dataset_io.hpp"
 #include "metrics/practices.hpp"
 #include "obs/log.hpp"
 #include "serve/client.hpp"
@@ -195,6 +197,73 @@ TEST(Scheduler, ExpiredDeadlineCompletesExplicitly) {
   EXPECT_EQ(stats.ok, 1u);
 }
 
+TEST(Scheduler, ExpiredAtSubmitAnsweredSynchronously) {
+  // Regression: a request whose deadline already expired at submit
+  // (deadline_ms < 0) used to fall through to the default-deadline
+  // substitution and run as if it had no deadline at all. It must be
+  // answered kDeadlineExceeded before submit returns, never executed.
+  Collector out;
+  std::atomic<int> executed{0};
+  SchedulerOptions opts;
+  opts.workers = 1;
+  Scheduler sched(
+      opts,
+      [&](const Request&) {
+        ++executed;
+        return Response{};
+      },
+      out.sink());
+
+  Request dead = req_for(1);
+  dead.deadline_ms = -1;
+  EXPECT_FALSE(sched.submit(std::move(dead)));
+  const Response resp = out.by_id(1);  // already answered, no drain needed
+  EXPECT_EQ(resp.status, RequestStatus::kDeadlineExceeded);
+  sched.drain();
+  EXPECT_EQ(executed.load(), 0);
+
+  const Scheduler::Stats stats = sched.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.admitted, 0u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.deadline_misses, 1u);
+}
+
+TEST(Scheduler, ExpiredAtSubmitDoesNotOccupyQueueDepth) {
+  Gate gate;
+  Collector out;
+  SchedulerOptions opts;
+  opts.workers = 1;
+  opts.max_queue_depth = 1;
+  Scheduler sched(
+      opts,
+      [&](const Request& req) {
+        if (req.id == 1) gate.wait();
+        return Response{};
+      },
+      out.sink());
+
+  ASSERT_TRUE(sched.submit(req_for(1)));
+  wait_until_picked_up(sched);
+  Request dead = req_for(2);
+  dead.deadline_ms = -1;
+  EXPECT_FALSE(sched.submit(std::move(dead)));
+  // The dead-on-arrival request left the single queue slot free, so a
+  // live request is still admitted instead of rejected queue_full.
+  ASSERT_TRUE(sched.submit(req_for(3)));
+  gate.release();
+  sched.drain();
+
+  EXPECT_EQ(out.by_id(2).status, RequestStatus::kDeadlineExceeded);
+  EXPECT_EQ(out.by_id(3).status, RequestStatus::kOk);
+  const Scheduler::Stats stats = sched.stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.deadline_misses, 1u);
+  EXPECT_EQ(stats.completed, 3u);
+}
+
 TEST(Scheduler, FifoWithinTenant) {
   Gate gate;
   Collector out;
@@ -303,6 +372,22 @@ TEST(RequestWire, RoundTripsThroughJson) {
   EXPECT_EQ(back.kind, RequestKind::kCausal);
   EXPECT_EQ(back.practice, "No. of devices");
   EXPECT_DOUBLE_EQ(back.deadline_ms, 250);
+}
+
+TEST(RequestWire, IngestKindAndNegativeDeadlineRoundTrip) {
+  Request req;
+  req.id = 9;
+  req.kind = RequestKind::kIngest;
+  req.dir = "/data/delta-3";
+  // Negative = expired at submit; must survive a trace round trip so
+  // replays reproduce the synchronous deadline answer.
+  req.deadline_ms = -1;
+  const std::string json = req.to_json();
+  const Request back = Request::from_json(parse_json(json));
+  EXPECT_EQ(back.to_json(), json);
+  EXPECT_EQ(back.kind, RequestKind::kIngest);
+  EXPECT_EQ(back.dir, "/data/delta-3");
+  EXPECT_DOUBLE_EQ(back.deadline_ms, -1);
 }
 
 TEST(RequestWire, RejectsUnknownFieldsAndKinds) {
@@ -544,6 +629,80 @@ TEST(Server, AssignsIdsAndRecordsEveryResponse) {
   EXPECT_TRUE(server.responses().empty());
 }
 
+TEST(Server, IngestRequestAppendsMonthAndServesMergedArtifacts) {
+  namespace fs = std::filesystem;
+  OspOptions gopts;
+  gopts.num_networks = kNetworks;
+  gopts.num_months = kMonths;
+  gopts.seed = 5;
+  OspDataset data = generate_osp(gopts);
+  const SplitDataset split =
+      split_dataset(DiskDataset{std::move(data.inventory), std::move(data.snapshots),
+                                std::move(data.tickets)},
+                    kMonths - 1);
+  ASSERT_EQ(split.deltas.size(), 1u);
+  const fs::path delta_dir =
+      fs::temp_directory_path() / ("mpa_serve_ingest_" + std::to_string(::getpid()));
+  fs::remove_all(delta_dir);
+  save_month_delta(split.deltas.front(), delta_dir.string());
+
+  AnalysisServer server(two_session_opts(1));
+  SessionOptions sopts;
+  sopts.threads = 1;
+  sopts.inference.num_months = kMonths - 1;
+  server.sessions().open("main", AnalysisSession(split.base.inventory, split.base.snapshots,
+                                                 split.base.tickets, std::move(sopts)));
+
+  Request ingest;
+  ingest.session = "main";
+  ingest.kind = RequestKind::kIngest;
+  ingest.dir = delta_dir.string();
+  const Response resp = server.submit_and_wait(ingest);
+  EXPECT_EQ(resp.status, RequestStatus::kOk) << resp.body;
+  EXPECT_NE(resp.body.find("appended month " + std::to_string(kMonths - 1)),
+            std::string::npos)
+      << resp.body;
+
+  // Re-ingesting the same month is out of order by name.
+  Request again = ingest;
+  again.id = 0;
+  const Response dup = server.submit_and_wait(std::move(again));
+  EXPECT_EQ(dup.status, RequestStatus::kError);
+  EXPECT_NE(dup.body.find("out-of-order month"), std::string::npos) << dup.body;
+
+  // The served case table now matches a from-scratch session over the
+  // merged (base + delta) containers, byte for byte.
+  SnapshotStore merged_snaps = split.base.snapshots;
+  TicketLog merged_tickets = split.base.tickets;
+  for (const auto& s : split.deltas.front().snapshots) merged_snaps.add(s);
+  for (const auto& t : split.deltas.front().tickets) merged_tickets.add(t);
+  SessionOptions oopts;
+  oopts.threads = 1;
+  oopts.inference.num_months = kMonths;
+  AnalysisSession oracle(split.base.inventory, std::move(merged_snaps),
+                         std::move(merged_tickets), std::move(oopts));
+
+  Request slice;
+  slice.session = "main";
+  slice.kind = RequestKind::kCaseTable;
+  const Response table = server.submit_and_wait(std::move(slice));
+  EXPECT_EQ(table.status, RequestStatus::kOk) << table.body;
+  EXPECT_EQ(table.body, oracle.case_table().to_csv());
+
+  // A missing dir is a per-request error, not a crash.
+  Request missing;
+  missing.session = "main";
+  missing.kind = RequestKind::kIngest;
+  missing.dir = (delta_dir / "nope").string();
+  EXPECT_EQ(server.submit_and_wait(std::move(missing)).status, RequestStatus::kError);
+  Request nodir;
+  nodir.session = "main";
+  nodir.kind = RequestKind::kIngest;
+  EXPECT_EQ(server.submit_and_wait(std::move(nodir)).status, RequestStatus::kError);
+
+  fs::remove_all(delta_dir);
+}
+
 // ---------------------------------------------------------------------------
 // Synthetic client.
 
@@ -560,6 +719,19 @@ TEST(Client, SynthesizedTraceIsDeterministicPerSeed) {
 
   opts.seed = 12;
   EXPECT_NE(trace_to_jsonl(a), trace_to_jsonl(synthesize_trace(opts)));
+}
+
+TEST(Client, IngestKindSynthesizesTheConfiguredDeltaDir) {
+  ClientOptions opts;
+  opts.request_total_cnt = 3;
+  opts.kind_weights = {0, 0, 0, 0, 0, 1};  // ingest only
+  opts.ingest_dir = "/data/delta-7";
+  const std::vector<Request> trace = synthesize_trace(opts);
+  ASSERT_EQ(trace.size(), 3u);
+  for (const Request& req : trace) {
+    EXPECT_EQ(req.kind, RequestKind::kIngest);
+    EXPECT_EQ(req.dir, "/data/delta-7");
+  }
 }
 
 TEST(Client, ClosedLoopReplayAccountsForEveryRequest) {

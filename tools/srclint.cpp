@@ -92,7 +92,9 @@ const std::map<std::string, std::set<std::string>>& allowed_layer_deps() {
       {"learn", {"metrics", "stats", "util"}},
       {"mpa", {"learn", "metrics", "stats", "util"}},
       {"engine", {"config", "io", "metrics", "model", "mpa", "obs", "telemetry", "util"}},
-      {"serve", {"config", "engine", "learn", "metrics", "mpa", "obs", "util"}},
+      // serve -> io: the ingest request kind loads month-delta
+      // directories (load_month_delta) on the serving path.
+      {"serve", {"config", "engine", "io", "learn", "metrics", "mpa", "obs", "util"}},
   };
   return deps;
 }
