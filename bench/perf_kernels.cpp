@@ -6,10 +6,14 @@
 // hardware concurrency); arg 0 = serial, arg 1 = pooled.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <map>
+
 #include "config/dialect.hpp"
 #include "config/diff.hpp"
 #include "config/lint.hpp"
 #include "engine/session.hpp"
+#include "io/columnar.hpp"
 #include "io/dataset_io.hpp"
 #include "learn/decision_tree.hpp"
 #include "metrics/inference.hpp"
@@ -474,6 +478,147 @@ void BM_ServeThroughput(benchmark::State& state) {
                                      : "interval=" + std::to_string(state.range(0)) + "ms");
 }
 BENCHMARK(BM_ServeThroughput)->Arg(0)->Arg(2)->Arg(10)->Unit(benchmark::kMillisecond);
+
+// ---- dataset I/O: CSV interchange vs mpac columnar ----
+
+namespace fs = std::filesystem;
+
+const DiskDataset& io_bench_dataset(int networks) {
+  static std::map<int, DiskDataset>* cache = new std::map<int, DiskDataset>();
+  auto it = cache->find(networks);
+  if (it == cache->end()) {
+    OspOptions o;
+    o.num_networks = networks;
+    o.num_months = 4;
+    o.seed = 11;
+    OspDataset gen = generate_osp(o);
+    it = cache
+             ->emplace(networks, DiskDataset{std::move(gen.inventory), std::move(gen.snapshots),
+                                             std::move(gen.tickets)})
+             .first;
+  }
+  return it->second;
+}
+
+/// Lazily saved on-disk copy of the bench dataset, one per
+/// scale+format; reused across iterations and benchmarks.
+const std::string& io_bench_dir(int networks, bool mpac) {
+  static std::map<std::pair<int, bool>, std::string>* dirs =
+      new std::map<std::pair<int, bool>, std::string>();
+  auto it = dirs->find({networks, mpac});
+  if (it == dirs->end()) {
+    const std::string dir =
+        (fs::temp_directory_path() /
+         ("mpa_perf_ds_" + std::to_string(networks) + (mpac ? "_mpac" : "_csv")))
+            .string();
+    fs::remove_all(dir);
+    if (mpac)
+      save_columnar(io_bench_dataset(networks), dir);
+    else
+      save_dataset(io_bench_dataset(networks), dir);
+    it = dirs->emplace(std::pair<int, bool>{networks, mpac}, dir).first;
+  }
+  return it->second;
+}
+
+// arg0 = networks; arg1 = 0 CSV text parse, 1 mpac map+verify (the
+// zero-copy columnar load: mmap + fingerprint + shard validation),
+// 2 mpac materialized to DiskDataset (the compatibility path the
+// engine session open uses today).
+void BM_DatasetLoad(benchmark::State& state) {
+  const int networks = static_cast<int>(state.range(0));
+  const int mode = static_cast<int>(state.range(1));
+  const std::string& dir = io_bench_dir(networks, mode != 0);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    if (mode == 1) {
+      const ColumnarDataset ds = load_columnar(dir);
+      bytes = ds.total_bytes();
+      benchmark::DoNotOptimize(&ds);
+    } else {
+      std::uint64_t read = 0;
+      const DiskDataset ds = load_dataset(dir, &read);
+      bytes = read;
+      benchmark::DoNotOptimize(&ds);
+    }
+  }
+  state.SetBytesProcessed(static_cast<long>(state.iterations()) * static_cast<long>(bytes));
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * networks);
+  state.SetLabel(mode == 0 ? "csv" : (mode == 1 ? "mpac-map" : "mpac-materialize"));
+}
+BENCHMARK(BM_DatasetLoad)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({1000, 2})
+    ->Unit(benchmark::kMillisecond);
+
+// arg0 = networks; arg1 = 0 CSV, 1 mpac.
+void BM_DatasetSave(benchmark::State& state) {
+  const int networks = static_cast<int>(state.range(0));
+  const bool mpac = state.range(1) != 0;
+  const DiskDataset& data = io_bench_dataset(networks);
+  const std::string dir =
+      (fs::temp_directory_path() / ("mpa_perf_save_" + std::to_string(networks))).string();
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    fs::remove_all(dir);
+    if (mpac) {
+      save_columnar(data, dir);
+    } else {
+      save_dataset(data, dir);
+    }
+    bytes = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) bytes += fs::file_size(entry.path());
+  }
+  fs::remove_all(dir);
+  state.SetBytesProcessed(static_cast<long>(state.iterations()) * static_cast<long>(bytes));
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * networks);
+  state.SetLabel(mpac ? "mpac" : "csv");
+}
+BENCHMARK(BM_DatasetSave)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Streaming generation straight through the shard writer (the
+// bounded-memory 100k-network path; the committed BENCH json also
+// records a full /usr/bin/time-measured 100k run). networks/sec is
+// items_per_second.
+void BM_StreamGenerate(benchmark::State& state) {
+  const int networks = static_cast<int>(state.range(0));
+  const std::string dir = (fs::temp_directory_path() / "mpa_perf_stream").string();
+  class Sink final : public OspSink {
+   public:
+    explicit Sink(ColumnarWriter& w) : w_(w) {}
+    void on_network(const NetworkRecord& net) override { w_.add_network(net); }
+    void on_device(const DeviceRecord& dev) override { w_.add_device(dev); }
+    void on_snapshot(const ConfigSnapshot& snap) override { w_.add_snapshot(snap); }
+    void on_ticket(const Ticket& t) override { w_.add_ticket(t); }
+
+   private:
+    ColumnarWriter& w_;
+  };
+  OspOptions opts;
+  opts.num_networks = networks;
+  opts.num_months = 2;
+  opts.seed = 11;
+  for (auto _ : state) {
+    fs::remove_all(dir);
+    ColumnarWriter writer(dir, {});
+    Sink sink(writer);
+    const OspStreamTotals totals = generate_osp_stream(opts, sink);
+    writer.finish();
+    benchmark::DoNotOptimize(&totals);
+  }
+  fs::remove_all(dir);
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * networks);
+}
+BENCHMARK(BM_StreamGenerate)->Arg(32)->Unit(benchmark::kMillisecond);
 
 void BM_ParallelForOverhead(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

@@ -5,36 +5,12 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/hash.hpp"
 #include "util/json.hpp"
 #include "util/sync.hpp"
 
 namespace mpa {
 namespace {
-
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-class Fnv {
- public:
-  void bytes(const void* data, std::size_t n) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < n; ++i) {
-      h_ ^= p[i];
-      h_ *= kFnvPrime;
-    }
-  }
-  /// Length-prefixed so {"ab","c"} and {"a","bc"} hash differently.
-  void str(const std::string& s) {
-    u64(s.size());
-    bytes(s.data(), s.size());
-  }
-  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
-
-  std::uint64_t value() const { return h_; }
-
- private:
-  std::uint64_t h_ = kFnvOffset;
-};
 
 /// Shortest round-trippable double, always a valid JSON token.
 std::string format_number(double v) {

@@ -62,6 +62,8 @@ void register_engine_metrics() {
   }
   reg.histogram("mpa_dependence_pair_seconds");
   reg.histogram("mpa_ingest_seconds");
+  reg.counter("mpa_dataset_load_bytes_total");
+  reg.histogram("mpa_dataset_load_seconds");
 }
 
 }  // namespace
@@ -142,7 +144,14 @@ AnalysisSession::~AnalysisSession() {
 }
 
 AnalysisSession AnalysisSession::from_directory(const std::string& dir, SessionOptions opts) {
-  DiskDataset data = load_dataset(dir);
+  const std::uint64_t t0 = obs::now_ns();
+  std::uint64_t bytes_read = 0;
+  DiskDataset data = load_dataset(dir, &bytes_read);
+  if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter("mpa_dataset_load_bytes_total").add(bytes_read);
+    reg.histogram("mpa_dataset_load_seconds").observe(elapsed_seconds(t0));
+  }
   // Observation window implied by the data: the last month touched by
   // any ticket or snapshot.
   int months = 1;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "io/columnar.hpp"
 #include "telemetry/time.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -42,17 +44,16 @@ void check_field(const std::string& s, const char* what) {
                    ": " + s);
 }
 
-std::int64_t parse_int(const std::string& s, const char* what) {
-  try {
-    std::size_t pos = 0;
-    const std::int64_t v = std::stoll(s, &pos);
-    require_data(pos == s.size(), std::string("trailing junk in ") + what + ": " + s);
-    return v;
-  } catch (const DataError&) {
-    throw;
-  } catch (const std::exception&) {
-    throw DataError(std::string("bad integer for ") + what + ": " + s);
-  }
+// from_chars keeps the hot parse loops allocation-free; error strings
+// are pinned by tests and must not change.
+std::int64_t parse_int(std::string_view s, const char* what) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec == std::errc() && ptr != s.data() + s.size())
+    throw DataError(std::string("trailing junk in ") + what + ": " + std::string(s));
+  if (ec != std::errc())
+    throw DataError(std::string("bad integer for ") + what + ": " + std::string(s));
+  return v;
 }
 
 // Shared row/record codecs so the full-dataset and month-delta paths
@@ -65,19 +66,19 @@ void render_ticket_row(std::ostream& os, const Ticket& t) {
      << to_string(t.origin) << ',' << t.symptom << ',' << join(t.devices, ";") << '\n';
 }
 
-Ticket parse_ticket_row(const std::string& line) {
-  const auto cells = split(line, ',');
-  require_data(cells.size() == 7, "tickets.csv: bad row: " + line);
+Ticket parse_ticket_row(std::string_view line) {
+  const auto cells = split_views(line, ',');
+  require_data(cells.size() == 7, "tickets.csv: bad row: " + std::string(line));
   Ticket t;
-  t.ticket_id = cells[0];
-  t.network_id = cells[1];
+  t.ticket_id = std::string(cells[0]);
+  t.network_id = std::string(cells[1]);
   t.created = parse_int(cells[2], "ticket created");
   t.resolved = parse_int(cells[3], "ticket resolved");
   require_data(t.resolved >= t.created,
-               "tickets.csv: resolved time " + cells[3] + " precedes created time " + cells[2] +
-                   " for ticket " + t.ticket_id);
+               "tickets.csv: resolved time " + std::string(cells[3]) + " precedes created time " +
+                   std::string(cells[2]) + " for ticket " + t.ticket_id);
   t.origin = origin_from_string(cells[4]);
-  t.symptom = cells[5];
+  t.symptom = std::string(cells[5]);
   if (!cells[6].empty()) t.devices = split(cells[6], ';');
   return t;
 }
@@ -92,24 +93,26 @@ void render_snapshot_record(std::ostream& os, const ConfigSnapshot& snap) {
 
 std::vector<ConfigSnapshot> parse_snapshot_log(const std::string& log) {
   std::vector<ConfigSnapshot> out;
+  const std::string_view view(log);
   std::size_t pos = 0;
-  while (pos < log.size()) {
-    const std::size_t eol = log.find('\n', pos);
-    require_data(eol != std::string::npos, "snapshots.log: truncated header");
-    const std::string header = log.substr(pos, eol - pos);
-    const auto tokens = split_ws(header);
+  while (pos < view.size()) {
+    const std::size_t eol = view.find('\n', pos);
+    require_data(eol != std::string_view::npos, "snapshots.log: truncated header");
+    const std::string_view header = view.substr(pos, eol - pos);
+    const auto tokens = split_ws_views(header);
     require_data(tokens.size() == 5 && tokens[0] == "@snapshot",
-                 "snapshots.log: bad header: " + header);
+                 "snapshots.log: bad header: " + std::string(header));
     // A negative length cast straight to size_t would become a huge
     // offset and misreport as "truncated body"; reject it by name.
     const std::int64_t declared = parse_int(tokens[4], "snapshot length");
-    require_data(declared >= 0, "snapshots.log: negative snapshot length in header: " + header);
+    require_data(declared >= 0,
+                 "snapshots.log: negative snapshot length in header: " + std::string(header));
     const auto length = static_cast<std::size_t>(declared);
-    require_data(eol + 1 + length <= log.size(), "snapshots.log: truncated body");
+    require_data(eol + 1 + length <= view.size(), "snapshots.log: truncated body");
     ConfigSnapshot snap;
-    snap.device_id = tokens[1];
+    snap.device_id = std::string(tokens[1]);
     snap.time = parse_int(tokens[2], "snapshot time");
-    snap.login = tokens[3];
+    snap.login = std::string(tokens[3]);
     snap.text = log.substr(eol + 1, length);
     out.push_back(std::move(snap));
     pos = eol + 1 + length;
@@ -203,23 +206,45 @@ void save_dataset(const DiskDataset& data, const std::string& dir) {
   }
 }
 
-DiskDataset load_dataset(const std::string& dir) {
-  const fs::path base(dir);
-  DiskDataset data;
+DiskDataset load_dataset(const std::string& dir, std::uint64_t* bytes_read) {
+  // Format auto-detection: an mpac manifest marks a columnar dataset;
+  // everything downstream (AnalysisSession::from_directory, serve
+  // session open) inherits the detection through this one switch.
+  if (is_columnar_dir(dir)) {
+    const ColumnarDataset columnar = load_columnar(dir);
+    if (bytes_read != nullptr) *bytes_read = columnar.total_bytes();
+    return columnar.to_disk_dataset();
+  }
 
-  // networks.csv
+  const fs::path base(dir);
+  require_data(fs::is_directory(base), "load_dataset: dataset directory does not exist: " + dir);
+  // Name the absent file up front — "cannot open .../tickets.csv" out
+  // of a half-readable directory is a worse diagnostic than saying
+  // which source is missing from an otherwise-valid dataset dir.
+  for (const char* name : {"networks.csv", "devices.csv", "tickets.csv", "snapshots.log"})
+    require_data(fs::exists(base / name),
+                 "load_dataset: missing " + std::string(name) + " in dataset directory " + dir);
+
+  DiskDataset data;
+  std::uint64_t bytes = 0;
+
+  // networks.csv — fields are parsed as string_view slices of the file
+  // buffer (one copy per stored string, none per intermediate field).
   {
-    const auto lines = split_lines(read_file(base / "networks.csv"));
+    const std::string text = read_file(base / "networks.csv");
+    bytes += text.size();
+    const auto lines = split_line_views(text);
+    data.inventory.reserve(lines.size() > 1 ? lines.size() - 1 : 0, 0);
     for (std::size_t i = 1; i < lines.size(); ++i) {
       if (trim(lines[i]).empty()) continue;
-      const auto cells = split(lines[i], ',');
-      require_data(cells.size() == 2, "networks.csv: bad row: " + lines[i]);
+      const auto cells = split_views(lines[i], ',');
+      require_data(cells.size() == 2, "networks.csv: bad row: " + std::string(lines[i]));
       NetworkRecord net;
-      net.network_id = cells[0];
+      net.network_id = std::string(cells[0]);
       if (!cells[1].empty()) {
-        for (const auto& name : split(cells[1], ';')) {
+        for (const auto name : split_views(cells[1], ';')) {
           Workload w;
-          w.name = name;
+          w.name = std::string(name);
           net.workloads.push_back(std::move(w));
         }
       }
@@ -229,25 +254,31 @@ DiskDataset load_dataset(const std::string& dir) {
 
   // devices.csv
   {
-    const auto lines = split_lines(read_file(base / "devices.csv"));
+    const std::string text = read_file(base / "devices.csv");
+    bytes += text.size();
+    const auto lines = split_line_views(text);
+    data.inventory.reserve(0, lines.size() > 1 ? lines.size() - 1 : 0);
     for (std::size_t i = 1; i < lines.size(); ++i) {
       if (trim(lines[i]).empty()) continue;
-      const auto cells = split(lines[i], ',');
-      require_data(cells.size() == 6, "devices.csv: bad row: " + lines[i]);
+      const auto cells = split_views(lines[i], ',');
+      require_data(cells.size() == 6, "devices.csv: bad row: " + std::string(lines[i]));
       DeviceRecord d;
-      d.device_id = cells[0];
-      d.network_id = cells[1];
+      d.device_id = std::string(cells[0]);
+      d.network_id = std::string(cells[1]);
       d.vendor = vendor_from_string(cells[2]);
-      d.model = cells[3];
+      d.model = std::string(cells[3]);
       d.role = role_from_string(cells[4]);
-      d.firmware = cells[5];
+      d.firmware = std::string(cells[5]);
       data.inventory.add_device(std::move(d));
     }
   }
 
   // tickets.csv
   {
-    const auto lines = split_lines(read_file(base / "tickets.csv"));
+    const std::string text = read_file(base / "tickets.csv");
+    bytes += text.size();
+    const auto lines = split_line_views(text);
+    data.tickets.reserve(lines.size() > 1 ? lines.size() - 1 : 0);
     for (std::size_t i = 1; i < lines.size(); ++i) {
       if (trim(lines[i]).empty()) continue;
       data.tickets.add(parse_ticket_row(lines[i]));
@@ -255,9 +286,13 @@ DiskDataset load_dataset(const std::string& dir) {
   }
 
   // snapshots.log
-  for (auto& snap : parse_snapshot_log(read_file(base / "snapshots.log")))
-    data.snapshots.add(std::move(snap));
+  {
+    const std::string text = read_file(base / "snapshots.log");
+    bytes += text.size();
+    for (auto& snap : parse_snapshot_log(text)) data.snapshots.add(std::move(snap));
+  }
 
+  if (bytes_read != nullptr) *bytes_read = bytes;
   return data;
 }
 

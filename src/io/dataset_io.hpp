@@ -15,6 +15,7 @@
 // (telemetry/time.hpp). Vendors/roles/origins use the to_string names.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -37,8 +38,14 @@ void save_dataset(const DiskDataset& data, const std::string& dir);
 
 /// Load a dataset directory written by save_dataset (or assembled by
 /// hand / by an exporter from RANCID + an inventory system). Throws
-/// DataError on malformed content.
-DiskDataset load_dataset(const std::string& dir);
+/// DataError on malformed content, naming the missing file when the
+/// directory or one of the four sources is absent.
+///
+/// Detects the format automatically: a directory containing an mpac
+/// manifest (io/columnar.hpp) is loaded through the binary columnar
+/// path instead of the CSV parser. When `bytes_read` is non-null it
+/// receives the total bytes read from disk (for load observability).
+DiskDataset load_dataset(const std::string& dir, std::uint64_t* bytes_read = nullptr);
 
 /// One month of new telemetry for a live dataset: the snapshots and
 /// tickets whose timestamps fall inside month `month`. The inventory is

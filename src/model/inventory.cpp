@@ -34,6 +34,7 @@ std::string_view to_string(Vendor v) {
 void Inventory::add_network(NetworkRecord net) {
   require(find_network(net.network_id) == nullptr,
           "Inventory::add_network: duplicate network id " + net.network_id);
+  network_index_.emplace(net.network_id, networks_.size());
   networks_.push_back(std::move(net));
 }
 
@@ -46,7 +47,13 @@ void Inventory::add_device(DeviceRecord dev) {
       net->device_ids.end()) {
     net->device_ids.push_back(dev.device_id);
   }
+  device_index_.emplace(dev.device_id, devices_.size());
   devices_.push_back(std::move(dev));
+}
+
+void Inventory::reserve(std::size_t networks, std::size_t devices) {
+  networks_.reserve(networks);
+  devices_.reserve(devices);
 }
 
 std::vector<const DeviceRecord*> Inventory::devices_in(const std::string& network_id) const {
@@ -57,15 +64,13 @@ std::vector<const DeviceRecord*> Inventory::devices_in(const std::string& networ
 }
 
 const NetworkRecord* Inventory::find_network(const std::string& network_id) const {
-  for (const auto& n : networks_)
-    if (n.network_id == network_id) return &n;
-  return nullptr;
+  const auto it = network_index_.find(network_id);
+  return it == network_index_.end() ? nullptr : &networks_[it->second];
 }
 
 const DeviceRecord* Inventory::find_device(const std::string& device_id) const {
-  for (const auto& d : devices_)
-    if (d.device_id == device_id) return &d;
-  return nullptr;
+  const auto it = device_index_.find(device_id);
+  return it == device_index_.end() ? nullptr : &devices_[it->second];
 }
 
 }  // namespace mpa

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,10 @@ class Inventory {
   /// Register a device; its network must already exist.
   void add_device(DeviceRecord dev);
 
+  /// Pre-size the backing vectors when the final counts are known
+  /// (dataset loaders); purely a performance hint.
+  void reserve(std::size_t networks, std::size_t devices);
+
   const std::vector<NetworkRecord>& networks() const { return networks_; }
   const std::vector<DeviceRecord>& devices() const { return devices_; }
 
@@ -95,6 +100,13 @@ class Inventory {
  private:
   std::vector<NetworkRecord> networks_;
   std::vector<DeviceRecord> devices_;
+  // Name -> index into the vectors above. Ordered maps keep iteration
+  // deterministic (srclint forbids iterating unordered containers) and
+  // make find_network/find_device O(log n) instead of a linear scan —
+  // dataset loads call them once per record, which was O(n^2) at the
+  // 100k-network scale the columnar generator targets.
+  std::map<std::string, std::size_t> network_index_;
+  std::map<std::string, std::size_t> device_index_;
 };
 
 }  // namespace mpa

@@ -58,4 +58,56 @@ OspDataset generate_osp(const OspOptions& opts) {
   return data;
 }
 
+OspStreamTotals generate_osp_stream(const OspOptions& opts, OspSink& sink) {
+  Rng master(opts.seed);
+  const HealthModel health(opts.health);
+  int ticket_counter = 0;
+  OspStreamTotals totals;
+
+  // Mirrors generate_osp exactly — same fork sequence, same per-network
+  // draws, same shared ticket counter — but every per-network container
+  // is local and dropped after forwarding, so memory is bounded by the
+  // largest single network regardless of num_networks.
+  for (int n = 0; n < opts.num_networks; ++n) {
+    Rng net_rng = master.fork();
+    NetworkDesign design = sample_network_design(n, net_rng, opts.design);
+    if (opts.treated_fraction > 0) {
+      const bool treated = net_rng.bernoulli(opts.treated_fraction);
+      if (treated) design.change_events_per_month *= opts.treatment_rate_multiplier;
+    }
+
+    sink.on_network(design.net);
+    ++totals.networks;
+    for (const auto& dev : design.devices) {
+      sink.on_device(dev);
+      ++totals.devices;
+    }
+
+    SnapshotStore snapshots;
+    TicketLog tickets;
+    GeneratedNetwork gen = generate_configs(std::move(design), net_rng);
+    ChangeProcess process(&gen, net_rng.fork());
+    process.emit_initial_snapshots(snapshots);
+    Rng health_rng = net_rng.fork();
+    for (int m = 0; m < opts.num_months; ++m) {
+      const MonthlyOps ops = process.simulate_month(m, snapshots);
+      health.generate_tickets(gen.design, ops, live_vlan_count(gen), m, health_rng, tickets,
+                              ticket_counter);
+    }
+    // The per-device canonical order of SnapshotStore makes the forward
+    // order identical to what the batch path's shared store would hold
+    // for these devices.
+    for (const auto& device_id : snapshots.devices())
+      for (const auto& snap : snapshots.for_device(device_id)) {
+        sink.on_snapshot(snap);
+        ++totals.snapshots;
+      }
+    for (const auto& t : tickets.all()) {
+      sink.on_ticket(t);
+      ++totals.tickets;
+    }
+  }
+  return totals;
+}
+
 }  // namespace mpa

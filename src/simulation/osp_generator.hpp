@@ -53,4 +53,37 @@ struct OspDataset {
 /// Generate a full synthetic OSP. Deterministic given opts.seed.
 OspDataset generate_osp(const OspOptions& opts = {});
 
+/// Receiver for the streaming generator. Implementations must not
+/// assume global ordering beyond the generator's contract: networks
+/// arrive in index order, each network's devices right after it, and
+/// each device's snapshots in non-decreasing time order. The callback
+/// arguments are only valid for the duration of the call.
+///
+/// This is an interface (not an io dependency) so simulation stays
+/// below io in the layer DAG — the mpac ColumnarWriter adapter lives
+/// with the CLI.
+class OspSink {
+ public:
+  virtual ~OspSink() = default;
+  virtual void on_network(const NetworkRecord& net) = 0;
+  virtual void on_device(const DeviceRecord& dev) = 0;
+  virtual void on_snapshot(const ConfigSnapshot& snap) = 0;
+  virtual void on_ticket(const Ticket& t) = 0;
+};
+
+struct OspStreamTotals {
+  std::uint64_t networks = 0;
+  std::uint64_t devices = 0;
+  std::uint64_t snapshots = 0;
+  std::uint64_t tickets = 0;
+};
+
+/// Streaming variant of generate_osp: identical RNG stream and record
+/// content (same seed => the records a sink receives reassemble into
+/// exactly the dataset generate_osp returns), but only one network is
+/// resident at a time, so 100k-network multi-year histories generate
+/// under a fixed memory ceiling. Ground truth (designs, true_ops) is
+/// not collected.
+OspStreamTotals generate_osp_stream(const OspOptions& opts, OspSink& sink);
+
 }  // namespace mpa

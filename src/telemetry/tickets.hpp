@@ -36,6 +36,9 @@ class TicketLog {
  public:
   void add(Ticket t);
 
+  /// Pre-size the backing vector (performance hint for loaders).
+  void reserve(std::size_t n) { tickets_.reserve(n); }
+
   const std::vector<Ticket>& all() const { return tickets_; }
   std::size_t size() const { return tickets_.size(); }
 

@@ -1,5 +1,6 @@
 #include "util/strings.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -35,6 +36,40 @@ std::vector<std::string> split_ws(std::string_view s) {
     std::size_t start = i;
     while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
     if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_views(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  out.reserve(static_cast<std::size_t>(std::count(s.begin(), s.end(), sep)) + 1);
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string_view> split_line_views(std::string_view s) {
+  std::vector<std::string_view> lines = split_views(s, '\n');
+  for (auto& line : lines)
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return lines;
+}
+
+std::vector<std::string_view> split_ws_views(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
   }
   return out;
 }

@@ -18,6 +18,14 @@ std::vector<std::string> split_lines(std::string_view s);
 /// Split `s` on runs of whitespace, dropping empty tokens.
 std::vector<std::string> split_ws(std::string_view s);
 
+/// Zero-copy variants for hot parse loops: the returned views alias
+/// `s`, so the backing buffer must outlive them. Semantics match the
+/// copying versions exactly (split_line_views strips one trailing '\r'
+/// per line, split_ws_views drops empty tokens).
+std::vector<std::string_view> split_views(std::string_view s, char sep);
+std::vector<std::string_view> split_line_views(std::string_view s);
+std::vector<std::string_view> split_ws_views(std::string_view s);
+
 /// Strip leading and trailing whitespace.
 std::string_view trim(std::string_view s);
 

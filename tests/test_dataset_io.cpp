@@ -237,6 +237,73 @@ TEST_F(DatasetIoTest, MissingDirectoryThrows) {
   EXPECT_THROW(load_dataset((dir_ / "nope").string()), DataError);
 }
 
+TEST_F(DatasetIoTest, MissingDirectoryNamedInError) {
+  const std::string missing = (dir_ / "nope").string();
+  try {
+    load_dataset(missing);
+    FAIL() << "missing directory accepted";
+  } catch (const DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("dataset directory does not exist: " + missing),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(DatasetIoTest, MissingFilesNamedIndividuallyInError) {
+  // A dataset directory with one source file gone must say which file,
+  // not fail with a generic open error on whichever stream opened
+  // first.
+  for (const char* file : {"networks.csv", "devices.csv", "tickets.csv", "snapshots.log"}) {
+    fs::remove_all(dir_);
+    save_dataset(small_dataset(), dir_.string());
+    fs::remove(dir_ / file);
+    try {
+      load_dataset(dir_.string());
+      FAIL() << file << " missing but load succeeded";
+    } catch (const DataError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("load_dataset: missing " + std::string(file) + " in dataset directory"),
+                std::string::npos)
+          << what;
+      EXPECT_NE(what.find(dir_.string()), std::string::npos) << what;
+    }
+  }
+}
+
+// Regression pin for the string_view/from_chars parsing path: the
+// loader was rewritten for allocation churn, and these exact error
+// strings are part of its contract (operators grep logs for them).
+TEST_F(DatasetIoTest, ParseErrorStringsAreStable) {
+  const std::string origin{to_string(TicketOrigin::kUserReport)};
+
+  const auto load_error = [&](const char* file, const std::string& row) {
+    fs::remove_all(dir_);
+    save_dataset(small_dataset(), dir_.string());
+    std::ofstream f(dir_ / file, std::ios::app);
+    f << row;
+    f.close();
+    try {
+      load_dataset(dir_.string());
+      return std::string("(no error)");
+    } catch (const DataError& e) {
+      return std::string(e.what());
+    }
+  };
+
+  EXPECT_EQ(load_error("tickets.csv", "tkt-x,net0,10,20," + origin + ",boom\n"),
+            "tickets.csv: bad row: tkt-x,net0,10,20," + origin + ",boom");
+  EXPECT_EQ(load_error("tickets.csv", "tkt-x,net0,12x,20," + origin + ",boom,\n"),
+            "trailing junk in ticket created: 12x");
+  EXPECT_EQ(load_error("tickets.csv", "tkt-x,net0,abc,20," + origin + ",boom,\n"),
+            "bad integer for ticket created: abc");
+  EXPECT_EQ(load_error("networks.csv", "netX\n"), "networks.csv: bad row: netX");
+  EXPECT_EQ(load_error("devices.csv", "devX,netX,cisco\n"),
+            "devices.csv: bad row: devX,netX,cisco");
+  EXPECT_EQ(load_error("devices.csv", "devX,net0,acme,m1,core,fw1\n"), "unknown vendor: acme");
+  EXPECT_EQ(load_error("snapshots.log", "@snapshot devX 10 alice -5\nx"),
+            "snapshots.log: negative snapshot length in header: @snapshot devX 10 alice -5");
+}
+
 TEST_F(DatasetIoTest, MalformedRowsThrow) {
   save_dataset(small_dataset(), dir_.string());
   // Corrupt devices.csv with a short row.

@@ -85,6 +85,7 @@
 #include "config/lint.hpp"
 #include "engine/run_manifest.hpp"
 #include "engine/session.hpp"
+#include "io/columnar.hpp"
 #include "io/dataset_io.hpp"
 #include "mpa/mpa.hpp"
 #include "obs/chrome_trace.hpp"
@@ -192,7 +193,10 @@ Args parse_args(int argc, char** argv) {
 /// Reject misspelled flags instead of silently ignoring them.
 void check_flags(const Args& args) {
   static const std::map<std::string, std::set<std::string>> allowed = {
-      {"generate", {"networks", "months", "seed"}},
+      {"generate",
+       {"networks", "months", "seed", "format", "shard-mb", "min-devices", "max-devices"}},
+      {"convert", {"out", "shard-mb"}},
+      {"verify", {}},
       {"summary", {"threads", "delta"}},
       {"infer", {"threads", "delta", "out"}},
       {"rank", {"threads", "delta", "top"}},
@@ -222,6 +226,8 @@ void check_flags(const Args& args) {
 
 int usage() {
   std::cerr << "usage: mpa_cli <generate|summary|infer|rank|causal|predict|lint> <dir> [flags]\n"
+               "       mpa_cli convert <dir> --out DIR [--shard-mb N]\n"
+               "       mpa_cli verify <dir>\n"
                "       mpa_cli split <dir> --first-month M --out DIR\n"
                "       mpa_cli ingest <dir> --deltas D1[,D2,...] [--out FILE] [--rank-out FILE]\n"
                "       mpa_cli report <manifest.json> [--format text|json]\n"
@@ -233,6 +239,11 @@ int usage() {
                "                     [--responses-out FILE] [--report-out FILE]\n"
                "run with a dataset directory (see src/io/dataset_io.hpp).\n"
                "  generate: --networks N --months M --seed S\n"
+               "            --format csv|mpac (mpac streams: bounded memory at any scale)\n"
+               "            --shard-mb N (mpac shard size, default 64)\n"
+               "            --min-devices N --max-devices N (network size range)\n"
+               "  convert:  csv->mpac or mpac->csv by source format; --out DIR\n"
+               "  verify:   check a dataset (mpac: fingerprints + deep scan)\n"
                "  infer:    --out FILE --delta MINUTES\n"
                "  rank:     --top K\n"
                "  causal:   --practice NAME --threshold P\n"
@@ -283,16 +294,94 @@ AnalysisSession session_from_dir(const Args& args) {
   return AnalysisSession::from_directory(args.dir, std::move(opts));
 }
 
+/// OspSink adapter: the glue between the simulation-layer streaming
+/// generator and the io-layer mpac writer lives here, keeping
+/// simulation below io in the layer DAG.
+class ColumnarSink final : public OspSink {
+ public:
+  explicit ColumnarSink(ColumnarWriter& writer) : writer_(writer) {}
+  void on_network(const NetworkRecord& net) override { writer_.add_network(net); }
+  void on_device(const DeviceRecord& dev) override { writer_.add_device(dev); }
+  void on_snapshot(const ConfigSnapshot& snap) override { writer_.add_snapshot(snap); }
+  void on_ticket(const Ticket& t) override { writer_.add_ticket(t); }
+
+ private:
+  ColumnarWriter& writer_;
+};
+
+ColumnarWriteOptions shard_options(const Args& args) {
+  ColumnarWriteOptions opts;
+  opts.max_shard_bytes = static_cast<std::size_t>(args.get_int_min("shard-mb", 64, 1)) << 20;
+  return opts;
+}
+
 int cmd_generate(const Args& args) {
   OspOptions opts;
   opts.num_networks = args.get_int_min("networks", 50, 1);
   opts.num_months = args.get_int_min("months", 12, 1);
   opts.seed = args.get_u64("seed", 1);
+  opts.design.min_devices = args.get_int_min("min-devices", opts.design.min_devices, 1);
+  opts.design.max_devices =
+      args.get_int_min("max-devices", opts.design.max_devices, opts.design.min_devices);
+  const std::string format = args.get("format", "csv");
+  if (format == "mpac") {
+    // Streaming path: records flow network-by-network through the
+    // shard writer, so generation memory is bounded by one network
+    // plus one shard buffer regardless of --networks.
+    ColumnarWriter writer(args.dir, shard_options(args));
+    ColumnarSink sink(writer);
+    const OspStreamTotals totals = generate_osp_stream(opts, sink);
+    const MpacTotals written = writer.finish();
+    std::cout << "wrote " << args.dir << ": " << totals.networks << " networks, "
+              << totals.snapshots << " snapshots, " << totals.tickets << " tickets ("
+              << written.shards << " mpac shards, " << written.shard_bytes << " bytes)\n";
+    return 0;
+  }
+  if (format != "csv") throw UsageError{"--format expects csv|mpac, got '" + format + "'"};
   const OspDataset data = generate_osp(opts);
   save_dataset(DiskDataset{data.inventory, data.snapshots, data.tickets}, args.dir);
   std::cout << "wrote " << args.dir << ": " << data.inventory.num_networks() << " networks, "
             << data.snapshots.total_snapshots() << " snapshots, " << data.tickets.size()
             << " tickets\n";
+  return 0;
+}
+
+int cmd_convert(const Args& args) {
+  const std::string out = args.get("out");
+  if (out.empty()) throw UsageError{"convert requires --out DIR"};
+  if (is_columnar_dir(args.dir)) {
+    const DiskDataset data = load_columnar(args.dir).to_disk_dataset();
+    save_dataset(data, out);
+    std::cout << "converted mpac -> csv: " << out << ": " << data.inventory.num_networks()
+              << " networks, " << data.snapshots.total_snapshots() << " snapshots, "
+              << data.tickets.size() << " tickets\n";
+    return 0;
+  }
+  const DiskDataset data = load_dataset(args.dir);
+  ColumnarWriter writer(out, shard_options(args));
+  for (const auto& net : data.inventory.networks()) writer.add_network(net);
+  for (const auto& dev : data.inventory.devices()) writer.add_device(dev);
+  for (const auto& t : data.tickets.all()) writer.add_ticket(t);
+  for (const auto& device_id : data.snapshots.devices())
+    for (const auto& snap : data.snapshots.for_device(device_id)) writer.add_snapshot(snap);
+  const MpacTotals totals = writer.finish();
+  std::cout << "converted csv -> mpac: " << out << ": " << totals.networks << " networks, "
+            << totals.snapshots << " snapshots, " << totals.tickets << " tickets ("
+            << totals.shards << " shards, " << totals.shard_bytes << " bytes)\n";
+  return 0;
+}
+
+int cmd_verify(const Args& args) {
+  if (is_columnar_dir(args.dir)) {
+    std::cout << verify_columnar(args.dir);
+    return 0;
+  }
+  std::uint64_t bytes = 0;
+  const DiskDataset data = load_dataset(args.dir, &bytes);
+  std::cout << "csv dataset: " << args.dir << " OK: " << data.inventory.num_networks()
+            << " networks, " << data.inventory.num_devices() << " devices, "
+            << data.tickets.size() << " tickets, " << data.snapshots.total_snapshots()
+            << " snapshots, " << bytes << " bytes\n";
   return 0;
 }
 
@@ -622,6 +711,8 @@ void configure_logging(const Args& args) {
 int dispatch(const Args& args) {
   obs::Span root(args.command);
   if (args.command == "generate") return cmd_generate(args);
+  if (args.command == "convert") return cmd_convert(args);
+  if (args.command == "verify") return cmd_verify(args);
   if (args.command == "summary") return cmd_summary(args);
   if (args.command == "infer") return cmd_infer(args);
   if (args.command == "rank") return cmd_rank(args);

@@ -86,6 +86,10 @@ const std::map<std::string, std::set<std::string>>& allowed_layer_deps() {
       {"telemetry", {"util"}},
       {"stats", {"util"}},
       {"config", {"model", "util"}},
+      // io -> util includes util/json and util/hash: the mpac columnar
+      // manifest is JSON (exact u64 fingerprints via JsonValue::as_u64)
+      // and shard fingerprints use the shared FNV-1a (reviewed edge —
+      // both live in the util layer, not a new DAG edge).
       {"io", {"model", "telemetry", "util"}},
       {"metrics", {"config", "model", "stats", "telemetry", "util"}},
       {"simulation", {"config", "metrics", "model", "telemetry", "util"}},
