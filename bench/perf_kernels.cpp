@@ -23,6 +23,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "simulation/osp_generator.hpp"
@@ -478,6 +479,61 @@ void BM_ServeThroughput(benchmark::State& state) {
                                      : "interval=" + std::to_string(state.range(0)) + "ms");
 }
 BENCHMARK(BM_ServeThroughput)->Arg(0)->Arg(2)->Arg(10)->Unit(benchmark::kMillisecond);
+
+// Worker hot-path cost of folding one finished request into the
+// windowed registry: one series-map lookup under the registry mutex,
+// then relaxed-atomic bucket updates. The loop rotates across a few
+// tenants so the map holds more than one series.
+void BM_WindowRecordOverhead(benchmark::State& state) {
+  obs::WindowRegistry window;  // default 60 x 1s buckets, real clock
+  static const char* kTenants[] = {"t0", "t1", "t2", "t3"};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    window.record(kTenants[i++ % 4], "rank", "ok", 0.2, 1.5, 1.7);
+    benchmark::DoNotOptimize(&window);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WindowRecordOverhead)->Iterations(200000);
+
+// Latency of an out-of-band `stats` introspection request answered
+// synchronously at submit: scheduler stats snapshot + windowed
+// snapshot + session list + slow log, serialized to a JSON body —
+// the cost a monitoring poll imposes on a live daemon.
+void BM_StatsRequest(benchmark::State& state) {
+  static serve::AnalysisServer* server = [] {
+    serve::ServerOptions opts;
+    opts.scheduler.workers = 2;
+    opts.session.threads = 2;
+    auto* s = new serve::AnalysisServer(opts);
+    OspDataset data = perf_osp();
+    SessionOptions sopts;
+    sopts.threads = 2;
+    sopts.inference.num_months = 6;
+    s->sessions().open("main", AnalysisSession(std::move(data.inventory),
+                                               std::move(data.snapshots),
+                                               std::move(data.tickets), std::move(sopts)));
+    // Populate the slow log and stats with a small replay, once.
+    serve::ClientOptions copts;
+    copts.request_total_cnt = 16;
+    copts.seed = 17;
+    serve::SyntheticClient(copts).replay(*s, serve::synthesize_trace(copts));
+    return s;
+  }();
+
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    serve::Request req;
+    req.kind = serve::RequestKind::kStats;
+    const serve::Response resp = server->submit_and_wait(std::move(req));
+    bytes = resp.body.size();
+    benchmark::DoNotOptimize(&resp);
+  }
+  server->clear_responses();  // introspection responses accumulate otherwise
+  state.SetItemsProcessed(state.iterations());
+  state.counters["body_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_StatsRequest)->Iterations(2000);
 
 // ---- dataset I/O: CSV interchange vs mpac columnar ----
 

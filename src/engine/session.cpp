@@ -223,10 +223,16 @@ const LintReport& AnalysisSession::lint() {
   // under it with deterministic names and counts at any thread count.
   const std::string task_path =
       obs::enabled() ? obs::Tracer::current_path() + "/network" : std::string();
+  // Pool workers have no installed request context either; adopt a
+  // tag-only copy so per-task spans and events still carry
+  // req_id/tenant (collection stays with the owning worker thread).
+  const obs::RequestContext* req_ctx = obs::current_request_context();
+  obs::RequestContext task_ctx = req_ctx != nullptr ? req_ctx->tag_only() : obs::RequestContext{};
   const auto& networks = inventory_.networks();
   LintReport report;
   report.networks.resize(networks.size());
   parallel_for(pool_.get(), networks.size(), [&](std::size_t n) {
+    obs::ScopedRequestContext adopt(req_ctx != nullptr ? &task_ctx : nullptr);
     obs::Span task = obs::Span::with_path(task_path);
     NetworkLint& out = report.networks[n];
     out.network_id = networks[n].network_id;
@@ -445,7 +451,11 @@ AnalysisSession::AppendResult AnalysisSession::append_month(const MonthDelta& de
     }
     const std::string task_path =
         obs::enabled() ? obs::Tracer::current_path() + "/network" : std::string();
+    const obs::RequestContext* req_ctx = obs::current_request_context();
+    obs::RequestContext task_ctx =
+        req_ctx != nullptr ? req_ctx->tag_only() : obs::RequestContext{};
     parallel_for(pool_.get(), affected.size(), [&](std::size_t i) {
+      obs::ScopedRequestContext adopt(req_ctx != nullptr ? &task_ctx : nullptr);
       obs::Span task = obs::Span::with_path(task_path);
       const std::size_t n = affected[i];
       const NetworkRecord& net = inventory_.networks()[n];

@@ -40,7 +40,11 @@ std::string chrome_trace_json(const std::vector<SpanRecord>& spans) {
     os << "{\"ph\":\"X\",\"name\":\"" << json_escape(std::string(leaf_of(s.path)))
        << "\",\"cat\":\"mpa\",\"pid\":1,\"tid\":" << s.tid << ",\"ts\":" << format_us(s.start_ns)
        << ",\"dur\":" << format_us(s.dur_ns) << ",\"args\":{\"path\":\"" << json_escape(s.path)
-       << "\"}}";
+       << '"';
+    if (s.req_id != 0) {
+      os << ",\"req_id\":" << s.req_id << ",\"tenant\":\"" << json_escape(s.tenant) << '"';
+    }
+    os << "}}";
   }
   os << "]}\n";
   return os.str();
@@ -57,6 +61,8 @@ std::vector<SpanRecord> parse_trace_json(const std::string& json) {
       rec.dur_ns = s.at("dur_ns").as_u64();
       if (const JsonValue* tid = s.find("tid"))
         rec.tid = static_cast<std::uint32_t>(tid->as_u64());
+      if (const JsonValue* req = s.find("req_id")) rec.req_id = req->as_u64();
+      if (const JsonValue* tenant = s.find("tenant")) rec.tenant = tenant->as_string();
       out.push_back(std::move(rec));
     }
     return out;
@@ -74,6 +80,10 @@ std::vector<SpanRecord> parse_trace_json(const std::string& json) {
       rec.dur_ns = us_to_ns(e.at("dur").as_number());
       if (const JsonValue* tid = e.find("tid"))
         rec.tid = static_cast<std::uint32_t>(tid->as_number());
+      if (path != nullptr) {
+        if (const JsonValue* req = path->find("req_id")) rec.req_id = req->as_u64();
+        if (const JsonValue* tenant = path->find("tenant")) rec.tenant = tenant->as_string();
+      }
       out.push_back(std::move(rec));
     }
     return out;

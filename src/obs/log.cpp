@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/json.hpp"
 
 namespace mpa::obs {
@@ -80,7 +81,12 @@ std::string LogField::value_json() const {
 std::string LogRecord::to_json(bool with_time) const {
   std::ostringstream os;
   os << '{';
-  if (with_time) os << "\"t_ns\":" << t_ns << ',';
+  if (with_time) {
+    os << "\"t_ns\":" << t_ns << ',';
+    if (ctx_req_id != 0) {
+      os << "\"req_id\":" << ctx_req_id << ",\"tenant\":\"" << json_escape(ctx_tenant) << "\",";
+    }
+  }
   os << "\"level\":\"" << to_string(level) << "\",\"name\":\"" << json_escape(name)
      << "\",\"fields\":{";
   for (std::size_t i = 0; i < fields.size(); ++i) {
@@ -189,6 +195,10 @@ LogEvent::LogEvent(LogLevel level, std::string_view name) {
   active_ = true;
   rec_.level = level;
   rec_.name = std::string(name);
+  if (const RequestContext* ctx = current_request_context()) {
+    rec_.ctx_req_id = ctx->req_id;
+    rec_.ctx_tenant = ctx->tenant;
+  }
 }
 
 LogEvent::~LogEvent() {

@@ -73,10 +73,17 @@ struct LogRecord {
   std::string name;
   std::uint64_t t_ns = 0;  ///< obs::now_ns() at commit.
   std::vector<LogField> fields;
+  /// Request tags stamped from the recording thread's installed
+  /// RequestContext (0/"" outside a request). Serialized only in the
+  /// timed form: with more than one worker, which request a memoized
+  /// stage executes under is timing-dependent, so the tags are excluded
+  /// from the canonical (determinism-pinned) form like t_ns is.
+  std::uint64_t ctx_req_id = 0;
+  std::string ctx_tenant;
 
   /// One JSON object (no trailing newline): {"t_ns":...,"level":...,
-  /// "name":...,"fields":{...}}. `with_time` false omits t_ns — the
-  /// deterministic form used by canonical_jsonl().
+  /// "name":...,"fields":{...}}. `with_time` false omits t_ns and the
+  /// request tags — the deterministic form used by canonical_jsonl().
   std::string to_json(bool with_time = true) const;
 };
 

@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -100,15 +101,20 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
 }
 
 double Histogram::quantile(double q) const {
-  const auto counts = bucket_counts();
+  return quantile_from_buckets(bounds_, bucket_counts(), q);
+}
+
+double quantile_from_buckets(const std::vector<double>& bounds,
+                             const std::vector<std::uint64_t>& counts, double q) {
+  const std::size_t n = std::min(counts.size(), bounds.size() + 1);
   std::uint64_t total = 0;
-  for (std::uint64_t c : counts) total += c;
+  for (std::size_t b = 0; b < n; ++b) total += counts[b];
   if (total == 0) return 0;
-  if (q < 0) q = 0;
+  if (!(q >= 0)) q = 0;  // also catches NaN
   if (q > 1) q = 1;
   const double target = q * static_cast<double>(total);
   double cumulative = 0;
-  for (std::size_t b = 0; b < counts.size(); ++b) {
+  for (std::size_t b = 0; b < n; ++b) {
     if (counts[b] == 0) continue;
     const double next = cumulative + static_cast<double>(counts[b]);
     if (next < target) {
@@ -117,13 +123,13 @@ double Histogram::quantile(double q) const {
     }
     // The +Inf bucket has no upper edge to interpolate toward: report
     // the highest finite bound (the best statement the buckets allow).
-    if (b >= bounds_.size()) return bounds_.empty() ? 0 : bounds_.back();
-    const double lower = b == 0 ? 0 : bounds_[b - 1];
-    const double upper = bounds_[b];
+    if (b >= bounds.size()) return bounds.empty() ? 0 : bounds.back();
+    const double lower = b == 0 ? 0 : bounds[b - 1];
+    const double upper = bounds[b];
     const double frac = (target - cumulative) / static_cast<double>(counts[b]);
     return lower + (upper - lower) * frac;
   }
-  return bounds_.empty() ? 0 : bounds_.back();
+  return bounds.empty() ? 0 : bounds.back();
 }
 
 void Histogram::reset() {

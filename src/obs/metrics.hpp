@@ -90,6 +90,16 @@ class Histogram {
 /// Default bounds for wall-time histograms, in seconds.
 const std::vector<double>& latency_buckets_seconds();
 
+/// Bucket-walk quantile estimator shared by Histogram and the windowed
+/// registry. `bounds` are upper edges, `counts` has one extra slot for
+/// the implicit +Inf bucket (counts.size() == bounds.size() + 1; excess
+/// count slots are ignored). Well-defined at the edges: an empty
+/// histogram is 0, all mass in one bucket interpolates within it (so
+/// q=1 is exactly the bucket bound), +Inf-bucket hits clamp to the
+/// highest finite bound, and q is clamped to [0,1].
+double quantile_from_buckets(const std::vector<double>& bounds,
+                             const std::vector<std::uint64_t>& counts, double q);
+
 /// Named instruments, created on first access and stable thereafter
 /// (references never invalidate). One process-wide instance.
 class Registry {

@@ -15,6 +15,11 @@ std::string& thread_current_path() {
   return path;
 }
 
+RequestContext*& thread_request_context() {
+  thread_local RequestContext* ctx = nullptr;
+  return ctx;
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -32,6 +37,25 @@ std::string json_escape(const std::string& s) {
 }
 
 }  // namespace
+
+RequestContext RequestContext::tag_only() const {
+  RequestContext out;
+  out.req_id = req_id;
+  out.tenant = tenant;
+  out.kind = kind;
+  out.enqueue_ns = enqueue_ns;
+  out.dequeue_ns = dequeue_ns;
+  return out;
+}
+
+RequestContext* current_request_context() { return thread_request_context(); }
+
+ScopedRequestContext::ScopedRequestContext(RequestContext* ctx)
+    : prev_(thread_request_context()) {
+  thread_request_context() = ctx != nullptr ? ctx : prev_;
+}
+
+ScopedRequestContext::~ScopedRequestContext() { thread_request_context() = prev_; }
 
 Tracer& Tracer::global() {
   static Tracer tracer;
@@ -78,7 +102,12 @@ std::string Tracer::to_json() const {
   for (std::size_t i = 0; i < spans.size(); ++i) {
     if (i != 0) os << ',';
     os << "{\"path\":\"" << json_escape(spans[i].path) << "\",\"start_ns\":" << spans[i].start_ns
-       << ",\"dur_ns\":" << spans[i].dur_ns << '}';
+       << ",\"dur_ns\":" << spans[i].dur_ns;
+    if (spans[i].req_id != 0) {
+      os << ",\"req_id\":" << spans[i].req_id << ",\"tenant\":\"" << json_escape(spans[i].tenant)
+         << '"';
+    }
+    os << '}';
   }
   os << "]}\n";
   return os.str();
@@ -151,9 +180,16 @@ Span::~Span() {
   if (!active_) return;
   const std::uint64_t end = now_ns();
   thread_current_path() = prev_path_;
+  SpanRecord rec{std::move(path_), start_ns_, end - start_ns_, 0, 0, {}};
+  if (RequestContext* ctx = thread_request_context()) {
+    rec.req_id = ctx->req_id;
+    rec.tenant = ctx->tenant;
+    if (ctx->collect) ctx->stage_ns.emplace_back(rec.path, rec.dur_ns);
+  }
   Tracer::Buffer& buf = Tracer::global().local_buffer();
   MutexLock lk(buf.mu);
-  buf.records.push_back(SpanRecord{std::move(path_), start_ns_, end - start_ns_, buf.tid});
+  rec.tid = buf.tid;
+  buf.records.push_back(std::move(rec));
 }
 
 }  // namespace mpa::obs

@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/sync.hpp"
@@ -35,6 +36,55 @@ struct SpanRecord {
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
   std::uint32_t tid = 0;
+  /// Request tags stamped from the thread's installed RequestContext
+  /// (0/"" outside a request). Like tid, excluded from determinism
+  /// contracts: stage→request attribution is timing-dependent with
+  /// more than one worker (memoization races).
+  std::uint64_t req_id = 0;
+  std::string tenant;
+};
+
+/// Request-scoped trace context (DESIGN.md §15): minted by the serve
+/// scheduler at submit, carried through the queue, and installed on the
+/// executing worker thread via ScopedRequestContext — every Span closed
+/// and LogEvent emitted while installed is tagged with req_id/tenant,
+/// enabling per-request Chrome traces and slow-request attribution.
+struct RequestContext {
+  std::uint64_t req_id = 0;
+  std::string tenant;
+  std::string kind;
+  std::uint64_t enqueue_ns = 0;
+  std::uint64_t dequeue_ns = 0;
+  std::uint64_t finish_ns = 0;
+  /// Collect per-stage (path, dur_ns) samples from closing spans into
+  /// stage_ns. Single-owner: only the installing worker thread may set
+  /// it; pool fan-out task bodies adopt a tag_only() copy so the shared
+  /// parent context is never mutated concurrently.
+  bool collect = false;
+  std::vector<std::pair<std::string, std::uint64_t>> stage_ns;
+
+  /// Copy carrying only the request tags (collect off, no samples) —
+  /// safe to share read-only across pool workers.
+  RequestContext tag_only() const;
+};
+
+/// The calling thread's installed context, or nullptr outside a
+/// request.
+RequestContext* current_request_context();
+
+/// RAII installation of a RequestContext on the calling thread
+/// (restores the previous one on destruction). Installing nullptr is a
+/// no-op placeholder that still restores — the idiom for "adopt the
+/// parent's context if there is one".
+class ScopedRequestContext {
+ public:
+  explicit ScopedRequestContext(RequestContext* ctx);
+  ~ScopedRequestContext();
+  ScopedRequestContext(const ScopedRequestContext&) = delete;
+  ScopedRequestContext& operator=(const ScopedRequestContext&) = delete;
+
+ private:
+  RequestContext* prev_;
 };
 
 /// Aggregated per-path count/total-time tree (indented by depth), for

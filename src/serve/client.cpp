@@ -7,6 +7,7 @@
 
 #include "metrics/practices.hpp"
 #include "obs/metrics.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -16,7 +17,7 @@ namespace mpa::serve {
 std::vector<Request> synthesize_trace(const ClientOptions& opts) {
   Rng rng(opts.seed);
   std::vector<double> weights = opts.kind_weights;
-  weights.resize(6, 0.0);
+  weights.resize(8, 0.0);  // one slot per RequestKind, through kHealth
   const std::vector<Practice> treatments = analysis_practices();
 
   std::vector<Request> trace;
@@ -53,6 +54,9 @@ std::vector<Request> synthesize_trace(const ClientOptions& opts) {
       case RequestKind::kIngest:
         req.dir = opts.ingest_dir;
         break;
+      case RequestKind::kStats:
+      case RequestKind::kHealth:
+        break;  // introspection kinds take no parameters
     }
     trace.push_back(std::move(req));
   }
@@ -112,6 +116,64 @@ LoadReport SyntheticClient::replay(AnalysisServer& server,
 
 LoadReport SyntheticClient::run(AnalysisServer& server) const {
   return replay(server, synthesize_trace(opts_));
+}
+
+SloReport compute_slo(const std::vector<Response>& responses, double slo_ms, double offered_rps,
+                      double achieved_rps) {
+  SloReport report;
+  report.slo_ms = slo_ms;
+  report.offered_rps = offered_rps;
+  report.achieved_rps = achieved_rps;
+  // The knee test: accepting an offered load means sustaining ~all of
+  // it. Falling below 90% of the offered rate marks saturation.
+  report.saturated = offered_rps > 0 && achieved_rps < 0.9 * offered_rps;
+
+  std::map<std::string, TenantSlo> by_tenant;
+  for (const Response& resp : responses) {
+    TenantSlo& t = by_tenant[resp.tenant];
+    t.tenant = resp.tenant;
+    ++t.total;
+    if (resp.status == RequestStatus::kOk && resp.total_ms <= slo_ms) ++t.within;
+  }
+  report.tenants.reserve(by_tenant.size());
+  for (auto& [tenant, t] : by_tenant) {
+    if (t.total > 0) t.attainment = static_cast<double>(t.within) / static_cast<double>(t.total);
+    report.tenants.push_back(std::move(t));
+  }
+  return report;
+}
+
+std::string SloReport::to_text() const {
+  std::ostringstream os;
+  os << "SLO " << format_double(slo_ms, 1) << " ms";
+  if (offered_rps > 0)
+    os << ", offered " << format_double(offered_rps, 1) << " req/s, achieved "
+       << format_double(achieved_rps, 1) << " req/s"
+       << (saturated ? " (SATURATED)" : "");
+  os << "\n";
+  TextTable t({"tenant", "total", "within", "attainment"});
+  for (const TenantSlo& row : tenants)
+    t.row().add(row.tenant).add(static_cast<std::size_t>(row.total))
+        .add(static_cast<std::size_t>(row.within)).add(format_double(row.attainment * 100, 1) +
+                                                       "%");
+  t.print(os);
+  return os.str();
+}
+
+std::string SloReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"slo_ms\":" << slo_ms << ",\"offered_rps\":" << offered_rps
+     << ",\"achieved_rps\":" << achieved_rps << ",\"saturated\":"
+     << (saturated ? "true" : "false") << ",\"tenants\":[";
+  bool first = true;
+  for (const TenantSlo& t : tenants) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"tenant\":\"" << json_escape(t.tenant) << "\",\"total\":" << t.total
+       << ",\"within\":" << t.within << ",\"attainment\":" << t.attainment << '}';
+  }
+  os << "]}";
+  return os.str();
 }
 
 std::string LoadReport::to_text() const {

@@ -47,6 +47,35 @@ struct ClientOptions {
 /// Deterministic trace from the options (ids 1..request_total_cnt).
 std::vector<Request> synthesize_trace(const ClientOptions& opts);
 
+/// Per-tenant SLO attainment over one replay's responses.
+struct TenantSlo {
+  std::string tenant;
+  std::uint64_t total = 0;   ///< Responses for this tenant (all statuses).
+  std::uint64_t within = 0;  ///< kOk responses with total_ms <= slo_ms.
+  double attainment = 0;     ///< within / total (0 when total == 0).
+};
+
+/// SLO attainment report for one replay (`mpa_cli replay --slo-ms`).
+struct SloReport {
+  double slo_ms = 0;
+  double offered_rps = 0;   ///< 1000 / request_interval_ms (0 = closed-loop).
+  double achieved_rps = 0;  ///< Completed responses / wall seconds.
+  /// Offered load set and achieved throughput fell short of 90% of it:
+  /// the server is past its saturation knee at this offered rate.
+  bool saturated = false;
+  std::vector<TenantSlo> tenants;  ///< Sorted by tenant name.
+
+  std::string to_text() const;
+  std::string to_json() const;
+};
+
+/// Pure accounting: fold `responses` into per-tenant SLO attainment.
+/// A response is within SLO iff it completed kOk and its admission->
+/// completion latency fit the budget; rejections and deadline misses
+/// count against attainment (the tenant asked and was not served).
+SloReport compute_slo(const std::vector<Response>& responses, double slo_ms, double offered_rps,
+                      double achieved_rps);
+
 /// One replay's outcome summary.
 struct LoadReport {
   std::uint64_t total = 0;

@@ -38,13 +38,16 @@ std::string_view to_string(RequestKind kind) {
     case RequestKind::kLint: return "lint";
     case RequestKind::kPredict: return "predict";
     case RequestKind::kIngest: return "ingest";
+    case RequestKind::kStats: return "stats";
+    case RequestKind::kHealth: return "health";
   }
   return "unknown";
 }
 
 bool parse_request_kind(std::string_view name, RequestKind* out) {
   for (RequestKind k : {RequestKind::kCaseTable, RequestKind::kRank, RequestKind::kCausal,
-                        RequestKind::kLint, RequestKind::kPredict, RequestKind::kIngest}) {
+                        RequestKind::kLint, RequestKind::kPredict, RequestKind::kIngest,
+                        RequestKind::kStats, RequestKind::kHealth}) {
     if (name == to_string(k)) {
       *out = k;
       return true;
@@ -89,6 +92,9 @@ std::string Request::to_json() const {
     case RequestKind::kIngest:
       os << ",\"dir\":\"" << json_escape(dir) << "\"";
       break;
+    case RequestKind::kStats:
+    case RequestKind::kHealth:
+      break;  // introspection kinds take no parameters
   }
   // != 0, not > 0: a negative deadline (expired at submit) must
   // round-trip through traces to reproduce synchronous rejection.

@@ -25,10 +25,23 @@ class JsonValue;
 
 namespace mpa::serve {
 
-enum class RequestKind : std::uint8_t { kCaseTable, kRank, kCausal, kLint, kPredict, kIngest };
+/// kStats and kHealth are out-of-band introspection kinds: the
+/// scheduler answers them synchronously at submit (never enqueued,
+/// never occupying queue depth — the expired-at-submit path's shape),
+/// so a saturated daemon still answers "what is going on".
+enum class RequestKind : std::uint8_t {
+  kCaseTable,
+  kRank,
+  kCausal,
+  kLint,
+  kPredict,
+  kIngest,
+  kStats,
+  kHealth,
+};
 
 /// Stable wire name ("case_table", "rank", "causal", "lint", "predict",
-/// "ingest").
+/// "ingest", "stats", "health").
 std::string_view to_string(RequestKind kind);
 /// Parse a wire name; returns false on unknown input.
 bool parse_request_kind(std::string_view name, RequestKind* out);

@@ -2,6 +2,8 @@
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/window.hpp"
 
 namespace mpa::serve {
 namespace {
@@ -35,8 +37,8 @@ void register_serve_metrics() {
   for (const char* name :
        {"mpa_serve_submitted_total", "mpa_serve_admitted_total", "mpa_serve_rejected_total",
         "mpa_serve_completed_total", "mpa_serve_ok_total", "mpa_serve_deadline_miss_total",
-        "mpa_serve_error_total", "mpa_session_manager_opens_total",
-        "mpa_session_manager_closes_total"}) {
+        "mpa_serve_error_total", "mpa_serve_introspected_total",
+        "mpa_session_manager_opens_total", "mpa_session_manager_closes_total"}) {
     reg.counter(name);
   }
   reg.gauge("mpa_sessions_resident");
@@ -46,8 +48,15 @@ void register_serve_metrics() {
   }
 }
 
-Scheduler::Scheduler(SchedulerOptions opts, Executor executor, Sink sink)
-    : opts_(opts), executor_(std::move(executor)), sink_(std::move(sink)) {
+Scheduler::Scheduler(SchedulerOptions opts, Executor executor, Sink sink,
+                     Introspector introspector)
+    : opts_(opts),
+      executor_(std::move(executor)),
+      sink_(std::move(sink)),
+      introspector_(std::move(introspector)),
+      window_(opts.window != nullptr
+                  ? opts.window
+                  : (obs::enabled() ? &obs::WindowRegistry::global() : nullptr)) {
   if (obs::enabled()) register_serve_metrics();
   const int workers = opts_.workers < 1 ? 1 : opts_.workers;
   workers_.reserve(static_cast<std::size_t>(workers));
@@ -66,6 +75,22 @@ Scheduler::~Scheduler() {
 
 bool Scheduler::submit(Request req) {
   const std::uint64_t now = obs::now_ns();
+  if (introspector_ &&
+      (req.kind == RequestKind::kStats || req.kind == RequestKind::kHealth)) {
+    // Out-of-band introspection: answered synchronously on the
+    // submitting thread, never enqueued, never occupying queue depth —
+    // the expired-at-submit path's shape — so a saturated daemon still
+    // answers "what is going on".
+    {
+      MutexLock lk(mu_);
+      ++stats_.submitted;
+      ++stats_.completed;
+      ++stats_.introspected;
+    }
+    count("mpa_serve_submitted_total");
+    introspect(req);
+    return false;
+  }
   if (req.deadline_ms < 0) {
     // Already expired at submit. Historically this was detected only
     // at dequeue, so a dead-on-arrival request occupied queue depth
@@ -132,8 +157,40 @@ void Scheduler::expire(const Request& req) {
   resp.kind = req.kind;
   resp.status = RequestStatus::kDeadlineExceeded;
   resp.body = "deadline exceeded at submit";
+  record_window(resp);
   log_done(resp);
   if (sink_) sink_(resp);
+}
+
+void Scheduler::introspect(const Request& req) {
+  count("mpa_serve_introspected_total");
+  count("mpa_serve_completed_total");
+  Response resp;
+  resp.id = req.id;
+  resp.tenant = req.tenant;
+  resp.session = req.session;
+  resp.kind = req.kind;
+  try {
+    Response answered = introspector_(req);
+    resp.status = answered.status;
+    resp.body = std::move(answered.body);
+  } catch (const std::exception& e) {
+    resp.status = RequestStatus::kError;
+    resp.body = e.what();
+  }
+  // Introspection is observability about the window, not workload in
+  // it — deliberately not recorded into the windowed registry.
+  log_done(resp);
+  if (sink_) sink_(resp);
+  MutexLock lk(mu_);
+  if (resp.status == RequestStatus::kOk) ++stats_.ok;
+  if (resp.status == RequestStatus::kError) ++stats_.errors;
+}
+
+void Scheduler::record_window(const Response& resp) {
+  if (window_ == nullptr) return;
+  window_->record(resp.tenant, to_string(resp.kind), to_string(resp.status), resp.queue_ms,
+                  resp.service_ms, resp.total_ms);
 }
 
 void Scheduler::reject(const Request& req, const std::string& reason) {
@@ -150,6 +207,7 @@ void Scheduler::reject(const Request& req, const std::string& reason) {
   resp.kind = req.kind;
   resp.status = RequestStatus::kRejected;
   resp.body = "rejected: " + reason;
+  record_window(resp);
   log_done(resp);
   if (sink_) sink_(resp);
 }
@@ -182,6 +240,20 @@ void Scheduler::worker_loop() {
     const double queue_ms = ms_between(item.enqueue_ns, dequeue_ns);
     observe_seconds("mpa_serve_queue_wait_seconds", queue_ms * 1e-3);
 
+    // The request context minted at submit, adopted by this worker:
+    // every span closed and event logged until the sink returns is
+    // tagged with req_id/tenant, and stage timings accumulate for the
+    // slow-request exemplar log (the sink reads them via
+    // obs::current_request_context()).
+    obs::RequestContext ctx;
+    ctx.req_id = item.req.id;
+    ctx.tenant = item.req.tenant;
+    ctx.kind = std::string(to_string(item.req.kind));
+    ctx.enqueue_ns = item.enqueue_ns;
+    ctx.dequeue_ns = dequeue_ns;
+    ctx.collect = true;
+    obs::ScopedRequestContext scoped(&ctx);
+
     Response resp;
     resp.id = item.req.id;
     resp.tenant = item.req.tenant;
@@ -207,10 +279,12 @@ void Scheduler::worker_loop() {
       observe_seconds("mpa_serve_service_seconds", resp.service_ms * 1e-3);
       if (resp.status == RequestStatus::kError) count("mpa_serve_error_total");
     }
-    resp.total_ms = ms_between(item.enqueue_ns, obs::now_ns());
+    ctx.finish_ns = obs::now_ns();
+    resp.total_ms = ms_between(item.enqueue_ns, ctx.finish_ns);
     observe_seconds("mpa_serve_latency_seconds", resp.total_ms * 1e-3);
     count("mpa_serve_completed_total");
     if (resp.status == RequestStatus::kOk) count("mpa_serve_ok_total");
+    record_window(resp);
     log_done(resp);
     if (sink_) sink_(resp);
 

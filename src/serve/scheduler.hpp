@@ -37,6 +37,10 @@
 #include "serve/request.hpp"
 #include "util/sync.hpp"
 
+namespace mpa::obs {
+class WindowRegistry;
+}
+
 namespace mpa::serve {
 
 struct SchedulerOptions {
@@ -50,6 +54,11 @@ struct SchedulerOptions {
   std::size_t max_queue_depth = 256;
   /// Deadline applied to requests that carry none (0 = none).
   double default_deadline_ms = 0;
+  /// Windowed-aggregation registry every terminal response is recorded
+  /// into (introspection answers excluded). nullptr picks the global
+  /// registry when observability is enabled, else no recording. Tests
+  /// inject an instance with a logical clock.
+  obs::WindowRegistry* window = nullptr;
 };
 
 /// Pre-register the serving layer's metric schema (counters +
@@ -63,8 +72,14 @@ class Scheduler {
   using Executor = std::function<Response(const Request&)>;
   /// Receives every completed response exactly once.
   using Sink = std::function<void(const Response&)>;
+  /// Answers an introspection request (kStats/kHealth) synchronously on
+  /// the submitting thread — only status and body are consulted; the
+  /// scheduler fills the response envelope. Invoked with no scheduler
+  /// lock held, so it may call stats()/queue_depth().
+  using Introspector = std::function<Response(const Request&)>;
 
-  Scheduler(SchedulerOptions opts, Executor executor, Sink sink);
+  Scheduler(SchedulerOptions opts, Executor executor, Sink sink,
+            Introspector introspector = nullptr);
   /// Drains admitted work, then joins the workers.
   ~Scheduler();
   Scheduler(const Scheduler&) = delete;
@@ -84,12 +99,13 @@ class Scheduler {
   void drain() EXCLUDES(mu_);
 
   /// Admission/completion counters (snapshot under the queue mutex).
-  /// `submitted = admitted + rejected + expired-at-submit`, where the
-  /// last group is visible as `completed` deadline misses that were
-  /// never admitted; `completed` counts every terminal response —
-  /// admitted requests' outcomes (including dispatch-time deadline
-  /// misses and executor errors) plus synchronous expired-at-submit
-  /// answers — nothing is dropped.
+  /// `submitted = admitted + rejected + expired-at-submit +
+  /// introspected`, where expired-at-submit is visible as `completed`
+  /// deadline misses that were never admitted; `completed` counts every
+  /// terminal response — admitted requests' outcomes (including
+  /// dispatch-time deadline misses and executor errors) plus
+  /// synchronous expired-at-submit and introspection answers — nothing
+  /// is dropped.
   struct Stats {
     std::uint64_t submitted = 0;
     std::uint64_t admitted = 0;
@@ -98,6 +114,7 @@ class Scheduler {
     std::uint64_t ok = 0;
     std::uint64_t deadline_misses = 0;
     std::uint64_t errors = 0;
+    std::uint64_t introspected = 0;  ///< kStats/kHealth answered at submit.
   };
   Stats stats() const EXCLUDES(mu_);
 
@@ -125,10 +142,18 @@ class Scheduler {
   /// synchronous kDeadlineExceeded response (sink + metrics). Same
   /// lock discipline as reject().
   void expire(const Request& req) EXCLUDES(mu_);
+  /// Answer an introspection request synchronously via introspector_
+  /// (sink + metrics). Same lock discipline as reject().
+  void introspect(const Request& req) EXCLUDES(mu_);
+  /// Record a terminal response into the windowed registry (no-op when
+  /// none is configured).
+  void record_window(const Response& resp);
 
   const SchedulerOptions opts_;
   const Executor executor_;
   const Sink sink_;
+  const Introspector introspector_;
+  obs::WindowRegistry* const window_;  ///< Resolved at construction.
 
   /// Guards the admission state below and backs both condition
   /// variables. Never held across executor_/sink_ calls.

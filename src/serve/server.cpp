@@ -13,8 +13,11 @@
 #include "mpa/causal.hpp"
 #include "mpa/dependence.hpp"
 #include "mpa/modeling.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -136,6 +139,11 @@ std::string render_request(AnalysisSession& session, const Request& req) {
     case RequestKind::kLint: return render_lint(session, req);
     case RequestKind::kPredict: return render_predict(session, req);
     case RequestKind::kIngest: return render_ingest(session, req);
+    case RequestKind::kStats:
+    case RequestKind::kHealth:
+      // Reaching a session means the scheduler had no introspector —
+      // introspection kinds are answered at submit, never rendered.
+      throw DataError("request: introspection kind answered at submit");
   }
   throw DataError("request: unknown kind");
 }
@@ -143,9 +151,16 @@ std::string render_request(AnalysisSession& session, const Request& req) {
 AnalysisServer::AnalysisServer(ServerOptions opts, Scheduler::Sink tap)
     : opts_(std::move(opts)),
       tap_(std::move(tap)),
+      slow_log_(opts_.slow_log_entries),
+      // The same resolution the scheduler applies, so introspection
+      // reports the registry terminal responses actually land in.
+      window_(opts_.scheduler.window != nullptr
+                  ? opts_.scheduler.window
+                  : (obs::enabled() ? &obs::WindowRegistry::global() : nullptr)),
       scheduler_(
           opts_.scheduler, [this](const Request& req) { return execute(req); },
-          [this](const Response& resp) { record(resp); }) {}
+          [this](const Response& resp) { record(resp); },
+          [this](const Request& req) { return introspect(req); }) {}
 
 void AnalysisServer::open_directory(const std::string& key, const std::string& dir) {
   sessions_.open_directory(key, dir, opts_.session);
@@ -184,12 +199,62 @@ Response AnalysisServer::execute(const Request& req) {
 }
 
 void AnalysisServer::record(const Response& resp) {
+  // Worker-thread completions arrive with the request's context still
+  // installed (the scheduler keeps it in scope through the sink call):
+  // harvest the stage timings its spans collected into the slow log.
+  // Rejections and expirations come from the submitting thread with no
+  // context — the slow log holds executed requests.
+  if (const obs::RequestContext* ctx = obs::current_request_context(); ctx != nullptr &&
+                                                                       ctx->collect) {
+    SlowLog::Entry entry;
+    entry.id = resp.id;
+    entry.tenant = resp.tenant;
+    entry.kind = std::string(to_string(resp.kind));
+    entry.status = std::string(to_string(resp.status));
+    entry.queue_ms = resp.queue_ms;
+    entry.service_ms = resp.service_ms;
+    entry.total_ms = resp.total_ms;
+    entry.stages.reserve(ctx->stage_ns.size());
+    for (const auto& [path, dur_ns] : ctx->stage_ns)
+      entry.stages.emplace_back(path, static_cast<double>(dur_ns) * 1e-6);
+    slow_log_.record(std::move(entry));
+  }
   {
     MutexLock lk(resp_mu_);
     responses_[resp.id] = resp;
   }
   resp_cv_.notify_all();
   if (tap_) tap_(resp);
+}
+
+Response AnalysisServer::introspect(const Request& req) {
+  Response resp;
+  resp.status = RequestStatus::kOk;
+  const Scheduler::Stats s = scheduler_.stats();
+  std::ostringstream os;
+  if (req.kind == RequestKind::kHealth) {
+    os << "{\"status\":\"ok\",\"sessions\":" << sessions_.keys().size()
+       << ",\"queue_depth\":" << scheduler_.queue_depth()
+       << ",\"workers\":" << scheduler_.workers() << ",\"submitted\":" << s.submitted << '}';
+    resp.body = os.str();
+    return resp;
+  }
+  os << "{\"stats\":{\"submitted\":" << s.submitted << ",\"admitted\":" << s.admitted
+     << ",\"rejected\":" << s.rejected << ",\"completed\":" << s.completed << ",\"ok\":" << s.ok
+     << ",\"deadline_misses\":" << s.deadline_misses << ",\"errors\":" << s.errors
+     << ",\"introspected\":" << s.introspected
+     << ",\"queue_depth\":" << scheduler_.queue_depth()
+     << ",\"workers\":" << scheduler_.workers() << "},\"sessions\":[";
+  bool first = true;
+  for (const std::string& key : sessions_.keys()) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(key) << '"';
+  }
+  os << "],\"window\":" << (window_ != nullptr ? window_->to_json() : std::string("null"))
+     << ",\"slow\":" << slow_log_.to_json() << '}';
+  resp.body = os.str();
+  return resp;
 }
 
 std::vector<Response> AnalysisServer::responses() const {

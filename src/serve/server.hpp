@@ -16,6 +16,7 @@
 #include "engine/session_manager.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/slow_log.hpp"
 #include "util/sync.hpp"
 
 namespace mpa::serve {
@@ -24,6 +25,8 @@ struct ServerOptions {
   SchedulerOptions scheduler;
   /// Session options applied by open_directory().
   SessionOptions session;
+  /// Bound on the slow-request exemplar log (K worst by total_ms).
+  std::size_t slow_log_entries = 16;
 };
 
 /// Render one request against a session: dispatch on kind, run the
@@ -72,14 +75,25 @@ class AnalysisServer {
 
   Scheduler::Stats stats() const { return scheduler_.stats(); }
   const Scheduler& scheduler() const { return scheduler_; }
+  const SlowLog& slow_log() const { return slow_log_; }
+  /// The windowed registry terminal responses are recorded into, or
+  /// nullptr when none is configured (observability disabled and no
+  /// injected instance).
+  const obs::WindowRegistry* window() const { return window_; }
 
  private:
   Response execute(const Request& req);
   void record(const Response& resp) EXCLUDES(resp_mu_);
+  /// Answer a kStats/kHealth request (scheduler Introspector): the
+  /// windowed snapshot, scheduler Stats, resident-session list, and the
+  /// slow-request exemplar log, as a JSON body.
+  Response introspect(const Request& req);
 
   const ServerOptions opts_;
   SessionManager sessions_;  ///< Declared before scheduler_: workers join first.
   Scheduler::Sink tap_;
+  SlowLog slow_log_;  ///< Declared before scheduler_: workers feed it until drained.
+  obs::WindowRegistry* const window_;  ///< Same resolution the scheduler applies.
 
   /// Guards the response store and id counter; leaf lock — nothing
   /// else is acquired while it is held (lock ordering, DESIGN.md §12).

@@ -18,6 +18,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "simulation/osp_generator.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
@@ -291,6 +292,34 @@ TEST_F(ObsTest, HistogramQuantileEmptyIsZero) {
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
 }
 
+TEST_F(ObsTest, QuantileFromBucketsEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets({1.0, 2.0}, {}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets({1.0, 2.0}, {0, 0, 0}, 0.5), 0.0);
+  // No finite bounds at all: every sample is +Inf-bucketed, and there
+  // is no finite bound to clamp to.
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets({}, {3}, 0.99), 0.0);
+}
+
+TEST_F(ObsTest, QuantileFromBucketsAllMassInFirstBucket) {
+  // Every sample in (0, 10]: q=1 is the bucket's upper bound, interior
+  // quantiles interpolate linearly from zero.
+  const std::vector<double> bounds = {10.0, 20.0};
+  const std::vector<std::uint64_t> counts = {4, 0, 0};
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(bounds, counts, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(bounds, counts, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(bounds, counts, 0.0), 0.0);
+}
+
+TEST_F(ObsTest, QuantileFromBucketsClampsRankAndInfinity) {
+  const std::vector<double> bounds = {1.0, 4.0};
+  const std::vector<std::uint64_t> counts = {1, 1, 2};  // two samples past 4.0
+  // Out-of-range and NaN ranks clamp instead of walking off the array.
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(bounds, counts, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(bounds, counts, 2.0), 4.0);
+  // Rank inside the +Inf bucket clamps to the highest finite bound.
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(bounds, counts, 0.99), 4.0);
+}
+
 TEST_F(ObsTest, HistogramExportsCarryQuantiles) {
   obs::Registry::global().histogram("obs_quant_export", {10.0}).observe(5.0);
   const std::string json = obs::Registry::global().to_json();
@@ -528,6 +557,246 @@ TEST_F(ObsTest, SummarizeSpansMatchesTracerSummary) {
   const std::string via_export =
       obs::summarize_spans(obs::parse_trace_json(obs::Tracer::global().to_json()));
   EXPECT_EQ(via_export, direct);
+}
+
+// --- windowed aggregation ---------------------------------------------
+
+/// A window registry on a hand-cranked logical clock.
+struct LogicalWindow {
+  std::uint64_t now_ns = 0;
+  obs::WindowRegistry registry;
+
+  explicit LogicalWindow(std::size_t buckets, std::uint64_t width_ns) : registry(options(buckets, width_ns)) {}
+  obs::WindowOptions options(std::size_t buckets, std::uint64_t width_ns) {
+    obs::WindowOptions o;
+    o.buckets = buckets;
+    o.bucket_width_ns = width_ns;
+    o.clock = [this] { return now_ns; };
+    return o;
+  }
+};
+
+TEST_F(ObsTest, WindowRecordAndSnapshot) {
+  LogicalWindow w(4, 1'000'000'000);  // 4 x 1s window
+  w.registry.record("a", "rank", "ok", 1.0, 2.0, 3.0);
+  w.registry.record("a", "rank", "error", 0.5, 0.5, 1.0);
+  w.registry.record("b", "lint", "ok", 0.1, 0.1, 0.2);
+
+  const obs::WindowRegistry::Snapshot snap = w.registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.window_seconds, 4.0);
+  ASSERT_EQ(snap.series.size(), 2u);
+  // Sorted by (tenant, kind).
+  EXPECT_EQ(snap.series[0].tenant, "a");
+  EXPECT_EQ(snap.series[0].kind, "rank");
+  EXPECT_EQ(snap.series[1].tenant, "b");
+  EXPECT_EQ(snap.series[1].kind, "lint");
+
+  const obs::WindowRegistry::SeriesWindow& rank = snap.series[0];
+  EXPECT_EQ(rank.total, 2u);
+  EXPECT_EQ(rank.ok, 1u);
+  EXPECT_EQ(rank.error, 1u);
+  EXPECT_DOUBLE_EQ(rank.ok_rate, 0.5);
+  EXPECT_DOUBLE_EQ(rank.error_rate, 0.5);
+  EXPECT_DOUBLE_EQ(rank.throughput_rps, 0.5);  // 2 requests / 4s window
+  EXPECT_GT(rank.latency_p99_ms, 0.0);
+  EXPECT_LE(rank.latency_p50_ms, rank.latency_p99_ms);
+}
+
+TEST_F(ObsTest, WindowRingWraparoundDropsOverwrittenEpochs) {
+  LogicalWindow w(4, 100);
+  w.registry.record("a", "rank", "ok", 0, 0, 0);  // epoch 0
+  // Jump ten epochs ahead: the ring slot for epoch 0 is re-used by
+  // epoch 8 (10 % 4 == 2, 8 % 4 == 0), and epoch 0 is out of window.
+  w.now_ns = 1000;
+  w.registry.record("a", "rank", "ok", 0, 0, 0);  // epoch 10
+  const obs::WindowRegistry::Snapshot snap = w.registry.snapshot();
+  ASSERT_EQ(snap.series.size(), 1u);
+  EXPECT_EQ(snap.series[0].total, 1u);
+}
+
+TEST_F(ObsTest, WindowAccumulatesAcrossInWindowBuckets) {
+  LogicalWindow w(4, 100);
+  w.registry.record("a", "rank", "ok", 0, 0, 0);  // epoch 0
+  w.now_ns = 150;
+  w.registry.record("a", "rank", "rejected", 0, 0, 0);  // epoch 1
+  w.now_ns = 350;
+  w.registry.record("a", "rank", "deadline_exceeded", 0, 0, 0);  // epoch 3
+  const obs::WindowRegistry::Snapshot snap = w.registry.snapshot();
+  ASSERT_EQ(snap.series.size(), 1u);
+  EXPECT_EQ(snap.series[0].total, 3u);
+  EXPECT_EQ(snap.series[0].ok, 1u);
+  EXPECT_EQ(snap.series[0].rejected, 1u);
+  EXPECT_EQ(snap.series[0].deadline_exceeded, 1u);
+}
+
+TEST_F(ObsTest, WindowIdleGapExpiresSeries) {
+  LogicalWindow w(4, 100);
+  w.registry.record("a", "rank", "ok", 0, 0, 0);
+  // Still visible at the window's trailing edge...
+  w.now_ns = 300;
+  EXPECT_EQ(w.registry.snapshot().series.size(), 1u);
+  // ...gone once the idle gap pushes it out, without any record() call.
+  w.now_ns = 400;
+  EXPECT_TRUE(w.registry.snapshot().series.empty());
+  EXPECT_EQ(w.registry.canonical_json(), "{\"series\":[]}");
+}
+
+TEST_F(ObsTest, WindowJsonAndCanonicalShape) {
+  LogicalWindow w(2, 1'000'000'000);
+  w.registry.record("a", "rank", "ok", 1.0, 2.0, 3.0);
+  const JsonValue doc = parse_json(w.registry.to_json());
+  EXPECT_DOUBLE_EQ(doc.at("window_seconds").as_number(), 2.0);
+  const auto& series = doc.at("series").as_array();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].at("tenant").as_string(), "a");
+  EXPECT_EQ(series[0].at("kind").as_string(), "rank");
+  EXPECT_EQ(series[0].at("total").as_u64(), 1u);
+  EXPECT_DOUBLE_EQ(series[0].at("ok_rate").as_number(), 1.0);
+  EXPECT_GT(series[0].at("latency_ms").at("p50").as_number(), 0.0);
+
+  EXPECT_EQ(w.registry.canonical_json(),
+            "{\"series\":[{\"tenant\":\"a\",\"kind\":\"rank\",\"total\":1,\"ok\":1,"
+            "\"rejected\":0,\"deadline_exceeded\":0,\"error\":0}]}");
+}
+
+TEST_F(ObsTest, WindowPrometheusShape) {
+  LogicalWindow w(2, 1'000'000'000);
+  w.registry.record("a", "rank", "ok", 1.0, 2.0, 3.0);
+  const std::string text = w.registry.to_prometheus();
+  EXPECT_NE(text.find("# TYPE mpa_window_requests_total gauge"), std::string::npos);
+  EXPECT_NE(
+      text.find("mpa_window_requests_total{tenant=\"a\",kind=\"rank\",status=\"ok\"} 1"),
+      std::string::npos);
+  EXPECT_NE(text.find("mpa_window_throughput_rps{tenant=\"a\",kind=\"rank\"} 0.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("mpa_window_latency_ms{tenant=\"a\",kind=\"rank\",quantile=\"0.99\"}"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, WindowConfigureDropsSeries) {
+  obs::WindowRegistry registry;
+  registry.record("a", "rank", "ok", 0, 0, 0);
+  EXPECT_EQ(registry.snapshot().series.size(), 1u);
+  obs::WindowOptions narrow;
+  narrow.buckets = 2;
+  narrow.bucket_width_ns = 1000;
+  registry.configure(std::move(narrow));
+  EXPECT_TRUE(registry.snapshot().series.empty());
+  EXPECT_DOUBLE_EQ(registry.snapshot().window_seconds, 2e-6);
+}
+
+// --- request-scoped trace context -------------------------------------
+
+TEST_F(ObsTest, RequestContextTagsSpansAndCollectsStages) {
+  obs::RequestContext ctx;
+  ctx.req_id = 7;
+  ctx.tenant = "acme";
+  ctx.collect = true;
+  {
+    obs::ScopedRequestContext scoped(&ctx);
+    obs::Span stage("stage");
+  }
+  { obs::Span untagged("outside"); }
+
+  const auto spans = obs::Tracer::global().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  std::map<std::string, const obs::SpanRecord*> by_path;
+  for (const auto& s : spans) by_path[s.path] = &s;
+  EXPECT_EQ(by_path.at("stage")->req_id, 7u);
+  EXPECT_EQ(by_path.at("stage")->tenant, "acme");
+  EXPECT_EQ(by_path.at("outside")->req_id, 0u);
+  EXPECT_TRUE(by_path.at("outside")->tenant.empty());
+
+  // The context collected the stage timing for the slow log.
+  ASSERT_EQ(ctx.stage_ns.size(), 1u);
+  EXPECT_EQ(ctx.stage_ns[0].first, "stage");
+
+  // Tagged spans serialize their tags; untagged ones stay unchanged.
+  const std::string json = obs::Tracer::global().to_json();
+  EXPECT_NE(json.find("\"req_id\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"tenant\":\"acme\""), std::string::npos);
+}
+
+TEST_F(ObsTest, ScopedRequestContextNullKeepsCurrentAndTagOnlySkipsCollection) {
+  obs::RequestContext ctx;
+  ctx.req_id = 9;
+  ctx.tenant = "t";
+  ctx.collect = true;
+  obs::RequestContext task_ctx = ctx.tag_only();
+  EXPECT_FALSE(task_ctx.collect);
+  {
+    obs::ScopedRequestContext outer(&ctx);
+    {
+      // The engine's fan-out sites install tag_only() copies on pool
+      // workers and pass nullptr inline — both must keep the tags.
+      obs::ScopedRequestContext inline_adopt(nullptr);
+      obs::Span s("inline_task");
+    }
+    {
+      obs::ScopedRequestContext pool_adopt(&task_ctx);
+      obs::Span s("pool_task");
+    }
+  }
+  EXPECT_EQ(obs::current_request_context(), nullptr);
+
+  for (const auto& s : obs::Tracer::global().snapshot()) {
+    EXPECT_EQ(s.req_id, 9u) << s.path;
+    EXPECT_EQ(s.tenant, "t") << s.path;
+  }
+  // The inline task was collected by the outer context; the tag_only
+  // copy collected nothing (stage lists stay single-owner).
+  ASSERT_EQ(ctx.stage_ns.size(), 1u);
+  EXPECT_EQ(ctx.stage_ns[0].first, "inline_task");
+  EXPECT_TRUE(task_ctx.stage_ns.empty());
+}
+
+TEST_F(ObsTest, ChromeTraceCarriesRequestTags) {
+  obs::RequestContext ctx;
+  ctx.req_id = 11;
+  ctx.tenant = "acme";
+  {
+    obs::ScopedRequestContext scoped(&ctx);
+    obs::Span s("tagged");
+  }
+  const std::string json = obs::chrome_trace_json(obs::Tracer::global().snapshot());
+  const JsonValue doc = parse_json(json);
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].at("args").at("req_id").as_u64(), 11u);
+  EXPECT_EQ(events[0].at("args").at("tenant").as_string(), "acme");
+  // The tags round-trip through the parser (both export formats).
+  for (const std::string& text : {json, obs::Tracer::global().to_json()}) {
+    const auto parsed = obs::parse_trace_json(text);
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(parsed[0].req_id, 11u);
+    EXPECT_EQ(parsed[0].tenant, "acme");
+  }
+}
+
+TEST_F(LogTest, RequestContextTagsTimedLogFormOnly) {
+  obs::RequestContext ctx;
+  ctx.req_id = 13;
+  ctx.tenant = "acme";
+  {
+    obs::ScopedRequestContext scoped(&ctx);
+    obs::LogEvent(obs::LogLevel::kInfo, "tagged");
+  }
+  { obs::LogEvent(obs::LogLevel::kInfo, "untagged"); }
+
+  const auto records = obs::Logger::global().snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].ctx_req_id, 13u);
+  EXPECT_EQ(records[0].ctx_tenant, "acme");
+  EXPECT_EQ(records[1].ctx_req_id, 0u);
+
+  // The timed form carries the attribution; the canonical form must
+  // not (stage->request attribution is timing-dependent at >1 worker).
+  const JsonValue timed = parse_json(records[0].to_json());
+  EXPECT_EQ(timed.at("req_id").as_u64(), 13u);
+  EXPECT_EQ(timed.at("tenant").as_string(), "acme");
+  const std::string canonical = obs::Logger::global().canonical_jsonl();
+  EXPECT_EQ(canonical.find("req_id"), std::string::npos);
+  EXPECT_EQ(canonical.find("acme"), std::string::npos);
 }
 
 }  // namespace

@@ -24,10 +24,14 @@
 #include "io/dataset_io.hpp"
 #include "metrics/practices.hpp"
 #include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "serve/client.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/server.hpp"
+#include "serve/slow_log.hpp"
 #include "simulation/osp_generator.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -353,6 +357,153 @@ TEST(Scheduler, ConcurrentSubmitStress) {
   EXPECT_EQ(out.ids().size(), 200u);
 }
 
+TEST(Scheduler, IntrospectionAnsweredSynchronouslyUnderSaturatedQueue) {
+  Gate gate;
+  Collector out;
+  SchedulerOptions opts;
+  opts.workers = 1;
+  opts.max_queue_depth = 1;
+  std::atomic<int> executed{0};
+  Scheduler sched(
+      opts,
+      [&](const Request& req) {
+        ++executed;
+        if (req.id == 1) gate.wait();
+        return Response{};
+      },
+      out.sink(),
+      [](const Request&) {
+        Response resp;
+        resp.status = RequestStatus::kOk;
+        resp.body = "introspection";
+        return resp;
+      });
+
+  ASSERT_TRUE(sched.submit(req_for(1)));
+  wait_until_picked_up(sched);            // worker parked on id 1
+  ASSERT_TRUE(sched.submit(req_for(2)));  // fills the single queue slot
+
+  // A stats request against the saturated queue is answered before
+  // submit returns, without executing and without touching the queue.
+  Request stats_req = req_for(3);
+  stats_req.kind = RequestKind::kStats;
+  EXPECT_FALSE(sched.submit(std::move(stats_req)));
+  const Response answered = out.by_id(3);
+  EXPECT_EQ(answered.status, RequestStatus::kOk);
+  EXPECT_EQ(answered.body, "introspection");
+  EXPECT_EQ(answered.kind, RequestKind::kStats);
+  EXPECT_EQ(sched.queue_depth(), 1u);  // the slot still belongs to id 2
+
+  // The queue is still full for normal work — introspection neither
+  // consumed nor freed capacity.
+  EXPECT_FALSE(sched.submit(req_for(4)));
+  EXPECT_EQ(out.by_id(4).status, RequestStatus::kRejected);
+
+  Request health = req_for(5);
+  health.kind = RequestKind::kHealth;
+  EXPECT_FALSE(sched.submit(std::move(health)));
+  EXPECT_EQ(out.by_id(5).status, RequestStatus::kOk);
+
+  gate.release();
+  sched.drain();
+  EXPECT_EQ(executed.load(), 2);
+  const Scheduler::Stats stats = sched.stats();
+  EXPECT_EQ(stats.submitted, 5u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.introspected, 2u);
+  EXPECT_EQ(stats.completed, 4u);  // 2 executed + 2 introspected
+  EXPECT_EQ(stats.ok, 4u);
+}
+
+TEST(Scheduler, IntrospectorExceptionAnswersError) {
+  Collector out;
+  SchedulerOptions opts;
+  opts.workers = 1;
+  Scheduler sched(
+      opts, [](const Request&) { return Response{}; }, out.sink(),
+      [](const Request&) -> Response { throw DataError("introspector broke"); });
+  Request req = req_for(1);
+  req.kind = RequestKind::kHealth;
+  EXPECT_FALSE(sched.submit(std::move(req)));
+  const Response resp = out.by_id(1);
+  EXPECT_EQ(resp.status, RequestStatus::kError);
+  EXPECT_NE(resp.body.find("introspector broke"), std::string::npos);
+  EXPECT_EQ(sched.stats().errors, 1u);
+  EXPECT_EQ(sched.stats().introspected, 1u);
+}
+
+TEST(Scheduler, TerminalResponsesLandInTheInjectedWindow) {
+  obs::WindowOptions wopts;
+  wopts.buckets = 1;
+  wopts.bucket_width_ns = ~std::uint64_t{0} / 2;  // one bucket covers the run
+  obs::WindowRegistry window(std::move(wopts));
+
+  Collector out;
+  SchedulerOptions opts;
+  opts.workers = 1;
+  opts.window = &window;
+  Scheduler sched(
+      opts, [](const Request&) { return Response{}; }, out.sink(),
+      [](const Request&) { return Response{}; });
+
+  ASSERT_TRUE(sched.submit(req_for(1, "a")));
+  Request dead = req_for(2, "a");
+  dead.deadline_ms = -1;
+  EXPECT_FALSE(sched.submit(std::move(dead)));
+  Request stats_req = req_for(3, "a");
+  stats_req.kind = RequestKind::kStats;
+  EXPECT_FALSE(sched.submit(std::move(stats_req)));
+  sched.drain();
+
+  // Executed + expired land in the window; introspection does not
+  // (it is observability about the window, not workload in it).
+  EXPECT_EQ(window.canonical_json(),
+            "{\"series\":[{\"tenant\":\"a\",\"kind\":\"rank\",\"total\":2,\"ok\":1,"
+            "\"rejected\":0,\"deadline_exceeded\":1,\"error\":0}]}");
+}
+
+// ---------------------------------------------------------------------------
+// Slow-request exemplar log.
+
+TEST(SlowLog, KeepsWorstByTotalAndCanonicalSortsById) {
+  SlowLog log(2);
+  EXPECT_EQ(log.capacity(), 2u);
+  SlowLog::Entry e;
+  e.tenant = "a";
+  e.kind = "rank";
+  e.status = "ok";
+  e.id = 1;
+  e.total_ms = 5;
+  log.record(e);
+  e.id = 2;
+  e.total_ms = 9;
+  e.stages = {{"serve/rank", 8.5}};
+  log.record(e);
+  e.id = 3;
+  e.total_ms = 1;
+  e.stages.clear();
+  log.record(e);  // evicted: fastest of the three
+
+  const std::vector<SlowLog::Entry> worst = log.worst();
+  ASSERT_EQ(worst.size(), 2u);
+  EXPECT_EQ(worst[0].id, 2u);  // worst first
+  EXPECT_EQ(worst[1].id, 1u);
+
+  const JsonValue timed = parse_json(log.to_json());
+  ASSERT_EQ(timed.as_array().size(), 2u);
+  EXPECT_EQ(timed.as_array()[0].at("id").as_u64(), 2u);
+  EXPECT_EQ(timed.as_array()[0].at("stages").as_array()[0].at("path").as_string(),
+            "serve/rank");
+
+  // The identity form strips every timing and sorts by id.
+  EXPECT_EQ(log.canonical_json(),
+            "[{\"id\":1,\"tenant\":\"a\",\"kind\":\"rank\",\"status\":\"ok\"},"
+            "{\"id\":2,\"tenant\":\"a\",\"kind\":\"rank\",\"status\":\"ok\"}]");
+  log.clear();
+  EXPECT_TRUE(log.worst().empty());
+}
+
 // ---------------------------------------------------------------------------
 // Wire format.
 
@@ -388,6 +539,24 @@ TEST(RequestWire, IngestKindAndNegativeDeadlineRoundTrip) {
   EXPECT_EQ(back.kind, RequestKind::kIngest);
   EXPECT_EQ(back.dir, "/data/delta-3");
   EXPECT_DOUBLE_EQ(back.deadline_ms, -1);
+}
+
+TEST(RequestWire, IntrospectionKindsRoundTrip) {
+  for (RequestKind kind : {RequestKind::kStats, RequestKind::kHealth}) {
+    Request req;
+    req.id = 3;
+    req.tenant = "ops";
+    req.kind = kind;
+    const std::string json = req.to_json();
+    const Request back = Request::from_json(parse_json(json));
+    EXPECT_EQ(back.to_json(), json);
+    EXPECT_EQ(back.kind, kind);
+  }
+  RequestKind parsed = RequestKind::kCaseTable;
+  ASSERT_TRUE(parse_request_kind("stats", &parsed));
+  EXPECT_EQ(parsed, RequestKind::kStats);
+  ASSERT_TRUE(parse_request_kind("health", &parsed));
+  EXPECT_EQ(parsed, RequestKind::kHealth);
 }
 
 TEST(RequestWire, RejectsUnknownFieldsAndKinds) {
@@ -602,6 +771,153 @@ TEST(ServeDeterminism, ResponsesAndEventStreamStableAcrossWorkerCounts) {
   EXPECT_EQ(canonical[0], canonical[2]);
 }
 
+TEST(ServeDeterminism, WindowedCanonicalSnapshotStableAcrossWorkerCounts) {
+  std::vector<std::string> canonical;
+  for (int workers : {1, 2, 8}) {
+    // One bucket wide enough to cover the whole replay, so which epoch
+    // a response lands in cannot depend on scheduling.
+    obs::WindowOptions wopts;
+    wopts.buckets = 1;
+    wopts.bucket_width_ns = ~std::uint64_t{0} / 2;
+    obs::WindowRegistry window(std::move(wopts));
+    ServerOptions opts = two_session_opts(workers);
+    opts.scheduler.window = &window;
+    AnalysisServer server(opts);
+    server.sessions().open("s1", small_session());
+    server.sessions().open("s2", small_session());
+    for (const Request& req : fixed_trace()) server.submit(req);
+    server.drain();
+    canonical.push_back(window.canonical_json());
+  }
+  EXPECT_NE(canonical[0].find("\"tenant\":\"a\""), std::string::npos);
+  EXPECT_NE(canonical[0].find("\"tenant\":\"b\""), std::string::npos);
+  EXPECT_EQ(canonical[0], canonical[1]);
+  EXPECT_EQ(canonical[0], canonical[2]);
+}
+
+TEST(ServeDeterminism, SlowLogCanonicalStableAcrossWorkerCounts) {
+  std::vector<std::string> canonical;
+  for (int workers : {1, 2, 8}) {
+    // Capacity >= trace size: which entries are *kept* is then not
+    // timing-dependent, and the id-sorted identity form is invariant.
+    ServerOptions opts = two_session_opts(workers);
+    opts.slow_log_entries = 64;
+    AnalysisServer server(opts);
+    server.sessions().open("s1", small_session());
+    server.sessions().open("s2", small_session());
+    for (const Request& req : fixed_trace()) server.submit(req);
+    server.drain();
+    canonical.push_back(server.slow_log().canonical_json());
+  }
+  EXPECT_NE(canonical[0].find("\"id\":1,"), std::string::npos);
+  EXPECT_NE(canonical[0].find("\"id\":10,"), std::string::npos);
+  EXPECT_EQ(canonical[0], canonical[1]);
+  EXPECT_EQ(canonical[0], canonical[2]);
+}
+
+TEST(Server, StatsAndHealthAnsweredWithIntrospectionBodies) {
+  AnalysisServer server(two_session_opts(1));
+  server.sessions().open("s1", small_session());
+  Request work;
+  work.session = "s1";
+  work.kind = RequestKind::kRank;
+  ASSERT_EQ(server.submit_and_wait(std::move(work)).status, RequestStatus::kOk);
+  // submit_and_wait returns on the sink call, which precedes the
+  // worker's stats bump; drain() orders the bump before the reads below.
+  server.drain();
+
+  Request health;
+  health.kind = RequestKind::kHealth;
+  const Response h = server.submit_and_wait(std::move(health));
+  ASSERT_EQ(h.status, RequestStatus::kOk) << h.body;
+  const JsonValue hdoc = parse_json(h.body);
+  EXPECT_EQ(hdoc.at("status").as_string(), "ok");
+  EXPECT_EQ(hdoc.at("sessions").as_u64(), 1u);
+  EXPECT_EQ(hdoc.at("workers").as_u64(), 1u);
+
+  Request stats_req;
+  stats_req.kind = RequestKind::kStats;
+  const Response s = server.submit_and_wait(std::move(stats_req));
+  ASSERT_EQ(s.status, RequestStatus::kOk) << s.body;
+  const JsonValue sdoc = parse_json(s.body);
+  EXPECT_EQ(sdoc.at("stats").at("submitted").as_u64(), 3u);
+  EXPECT_EQ(sdoc.at("stats").at("introspected").as_u64(), 2u);
+  // The stats request's own ok bump lands after the introspector
+  // returns, so the body sees the work + health successes only.
+  EXPECT_EQ(sdoc.at("stats").at("ok").as_u64(), 2u);
+  ASSERT_EQ(sdoc.at("sessions").as_array().size(), 1u);
+  EXPECT_EQ(sdoc.at("sessions").as_array()[0].as_string(), "s1");
+  // No window configured (observability off, nothing injected).
+  EXPECT_TRUE(sdoc.at("window").is_null());
+  // The executed rank request is the slow log's only entry.
+  ASSERT_EQ(sdoc.at("slow").as_array().size(), 1u);
+  EXPECT_EQ(sdoc.at("slow").as_array()[0].at("kind").as_string(), "rank");
+  EXPECT_EQ(server.stats().introspected, 2u);
+}
+
+TEST(Server, StatsBodyEmbedsInjectedWindowSnapshot) {
+  obs::WindowOptions wopts;
+  wopts.buckets = 1;
+  wopts.bucket_width_ns = ~std::uint64_t{0} / 2;
+  obs::WindowRegistry window(std::move(wopts));
+  ServerOptions opts = two_session_opts(1);
+  opts.scheduler.window = &window;
+  AnalysisServer server(opts);
+  server.sessions().open("s1", small_session());
+  EXPECT_EQ(server.window(), &window);
+
+  Request work;
+  work.session = "s1";
+  work.tenant = "acme";
+  work.kind = RequestKind::kLint;
+  ASSERT_EQ(server.submit_and_wait(std::move(work)).status, RequestStatus::kOk);
+
+  Request stats_req;
+  stats_req.kind = RequestKind::kStats;
+  const Response s = server.submit_and_wait(std::move(stats_req));
+  const JsonValue sdoc = parse_json(s.body);
+  const JsonValue& win = sdoc.at("window");
+  ASSERT_TRUE(win.is_object());
+  ASSERT_EQ(win.at("series").as_array().size(), 1u);
+  EXPECT_EQ(win.at("series").as_array()[0].at("tenant").as_string(), "acme");
+  EXPECT_EQ(win.at("series").as_array()[0].at("kind").as_string(), "lint");
+  EXPECT_EQ(win.at("series").as_array()[0].at("ok").as_u64(), 1u);
+}
+
+TEST(Server, SlowLogCapturesStageBreakdownWhenTracingEnabled) {
+  obs::set_enabled(true);
+  obs::Tracer::global().clear();
+  {
+    ServerOptions opts = two_session_opts(1);
+    opts.slow_log_entries = 4;
+    AnalysisServer server(opts);
+    server.sessions().open("s1", small_session());
+    Request work;
+    work.session = "s1";
+    work.kind = RequestKind::kRank;
+    ASSERT_EQ(server.submit_and_wait(std::move(work)).status, RequestStatus::kOk);
+
+    const std::vector<SlowLog::Entry> worst = server.slow_log().worst();
+    ASSERT_EQ(worst.size(), 1u);
+    EXPECT_EQ(worst[0].id, 1u);
+    EXPECT_EQ(worst[0].kind, "rank");
+    EXPECT_EQ(worst[0].status, "ok");
+    EXPECT_GE(worst[0].total_ms, worst[0].service_ms);
+    // The request's spans were collected as its stage breakdown; the
+    // serve-layer stage is always present (plus the engine stages the
+    // first rank computed: case_table, dependence).
+    bool has_serve_stage = false;
+    for (const auto& [path, ms] : worst[0].stages) {
+      if (path == "serve/rank") has_serve_stage = true;
+      EXPECT_GE(ms, 0.0) << path;
+    }
+    EXPECT_TRUE(has_serve_stage);
+  }
+  obs::set_enabled(false);
+  obs::Tracer::global().clear();
+  obs::Registry::global().reset_values();
+}
+
 TEST(Server, UnknownSessionKeyAnswersWithError) {
   AnalysisServer server(two_session_opts(1));
   server.sessions().open("s1", small_session());
@@ -749,6 +1065,56 @@ TEST(Client, ClosedLoopReplayAccountsForEveryRequest) {
   EXPECT_GE(report.p99_ms, report.p50_ms);
   EXPECT_NE(report.to_json().find("\"total\":6"), std::string::npos);
   EXPECT_NE(report.to_text().find("throughput"), std::string::npos);
+}
+
+TEST(Client, StatsOnlyWeightsSynthesizeIntrospectionRequests) {
+  ClientOptions opts;
+  opts.request_total_cnt = 4;
+  opts.kind_weights = {0, 0, 0, 0, 0, 0, 1};  // stats only
+  const std::vector<Request> trace = synthesize_trace(opts);
+  ASSERT_EQ(trace.size(), 4u);
+  for (const Request& req : trace) EXPECT_EQ(req.kind, RequestKind::kStats);
+}
+
+TEST(Client, ComputeSloFoldsPerTenantAttainment) {
+  auto resp = [](std::uint64_t id, const std::string& tenant, RequestStatus status,
+                 double total_ms) {
+    Response r;
+    r.id = id;
+    r.tenant = tenant;
+    r.kind = RequestKind::kRank;
+    r.status = status;
+    r.total_ms = total_ms;
+    return r;
+  };
+  const std::vector<Response> responses = {
+      resp(1, "a", RequestStatus::kOk, 10.0),
+      resp(2, "a", RequestStatus::kOk, 80.0),   // over SLO
+      resp(3, "a", RequestStatus::kRejected, 1.0),  // non-ok never attains
+      resp(4, "b", RequestStatus::kOk, 50.0),   // exactly at SLO counts
+  };
+  const SloReport report = compute_slo(responses, 50.0, 100.0, 85.0);
+  EXPECT_EQ(report.slo_ms, 50.0);
+  EXPECT_TRUE(report.saturated);  // 85 < 0.9 * 100
+  ASSERT_EQ(report.tenants.size(), 2u);
+  EXPECT_EQ(report.tenants[0].tenant, "a");
+  EXPECT_EQ(report.tenants[0].total, 3u);
+  EXPECT_EQ(report.tenants[0].within, 1u);
+  EXPECT_NEAR(report.tenants[0].attainment, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(report.tenants[1].tenant, "b");
+  EXPECT_EQ(report.tenants[1].within, 1u);
+  EXPECT_EQ(report.tenants[1].attainment, 1.0);
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"slo_ms\":50"), std::string::npos);
+  EXPECT_NE(json.find("\"saturated\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"tenant\":\"a\""), std::string::npos);
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("SATURATED"), std::string::npos);
+
+  // Keeping up with offered load is not saturation.
+  EXPECT_FALSE(compute_slo(responses, 50.0, 100.0, 95.0).saturated);
+  EXPECT_FALSE(compute_slo(responses, 50.0, 0.0, 0.0).saturated);
 }
 
 }  // namespace

@@ -57,7 +57,13 @@
 //       seeded (or --trace-in) trace, prints throughput + p50/p90/p99.
 //       --responses-out writes the deterministic response JSONL (sorted
 //       by id, no timing) — byte-identical for a fixed single-worker
-//       trace.
+//       trace. --slo-ms computes per-tenant SLO attainment
+//       (--slo-report writes it as JSON); --loads R1,R2,... sweeps
+//       offered loads to find the saturation knee.
+//   mpa_cli top [--interval-ms D] [--iterations N]
+//       Periodic dashboard over a running daemon: emits `stats`
+//       request JSONL on stdout, renders matching responses read from
+//       stdin to stderr — wire it to `mpa_cli serve` with a fifo.
 //
 // Common flags: --threads N (engine pool size; default MPA_THREADS or
 // the hardware concurrency). Observability (any subcommand):
@@ -69,10 +75,15 @@
 //   --log-out FILE      record the structured event log, write JSONL
 //   --log-level LEVEL   event-log floor: debug|info|warn|error (info)
 //   --manifest-out FILE write the last session's run manifest as JSON
+//   --window-out FILE   write the rolling window snapshot (JSON;
+//                       Prometheus text when FILE ends in .prom)
+//   --window-canonical-out FILE  write the window identity form
+//                       (counts only, timestamp-free)
 //   --stats             print a counter/span summary to stderr
 //
 // Export files are written on every exit path — a run that failed with
 // exit 1/2/3 still leaves its metrics, trace, log, and manifest behind.
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -80,6 +91,8 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "config/dialect.hpp"
 #include "config/lint.hpp"
@@ -92,6 +105,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "simulation/osp_generator.hpp"
@@ -172,6 +186,10 @@ Args parse_args(int argc, char** argv) {
     args.command = "trace summarize";
     if (argc >= 4 && argv[3][0] != '-') args.dir = argv[3];
     first_flag = 4;
+  } else if (args.command == "top") {
+    // `top` has no dataset directory: it talks to a running daemon
+    // over stdin/stdout, so flags start right after the command.
+    first_flag = 2;
   } else if (argc >= 3 && argv[2][0] != '-') {
     args.dir = argv[2];
   }
@@ -207,16 +225,20 @@ void check_flags(const Args& args) {
       {"lint", {"threads", "delta", "format", "out", "min-severity", "fail-on"}},
       {"report", {"format"}},
       {"trace summarize", {}},
-      {"serve", {"threads", "delta", "workers", "max-active", "queue-depth", "deadline-ms"}},
+      {"serve",
+       {"threads", "delta", "workers", "max-active", "queue-depth", "deadline-ms",
+        "window-buckets", "window-bucket-ms", "slow-log"}},
       {"replay",
        {"threads", "delta", "workers", "max-active", "queue-depth", "deadline-ms", "requests",
         "interval-ms", "seed", "tenants", "trace-in", "trace-dump", "responses-out",
-        "report-out"}},
+        "report-out", "window-buckets", "window-bucket-ms", "slow-log", "slo-ms", "slo-report",
+        "loads"}},
+      {"top", {"interval-ms", "iterations"}},
   };
   // Observability flags ride along with every subcommand.
   static const std::set<std::string> common = {
       "metrics-out", "trace-out", "chrome-trace-out", "log-out",
-      "log-level",   "manifest-out", "stats"};
+      "log-level",   "manifest-out", "stats", "window-out", "window-canonical-out"};
   const auto it = allowed.find(args.command);
   if (it == allowed.end()) return;  // unknown command falls through to usage()
   for (const auto& [key, value] : args.flags)
@@ -237,6 +259,8 @@ int usage() {
                "       mpa_cli replay <dir> [--requests N] [--interval-ms D] [--seed S]\n"
                "                     [--tenants N] [--trace-in FILE] [--trace-dump FILE]\n"
                "                     [--responses-out FILE] [--report-out FILE]\n"
+               "                     [--slo-ms D] [--slo-report FILE] [--loads R1,R2,...]\n"
+               "       mpa_cli top [--interval-ms D] [--iterations N]\n"
                "run with a dataset directory (see src/io/dataset_io.hpp).\n"
                "  generate: --networks N --months M --seed S\n"
                "            --format csv|mpac (mpac streams: bounded memory at any scale)\n"
@@ -259,12 +283,23 @@ int usage() {
                "            --max-active N (admitted-request cap, default 64)\n"
                "            --queue-depth N (ready-queue cap, default 256)\n"
                "            --deadline-ms D (default per-request deadline, 0 = none)\n"
+               "            --window-buckets N --window-bucket-ms W (rolling window\n"
+               "            shape, default 60 x 1000ms) --slow-log K (exemplar bound)\n"
                "  replay:   --requests N --interval-ms D (0 = closed loop) --seed S\n"
                "            --tenants N (spread load across N tenants)\n"
                "            --trace-in FILE (replay a saved trace)\n"
                "            --trace-dump FILE (save the synthesized trace)\n"
                "            --responses-out FILE (deterministic response JSONL)\n"
                "            --report-out FILE (load report JSON)\n"
+               "            --slo-ms D (per-tenant SLO attainment vs budget D)\n"
+               "            --slo-report FILE (SLO report JSON)\n"
+               "            --loads R1,R2,... (offered-load sweep, req/s; finds the\n"
+               "            saturation knee; requires --slo-ms)\n"
+               "  top:      periodic dashboard over a daemon's stdin/stdout: emits\n"
+               "            `stats` request JSONL on stdout, renders matching\n"
+               "            responses from stdin to stderr\n"
+               "            --interval-ms D (poll period, default 1000)\n"
+               "            --iterations N (stop after N polls; 0 = until EOF)\n"
                "common:     --threads N (default MPA_THREADS or hardware)\n"
                "            --metrics-out FILE (JSON; Prometheus if *.prom)\n"
                "            --trace-out FILE (span JSON)\n"
@@ -272,6 +307,9 @@ int usage() {
                "            --log-out FILE (structured event log, JSONL)\n"
                "            --log-level debug|info|warn|error (default info)\n"
                "            --manifest-out FILE (run manifest JSON)\n"
+               "            --window-out FILE (rolling window snapshot JSON;\n"
+               "            Prometheus if *.prom)\n"
+               "            --window-canonical-out FILE (identity form, counts only)\n"
                "            --stats (counter/span summary on stderr)\n";
   return 2;
 }
@@ -602,6 +640,18 @@ serve::ServerOptions server_options(const Args& args) {
     throw UsageError{"--deadline-ms must be >= 0"};
   opts.session.inference.event_window = args.get_int_min("delta", 5, 0);
   opts.session.threads = args.get_int_min("threads", 0, 0);
+  opts.slow_log_entries = static_cast<std::size_t>(args.get_int_min("slow-log", 16, 1));
+  if (obs::enabled()) {
+    // Shape the process-wide rolling window before the server exists;
+    // the scheduler resolves to this instance, and write_observability
+    // exports it on every exit path alongside the cumulative registry.
+    obs::WindowOptions wopts;
+    wopts.buckets = static_cast<std::size_t>(args.get_int_min("window-buckets", 60, 1));
+    const std::uint64_t width_ms = args.get_u64("window-bucket-ms", 1000);
+    if (width_ms == 0) throw UsageError{"--window-bucket-ms must be >= 1"};
+    wopts.bucket_width_ns = width_ms * 1'000'000;
+    obs::WindowRegistry::global().configure(std::move(wopts));
+  }
   return opts;
 }
 
@@ -638,6 +688,97 @@ int cmd_serve(const Args& args) {
   return bad_lines == 0 ? 0 : 1;
 }
 
+/// Render one `stats` response body as a dashboard frame (mpa top).
+/// The body is the server's introspection JSON: scheduler stats, the
+/// rolling window snapshot, the resident sessions, and the slow log.
+std::string render_top(const std::string& body, std::uint64_t frame) {
+  const JsonValue doc = parse_json(body);
+  std::ostringstream os;
+  os << "-- mpa top (frame " << frame << ") --\n";
+
+  const JsonValue& stats = doc.at("stats");
+  os << "submitted " << stats.at("submitted").as_u64() << "  completed "
+     << stats.at("completed").as_u64() << "  rejected " << stats.at("rejected").as_u64()
+     << "  deadline_misses " << stats.at("deadline_misses").as_u64() << "  errors "
+     << stats.at("errors").as_u64() << "  queue_depth " << stats.at("queue_depth").as_u64()
+     << "  workers " << stats.at("workers").as_u64() << "\n";
+
+  if (const JsonValue* window = doc.find("window"); window != nullptr && window->is_object()) {
+    os << "window (" << window->at("window_seconds").as_number() << "s):\n";
+    TextTable t({"tenant", "kind", "total", "req/s", "ok%", "p50 ms", "p99 ms"});
+    for (const JsonValue& s : window->at("series").as_array())
+      t.row().add(s.at("tenant").as_string()).add(s.at("kind").as_string())
+          .add(static_cast<std::size_t>(s.at("total").as_u64()))
+          .add(format_double(s.at("throughput_rps").as_number(), 1))
+          .add(format_double(s.at("ok_rate").as_number() * 100, 1))
+          .add(format_double(s.at("latency_ms").at("p50").as_number(), 2))
+          .add(format_double(s.at("latency_ms").at("p99").as_number(), 2));
+    t.print(os);
+  }
+
+  const JsonValue& slow = doc.at("slow");
+  if (!slow.as_array().empty()) {
+    os << "slowest requests:\n";
+    TextTable t({"id", "tenant", "kind", "status", "total ms", "top stage"});
+    for (const JsonValue& e : slow.as_array()) {
+      std::string top_stage = "-";
+      double top_ms = -1;
+      for (const JsonValue& st : e.at("stages").as_array())
+        if (st.at("ms").as_number() > top_ms) {
+          top_ms = st.at("ms").as_number();
+          top_stage = st.at("path").as_string();
+        }
+      t.row().add(static_cast<std::size_t>(e.at("id").as_u64())).add(e.at("tenant").as_string())
+          .add(e.at("kind").as_string()).add(e.at("status").as_string())
+          .add(format_double(e.at("total_ms").as_number(), 2)).add(top_stage);
+    }
+    t.print(os);
+  }
+  return os.str();
+}
+
+/// `mpa_cli top`: the live-dashboard half of a shell pipeline around a
+/// running daemon —
+///   mkfifo req; mpa_cli serve DIR < req | mpa_cli top > req
+/// Emits one `stats` request per poll on stdout, reads the daemon's
+/// response stream on stdin, and renders matching responses to stderr.
+/// Because introspection is answered at submit, the daemon responds
+/// even when its queue is saturated.
+int cmd_top(const Args& args) {
+  const double interval_ms = args.get_double("interval-ms", 1000);
+  if (interval_ms < 0) throw UsageError{"--interval-ms must be >= 0"};
+  const int iterations = args.get_int_min("iterations", 0, 0);
+
+  std::uint64_t rendered = 0;
+  std::string line;
+  for (int i = 0; iterations == 0 || i < iterations; ++i) {
+    serve::Request req;
+    req.id = static_cast<std::uint64_t>(i) + 1;
+    req.kind = serve::RequestKind::kStats;
+    req.tenant = "top";
+    std::cout << req.to_json() << "\n" << std::flush;
+
+    bool got = false;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      try {
+        const JsonValue resp = parse_json(line);
+        if (resp.at("kind").as_string() != "stats" || resp.at("id").as_u64() != req.id)
+          continue;  // interleaved analysis responses
+        std::cerr << render_top(resp.at("body").as_string(), ++rendered) << std::flush;
+        got = true;
+        break;
+      } catch (const DataError& e) {
+        std::cerr << "mpa_cli top: unparseable response line: " << e.what() << "\n";
+      }
+    }
+    if (!got) break;  // daemon stream closed
+    if ((iterations == 0 || i + 1 < iterations) && interval_ms > 0)
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(interval_ms));
+  }
+  return rendered > 0 ? 0 : 1;
+}
+
 int cmd_replay(const Args& args) {
   const serve::ServerOptions opts = server_options(args);
 
@@ -668,6 +809,54 @@ int cmd_replay(const Args& args) {
     f << serve::trace_to_jsonl(trace);
   }
 
+  const double slo_ms = args.get_double("slo-ms", 0);
+  if (slo_ms < 0) throw UsageError{"--slo-ms must be >= 0"};
+  const std::string slo_report_path = args.get("slo-report");
+  const std::string loads_flag = args.get("loads");
+
+  if (!loads_flag.empty()) {
+    // Offered-load sweep: replay the same trace open-loop at each
+    // offered rate against a fresh server, and report the saturation
+    // knee — the first offered load whose achieved throughput fell
+    // below 90% of it.
+    if (slo_ms <= 0) throw UsageError{"replay: --loads requires --slo-ms"};
+    std::vector<double> loads;
+    for (const std::string& tok : split(loads_flag, ',')) {
+      char* end = nullptr;
+      const double rps = std::strtod(tok.c_str(), &end);
+      if (end == tok.c_str() || *end != '\0' || rps <= 0)
+        throw UsageError{"--loads expects positive req/s values, got '" + tok + "'"};
+      loads.push_back(rps);
+    }
+    std::ostringstream sweep;
+    sweep << "{\"slo_ms\":" << slo_ms << ",\"loads\":[";
+    double saturation_rps = 0;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      serve::ClientOptions load_opts = copts;
+      load_opts.request_interval_ms = 1000.0 / loads[i];
+      serve::AnalysisServer server(opts);
+      server.open_directory("main", args.dir);
+      const serve::LoadReport rep = serve::SyntheticClient(load_opts).replay(server, trace);
+      const serve::SloReport slo =
+          serve::compute_slo(server.responses(), slo_ms, loads[i], rep.throughput_rps);
+      std::cout << "-- offered " << format_double(loads[i], 1) << " req/s --\n"
+                << slo.to_text() << "\n";
+      if (i > 0) sweep << ',';
+      sweep << slo.to_json();
+      if (slo.saturated && saturation_rps == 0) saturation_rps = loads[i];
+    }
+    sweep << "],\"saturation_rps\":" << saturation_rps << '}';
+    if (saturation_rps > 0)
+      std::cout << "saturation at " << format_double(saturation_rps, 1) << " req/s offered\n";
+    else
+      std::cout << "no saturation across offered loads\n";
+    if (!slo_report_path.empty()) {
+      std::ofstream f(slo_report_path);
+      f << sweep.str();
+    }
+    return 0;
+  }
+
   serve::AnalysisServer server(opts);
   server.open_directory("main", args.dir);
   const serve::LoadReport report = serve::SyntheticClient(copts).replay(server, trace);
@@ -683,6 +872,17 @@ int cmd_replay(const Args& args) {
     f << report.to_json();
   }
   std::cout << report.to_text();
+  if (slo_ms > 0) {
+    const double offered =
+        copts.request_interval_ms > 0 ? 1000.0 / copts.request_interval_ms : 0;
+    const serve::SloReport slo =
+        serve::compute_slo(server.responses(), slo_ms, offered, report.throughput_rps);
+    std::cout << "\n" << slo.to_text();
+    if (!slo_report_path.empty()) {
+      std::ofstream f(slo_report_path);
+      f << slo.to_json();
+    }
+  }
   return 0;
 }
 
@@ -690,7 +890,8 @@ int cmd_replay(const Args& args) {
 bool wants_observability(const Args& args) {
   return args.flags.count("metrics-out") != 0 || args.flags.count("trace-out") != 0 ||
          args.flags.count("chrome-trace-out") != 0 || args.flags.count("manifest-out") != 0 ||
-         args.flags.count("stats") != 0;
+         args.flags.count("window-out") != 0 ||
+         args.flags.count("window-canonical-out") != 0 || args.flags.count("stats") != 0;
 }
 
 /// Turn the event log on when --log-out asks for it; --log-level sets
@@ -725,6 +926,7 @@ int dispatch(const Args& args) {
   if (args.command == "trace summarize") return cmd_trace_summarize(args);
   if (args.command == "serve") return cmd_serve(args);
   if (args.command == "replay") return cmd_replay(args);
+  if (args.command == "top") return cmd_top(args);
   throw UsageError{"unknown command '" + args.command + "'"};
 }
 
@@ -739,8 +941,29 @@ void write_observability(const Args& args) {
       std::ofstream f(metrics_path);
       const bool prometheus = metrics_path.size() >= 5 &&
                               metrics_path.compare(metrics_path.size() - 5, 5, ".prom") == 0;
-      f << (prometheus ? obs::Registry::global().to_prometheus()
-                       : obs::Registry::global().to_json());
+      if (prometheus) {
+        // One scrape target: the rolling window gauges ride along with
+        // the cumulative registry in the same exposition.
+        f << obs::Registry::global().to_prometheus()
+          << obs::WindowRegistry::global().to_prometheus();
+      } else {
+        f << obs::Registry::global().to_json();
+      }
+    }
+    const std::string window_path = args.get("window-out");
+    if (!window_path.empty()) {
+      std::ofstream f(window_path);
+      const bool prometheus = window_path.size() >= 5 &&
+                              window_path.compare(window_path.size() - 5, 5, ".prom") == 0;
+      if (prometheus)
+        f << obs::WindowRegistry::global().to_prometheus();
+      else
+        f << obs::WindowRegistry::global().to_json() << "\n";
+    }
+    const std::string window_canonical_path = args.get("window-canonical-out");
+    if (!window_canonical_path.empty()) {
+      std::ofstream f(window_canonical_path);
+      f << obs::WindowRegistry::global().canonical_json() << "\n";
     }
     const std::string trace_path = args.get("trace-out");
     if (!trace_path.empty()) {
@@ -780,7 +1003,7 @@ int main(int argc, char** argv) {
   Args args;
   try {
     args = parse_args(argc, argv);
-    if (args.command.empty() || args.dir.empty()) return usage();
+    if (args.command.empty() || (args.dir.empty() && args.command != "top")) return usage();
     check_flags(args);
     configure_logging(args);
   } catch (const UsageError& e) {
